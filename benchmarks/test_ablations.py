@@ -1,0 +1,43 @@
+"""Benchmarks for the ablation studies (design-choice experiments)."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import (
+    ablation_hierarchical_reduction,
+    ablation_interleaving,
+    settings,
+)
+
+
+def test_ablation_update_run_length(benchmark):
+    """COUP's advantage versus the number of updates per update-only epoch."""
+    rows = run_once(
+        benchmark,
+        ablation_interleaving.run,
+        updates_per_read_values=(0, 1, 2, 4, 8, 16),
+        n_cores=min(32, settings.max_cores()),
+    )
+    benchmark.extra_info["rows"] = rows
+    advantages = {row["updates_per_read"]: row["coup_over_mesi"] for row in rows}
+    # No updates -> no advantage; long update runs -> clear advantage.
+    assert advantages[0] == pytest.approx(1.0, rel=0.05)
+    assert advantages[16] > advantages[1]
+    assert advantages[16] > 1.2
+
+
+def test_ablation_hierarchical_reduction(benchmark):
+    """Hierarchical vs. flat reduction critical paths and socket-width sweep."""
+    results = run_once(
+        benchmark, ablation_hierarchical_reduction.run, n_cores=min(32, settings.max_cores())
+    )
+    benchmark.extra_info["analytic"] = results["analytic"]
+    benchmark.extra_info["simulated"] = results["simulated"]
+    paper_point = [
+        row for row in results["analytic"] if row["cores_per_socket"] == 16
+    ][0]
+    assert paper_point["hierarchical_ops"] == 24
+    assert paper_point["flat_ops"] == 128
+    assert all(row["run_cycles"] > 0 for row in results["simulated"])

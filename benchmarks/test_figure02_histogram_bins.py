@@ -1,0 +1,28 @@
+"""Benchmark regenerating Figure 2: histogram performance vs. number of bins."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure02_histogram_bins, settings
+
+
+def test_figure02_histogram_bins(benchmark):
+    """COUP vs. MESI-atomics vs. MESI-privatization across the bin sweep."""
+    rows = run_once(
+        benchmark,
+        figure02_histogram_bins.run,
+        bin_counts=(32, 256, 2048, 16384),
+        n_cores=min(64, settings.max_cores()),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Paper shape: COUP is the fastest scheme at every bin count, and software
+    # privatization degrades relative to atomics as the bin count grows.
+    for row in rows:
+        assert row["coup_cycles"] <= row["atomics_cycles"]
+        assert row["coup_cycles"] <= row["privatization_cycles"]
+    first, last = rows[0], rows[-1]
+    priv_vs_atomics_first = first["privatization_cycles"] / first["atomics_cycles"]
+    priv_vs_atomics_last = last["privatization_cycles"] / last["atomics_cycles"]
+    assert priv_vs_atomics_last > priv_vs_atomics_first

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 8: exhaustive verification cost."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import figure08_verification
+
+
+def test_figure08_verification_cost(benchmark):
+    """State-space size and time for MESI and MEUSI across cores and op counts."""
+    rows = run_once(
+        benchmark,
+        figure08_verification.run,
+        protocols=("MESI", "MEUSI"),
+        core_counts=(1, 2),
+        op_counts=(1, 2, 4),
+        max_states=150_000,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # Every explored configuration verifies (no invariant violations/deadlock).
+    assert all(row["verified"] for row in rows if row["completed"])
+
+    # Paper shape: cost grows much faster with cores than with the number of
+    # commutative-update types.
+    meusi = [r for r in rows if r["protocol"] == "MEUSI"]
+    states = {(r["n_cores"], r["n_ops"]): r["states"] for r in meusi}
+    core_growth = states[(2, 1)] / states[(1, 1)]
+    ops_growth = states[(2, 4)] / states[(2, 1)]
+    assert core_growth > ops_growth
+
+    # MEUSI costs more to verify than MESI at the same configuration.
+    mesi_2 = [r for r in rows if r["protocol"] == "MESI" and r["n_cores"] == 2][0]
+    meusi_2 = states[(2, 1)]
+    assert meusi_2 > mesi_2["states"]

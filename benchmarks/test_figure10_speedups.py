@@ -1,0 +1,35 @@
+"""Benchmarks regenerating Figure 10: per-application speedups of COUP vs. MESI."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import figure10_speedups, settings
+
+#: Paper result at 128 cores, used to check the *direction and rough size* of
+#: the advantage (our simulator and inputs differ, so only the shape is held).
+PAPER_ADVANTAGE = {
+    "hist": 2.4,
+    "spmv": 1.34,
+    "pgrank": 2.4,
+    "bfs": 1.20,
+    "fluidanimate": 1.04,
+}
+
+
+@pytest.mark.parametrize("name", ["hist", "spmv", "pgrank", "bfs", "fluidanimate"])
+def test_figure10_speedups(benchmark, name):
+    """Speedup curves for one benchmark (1..max_cores, MESI and COUP)."""
+    core_counts = [c for c in (1, 8, 32, 64) if c <= settings.max_cores()]
+    rows = run_once(benchmark, figure10_speedups.run_benchmark, name, core_counts)
+    benchmark.extra_info["rows"] = rows
+
+    largest = rows[-1]
+    # COUP must not lose to MESI at the largest core count, and the benchmarks
+    # the paper calls out as big winners must show a clear advantage.
+    assert largest["coup_over_mesi"] >= 0.97
+    if PAPER_ADVANTAGE[name] >= 1.3:
+        assert largest["coup_over_mesi"] > 1.2
+    # Both protocols must scale: the largest run beats the single-core run.
+    assert largest["coup_speedup"] > 1.0

@@ -1,0 +1,26 @@
+"""Benchmark regenerating Figure 12: histogram reduction variable vs. privatization."""
+
+from __future__ import annotations
+
+import pytest
+from conftest import run_once
+
+from repro.experiments import figure12_privatization, settings
+
+
+@pytest.mark.parametrize("n_bins", [512, 16384])
+def test_figure12_privatization(benchmark, n_bins):
+    """COUP vs. core- and socket-level privatization at one bin count."""
+    core_counts = [c for c in (1, 8, 32, 64) if c <= settings.max_cores()]
+    rows = run_once(benchmark, figure12_privatization.run_bin_count, n_bins, core_counts)
+    benchmark.extra_info["rows"] = rows
+
+    largest = rows[-1]
+    # Paper shape: COUP at least matches core-level privatization with few
+    # bins, and clearly beats it with many bins (where the reduction phase and
+    # footprint dominate); socket-level privatization never wins.
+    if n_bins >= 16384:
+        assert largest["coup_speedup"] > largest["core_privatization_speedup"]
+    else:
+        assert largest["coup_speedup"] >= 0.9 * largest["core_privatization_speedup"]
+    assert largest["coup_speedup"] >= largest["socket_privatization_speedup"] * 0.95

@@ -1,0 +1,60 @@
+"""Benchmarks regenerating Table 1, Table 2, the Sec. 5.2 traffic results, and
+the Sec. 5.5 reduction-unit sensitivity study."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import (
+    sensitivity_reduction_unit,
+    settings,
+    table1_configuration,
+    table2_benchmarks,
+    traffic_reduction,
+)
+
+
+def test_table1_configuration(benchmark):
+    """The simulated machine's parameters (Table 1)."""
+    rows = run_once(benchmark, table1_configuration.run, n_cores=128)
+    benchmark.extra_info["rows"] = rows
+    assert any("MESI/MEUSI" in str(row["value"]) for row in rows)
+
+
+def test_table2_benchmark_characteristics(benchmark):
+    """Per-benchmark trace characteristics and sequential run time (Table 2)."""
+    rows = run_once(benchmark, table2_benchmarks.run)
+    benchmark.extra_info["rows"] = rows
+    assert {row["benchmark"] for row in rows} == {
+        "hist",
+        "spmv",
+        "pgrank",
+        "bfs",
+        "fluidanimate",
+    }
+    # Commutative updates are a small fraction of all instructions (Sec. 5.2).
+    assert all(row["comm_op_fraction"] < 0.35 for row in rows)
+
+
+def test_traffic_reduction(benchmark):
+    """Off-chip traffic of COUP relative to MESI (Sec. 5.2)."""
+    rows = run_once(benchmark, traffic_reduction.run, n_cores=settings.max_cores())
+    benchmark.extra_info["rows"] = rows
+    reductions = {row["benchmark"]: row["traffic_reduction"] for row in rows}
+    # Paper shape: hist and pgrank see the largest traffic reductions; no
+    # benchmark sees a meaningful traffic increase.
+    assert reductions["hist"] > 2.0
+    assert reductions["pgrank"] > 1.2
+    assert all(value > 0.9 for value in reductions.values())
+
+
+def test_sensitivity_to_reduction_unit(benchmark):
+    """Slow (64-bit unpipelined) vs. fast (256-bit pipelined) reduction ALU (Sec. 5.5)."""
+    rows = run_once(benchmark, sensitivity_reduction_unit.run, n_cores=settings.max_cores())
+    benchmark.extra_info["rows"] = rows
+    degradations = {row["benchmark"]: row["degradation_pct"] for row in rows}
+    # Paper shape: sensitivity is small.  (bfs is the most sensitive benchmark
+    # here because the scaled-down visited bitmap spans few lines.)
+    insensitive = [name for name, value in degradations.items() if value < 5.0]
+    assert len(insensitive) >= 3
+    assert all(value < 60.0 for value in degradations.values())

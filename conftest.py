@@ -1,0 +1,15 @@
+"""Repository-root conftest: make ``src/`` importable without installation.
+
+``pip install -e .`` is the supported way to use the package, but offline
+environments without the ``wheel`` package cannot perform editable installs;
+this shim keeps ``pytest tests/`` and ``pytest benchmarks/`` working there.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

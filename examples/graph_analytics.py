@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Graph analytics under COUP: PageRank and BFS.
+
+Irregular iterative algorithms update shared accumulators (PageRank) or a
+shared visited bitmap (BFS) from many threads.  This example runs both on a
+synthetic power-law graph under MESI (atomic updates) and COUP (commutative
+updates) and reports run time, average memory access time, off-chip traffic,
+and the number of reductions COUP performed.
+
+Run with::
+
+    python examples/graph_analytics.py [n_cores]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import simulate, table1_config
+from repro.experiments.tables import print_table
+from repro.workloads import BfsWorkload, PageRankWorkload, UpdateStyle
+
+
+def main() -> None:
+    n_cores = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    config = table1_config(n_cores)
+
+    workloads = {
+        "pgrank": lambda style: PageRankWorkload(
+            n_vertices=1536, avg_degree=6, n_iterations=2, update_style=style
+        ),
+        "bfs": lambda style: BfsWorkload(
+            n_vertices=4096, avg_degree=8, max_levels=5, update_style=style
+        ),
+    }
+
+    rows = []
+    for name, factory in workloads.items():
+        mesi = simulate(
+            factory(UpdateStyle.ATOMIC).generate(n_cores), config, "MESI", track_values=False
+        )
+        coup = simulate(
+            factory(UpdateStyle.COMMUTATIVE).generate(n_cores), config, "COUP", track_values=False
+        )
+        rows.append(
+            {
+                "benchmark": name,
+                "mesi_Mcycles": mesi.run_cycles / 1e6,
+                "coup_Mcycles": coup.run_cycles / 1e6,
+                "coup_speedup": mesi.run_cycles / coup.run_cycles,
+                "amat_mesi": mesi.amat,
+                "amat_coup": coup.amat,
+                "traffic_reduction": mesi.offchip_bytes / max(1, coup.offchip_bytes),
+                "full_reductions": coup.reductions,
+            }
+        )
+
+    print_table(rows, title=f"Graph analytics on {n_cores} cores: MESI vs. COUP")
+    print()
+    print("PageRank's accumulators stay in update-only mode through each scatter phase,")
+    print("so COUP eliminates nearly all invalidation traffic; BFS interleaves reads and")
+    print("bitmap ORs finely, so the benefit is smaller but still positive at scale.")
+
+
+if __name__ == "__main__":
+    main()

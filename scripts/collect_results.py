@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Collect headline reproduction numbers for EXPERIMENTS.md.
+
+Runs every experiment at the benchmark-suite scale and writes a JSON summary
+(``results/summary.json``) with the quantities quoted in EXPERIMENTS.md:
+per-benchmark COUP-over-MESI speedups and traffic reductions, the Fig. 2 and
+Fig. 12 scheme comparisons, the Fig. 13 reference-counting results, the Fig. 8
+verification state counts, and the Sec. 5.5 sensitivity numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.experiments import (  # noqa: E402
+    figure02_histogram_bins,
+    figure08_verification,
+    figure10_speedups,
+    figure11_amat,
+    figure12_privatization,
+    figure13_refcount,
+    sensitivity_reduction_unit,
+    settings,
+    table2_benchmarks,
+    traffic_reduction,
+)
+from repro.workloads import CountMode  # noqa: E402
+
+
+def main() -> None:
+    scale = float(os.environ.get("REPRO_SCALE", 0.35))
+    max_cores = int(os.environ.get("REPRO_MAX_CORES", 32))
+    settings.set_scale(scale)
+    settings.set_max_cores(max_cores)
+
+    summary = {"scale": scale, "max_cores": max_cores}
+    timings = {}
+
+    def timed(name, fn, *args, **kwargs):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        timings[name] = round(time.perf_counter() - start, 1)
+        print(f"[{name}] done in {timings[name]}s", flush=True)
+        return result
+
+    core_counts = [c for c in (1, 8, 32, 64, 128) if c <= max_cores]
+
+    summary["figure10"] = timed("figure10", figure10_speedups.run, core_counts=core_counts)
+    summary["figure11"] = timed(
+        "figure11", figure11_amat.run, core_points=[c for c in (8, 32, 128) if c <= max_cores]
+    )
+    summary["figure2"] = timed(
+        "figure2", figure02_histogram_bins.run, bin_counts=(32, 256, 2048, 16384), n_cores=max_cores
+    )
+    summary["figure12"] = {
+        str(bins): rows
+        for bins, rows in timed(
+            "figure12", figure12_privatization.run, core_counts=core_counts
+        ).items()
+    }
+    summary["figure13_low"] = timed(
+        "figure13_low", figure13_refcount.run_immediate, CountMode.LOW, core_counts
+    )
+    summary["figure13_high"] = timed(
+        "figure13_high", figure13_refcount.run_immediate, CountMode.HIGH, core_counts
+    )
+    summary["figure13_delayed"] = timed(
+        "figure13_delayed", figure13_refcount.run_delayed, (1, 10, 100, 400), n_cores=max_cores
+    )
+    summary["figure8"] = timed(
+        "figure8",
+        figure08_verification.run,
+        core_counts=(1, 2),
+        op_counts=(1, 2, 4),
+        max_states=150_000,
+    )
+    summary["traffic"] = timed("traffic", traffic_reduction.run, n_cores=max_cores)
+    summary["sensitivity"] = timed("sensitivity", sensitivity_reduction_unit.run, n_cores=max_cores)
+    summary["table2"] = timed("table2", table2_benchmarks.run)
+    summary["timings"] = timings
+
+    os.makedirs(os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"), exist_ok=True)
+    output = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results", "summary.json"
+    )
+    with open(output, "w") as handle:
+        json.dump(summary, handle, indent=2, default=str)
+    print(f"wrote {output}", flush=True)
+
+
+if __name__ == "__main__":
+    main()

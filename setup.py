@@ -1,0 +1,12 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline evaluation environment lacks ``wheel``, so PEP 517 editable
+installs fail; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``pip install -e .`` on older pips) fall
+back to the legacy ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

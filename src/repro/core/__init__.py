@@ -1,0 +1,49 @@
+"""COUP's core contribution: commutative operations and coherence protocols."""
+
+from repro.core.commutative import (
+    ALL_OPS,
+    CommutativeOp,
+    DeltaBuffer,
+    OperationSpec,
+    commutes_with,
+    reduce_partial_updates,
+)
+from repro.core.directory import Directory, DirectoryEntry
+from repro.core.mesi import MesiProtocol
+from repro.core.meusi import MeusiProtocol
+from repro.core.multiword import (
+    SetDeltaBuffer,
+    SetInsertOp,
+    reduce_set_deltas,
+    reduce_with_overflow,
+)
+from repro.core.protocol import AccessOutcome, CoherenceProtocol
+from repro.core.reduction import ReductionUnit, hierarchical_reduction_ops
+from repro.core.rmo import RmoProtocol
+from repro.core.states import LineMode, NonExclusiveType, RequestType, StableState
+
+__all__ = [
+    "ALL_OPS",
+    "AccessOutcome",
+    "CoherenceProtocol",
+    "CommutativeOp",
+    "DeltaBuffer",
+    "Directory",
+    "DirectoryEntry",
+    "LineMode",
+    "MesiProtocol",
+    "MeusiProtocol",
+    "NonExclusiveType",
+    "OperationSpec",
+    "ReductionUnit",
+    "RequestType",
+    "RmoProtocol",
+    "SetDeltaBuffer",
+    "SetInsertOp",
+    "StableState",
+    "commutes_with",
+    "hierarchical_reduction_ops",
+    "reduce_partial_updates",
+    "reduce_set_deltas",
+    "reduce_with_overflow",
+]

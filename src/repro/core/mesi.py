@@ -1,0 +1,385 @@
+"""Baseline MESI directory protocol engine for the timing simulator.
+
+This engine resolves each access against stable MESI states, computing the
+critical-path latency of the coherence transaction it triggers (private hit,
+chip-local L3 access, off-chip L4/global-directory access, invalidations and
+downgrades of remote sharers, main-memory fills) and recording the traffic it
+generates.  Commutative-update accesses are treated exactly like conventional
+atomic read-modify-writes — which is precisely how the paper's baseline
+benchmark implementations behave — so a single workload trace can be run under
+MESI and MEUSI and compared directly.
+
+Contention is modelled with per-line serialization at the directory: a
+transaction that transfers ownership or invalidates sharers occupies the
+line's home until it completes, so concurrent atomics to a hot line queue up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.core.commutative import CommutativeOp
+from repro.core.protocol import AccessOutcome, CoherenceProtocol
+from repro.core.states import LineMode, StableState
+from repro.interconnect.messages import LinkScope, MessageType
+from repro.sim.access import AccessType, MemoryAccess
+from repro.sim.config import SystemConfig
+from repro.sim.stats import LatencyBreakdown
+
+
+@dataclass
+class TransactionCost:
+    """Latency components of one directory transaction."""
+
+    breakdown: LatencyBreakdown
+    #: Cycles the line's home stays busy after the request reaches it.
+    home_occupancy: float
+    invalidations: int = 0
+
+
+class MesiProtocol(CoherenceProtocol):
+    """Full-map directory MESI with the Table 1 four-level hierarchy."""
+
+    name = "MESI"
+
+    #: Per-sharer serialization when the home must invalidate several caches.
+    PER_SHARER_INVAL_CYCLES = 2.0
+    #: Directory bookkeeping occupancy for transactions with no remote action.
+    LIGHT_OCCUPANCY = 2.0
+
+    def __init__(self, config: SystemConfig, track_values: bool = True) -> None:
+        super().__init__(config, track_values=track_values)
+        #: Per-core stable state of each line resident in that core's caches.
+        self.core_states: List[Dict[int, StableState]] = [
+            {} for _ in range(config.n_cores)
+        ]
+
+    # ------------------------------------------------------------------ helpers
+
+    def core_state(self, core_id: int, line_addr: int) -> StableState:
+        return self.core_states[core_id].get(line_addr, StableState.INVALID)
+
+    def _set_state(self, core_id: int, line_addr: int, state: StableState) -> None:
+        if state is StableState.INVALID:
+            self.core_states[core_id].pop(line_addr, None)
+        else:
+            self.core_states[core_id][line_addr] = state
+
+    def _private_hit_latency(self, level: str) -> LatencyBreakdown:
+        if level == "L1":
+            return LatencyBreakdown(l1=self.config.l1d.latency)
+        return LatencyBreakdown(l1=self.config.l1d.latency, l2=self.config.l2.latency)
+
+    def _chip(self, core_id: int) -> int:
+        return self.config.chip_of_core(core_id)
+
+    # -------------------------------------------------------- eviction handling
+
+    def _handle_private_eviction(self, core_id: int, line_addr: int) -> None:
+        """A line fell out of a core's private caches (capacity eviction)."""
+        state = self.core_state(core_id, line_addr)
+        if state is StableState.INVALID:
+            return
+        chip = self._chip(core_id)
+        if state is StableState.MODIFIED:
+            # Dirty writeback to the chip's L3 (on-chip data message).
+            self.interconnect.record_one(MessageType.DATA_WRITEBACK, LinkScope.ON_CHIP)
+        else:
+            # No silent drops: notify the directory with a control message.
+            self.interconnect.record_one(MessageType.PUT_LINE, LinkScope.ON_CHIP)
+        self._set_state(core_id, line_addr, StableState.INVALID)
+        self.directory.remove_sharer(line_addr, core_id)
+        self.directory.drop_if_uncached(line_addr)
+        # Keep the line resident in the chip's L3 (inclusive hierarchy).
+        self.hierarchy.l3_fill(chip, line_addr)
+
+    def _fill_private(self, core_id: int, line_addr: int) -> None:
+        """Install a line in the core's private caches, handling victims."""
+        for notice in self.hierarchy.private_fill(core_id, line_addr):
+            self._handle_private_eviction(notice.core_id, notice.line_addr)
+
+    # ----------------------------------------------------- shared-level lookups
+
+    def _ensure_shared_levels(self, requester_chip: int, line_addr: int, breakdown: LatencyBreakdown) -> None:
+        """Charge L3/L4/memory latency for locating the line's data.
+
+        The requester always consults its chip's L3 (and directory slice).  If
+        the line is not on-chip it travels to the home L4 chip; if the L4 also
+        misses, main memory supplies the data.  Fill the touched levels so
+        subsequent accesses from this chip hit closer to the core.
+        """
+        breakdown.l3 += self.interconnect.onchip_hop_latency() + self.config.l3.latency
+        if self.hierarchy.l3_lookup(requester_chip, line_addr):
+            return
+        # Off-chip to the home L4 chip.
+        home_l4 = self.home_l4_chip(line_addr)
+        breakdown.offchip_network += self.interconnect.offchip_round_trip()
+        breakdown.l4 += self.config.l4.latency
+        self.interconnect.record_one(MessageType.GET_SHARED, LinkScope.OFF_CHIP)
+        self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.OFF_CHIP)
+        if not self.hierarchy.l4_lookup(home_l4, line_addr):
+            timing = self.hierarchy.memory.access(
+                home_l4, self.current_time, self.config.line_bytes
+            )
+            breakdown.main_memory += timing.latency
+            self.hierarchy.l4_fill(home_l4, line_addr)
+        self.hierarchy.l3_fill(requester_chip, line_addr)
+
+    # ------------------------------------------------- sharer invalidation cost
+
+    def _invalidate_sharers(
+        self,
+        requester: int,
+        line_addr: int,
+        sharers: Set[int],
+        breakdown: LatencyBreakdown,
+        *,
+        downgrade_to: Optional[StableState] = None,
+        data_returned: bool = False,
+    ) -> int:
+        """Invalidate (or downgrade) every sharer except the requester.
+
+        Returns the number of caches acted upon and charges the critical-path
+        delay: the global directory sends invalidations to every chip with
+        sharers in parallel, each chip invalidates its local caches through
+        its L3, and acks flow back.  Cross-chip invalidations therefore cost
+        an off-chip round trip plus a small per-sharer serialization term;
+        chip-local ones cost an on-chip round trip.
+        """
+        victims = sorted(sharers - {requester})
+        if not victims:
+            return 0
+        requester_chip = self._chip(requester)
+        victim_chips = {self._chip(core) for core in victims}
+        offchip_chips = {chip for chip in victim_chips if chip != requester_chip}
+
+        inval_latency = 0.0
+        if offchip_chips:
+            inval_latency += self.interconnect.offchip_round_trip()
+            inval_latency += self.interconnect.onchip_hop_latency() * 2
+        else:
+            inval_latency += self.interconnect.onchip_hop_latency() * 2
+        inval_latency += self.config.l2.latency
+        inval_latency += self.PER_SHARER_INVAL_CYCLES * (len(victims) - 1)
+        breakdown.l4_invalidations += inval_latency
+
+        for core in victims:
+            state = self.core_state(core, line_addr)
+            scope = (
+                LinkScope.OFF_CHIP
+                if self._chip(core) != requester_chip
+                else LinkScope.ON_CHIP
+            )
+            self.interconnect.record_one(MessageType.INVALIDATE, scope)
+            if state is StableState.MODIFIED or data_returned:
+                self.interconnect.record_one(MessageType.DATA_WRITEBACK, scope)
+            else:
+                self.interconnect.record_one(MessageType.ACK, scope)
+            if downgrade_to is None:
+                self.hierarchy.private_invalidate(core, line_addr)
+                self._set_state(core, line_addr, StableState.INVALID)
+                self.directory.remove_sharer(line_addr, core)
+                self.stat_invalidations += 1
+            else:
+                self._set_state(core, line_addr, downgrade_to)
+                self.stat_downgrades += 1
+        return len(victims)
+
+    # ------------------------------------------------------------- transactions
+
+    def _serialize_at_home(
+        self, line_addr: int, now: float, breakdown: LatencyBreakdown, occupancy: float
+    ) -> None:
+        """Queue behind any in-flight transaction for this line."""
+        entry = self.directory.entry(line_addr)
+        start = max(now, entry.busy_until)
+        wait = start - now
+        if wait > 0:
+            breakdown.serialization += wait
+        entry.busy_until = start + occupancy
+
+    def _read_transaction(
+        self, core_id: int, line_addr: int, now: float
+    ) -> AccessOutcome:
+        """GetS: obtain read permission (S, or E if unshared)."""
+        outcome = AccessOutcome()
+        breakdown = outcome.latency
+        breakdown.l1 += self.config.l1d.latency
+        breakdown.l2 += self.config.l2.latency
+        chip = self._chip(core_id)
+        entry = self.directory.entry(line_addr)
+        self.interconnect.record_one(MessageType.GET_SHARED, LinkScope.ON_CHIP)
+
+        if entry.mode is LineMode.EXCLUSIVE:
+            owner = entry.exclusive_owner()
+            occupancy = self._downgrade_owner_for_read(
+                core_id, owner, line_addr, breakdown
+            )
+            self._serialize_at_home(line_addr, now, breakdown, occupancy)
+            self.directory.clear_all_sharers(line_addr)
+            self.directory.grant_shared(line_addr, owner)
+            self._set_state(owner, line_addr, StableState.SHARED)
+            entry = self.directory.grant_shared(line_addr, core_id)
+            outcome.invalidations += 1
+        else:
+            self._ensure_shared_levels(chip, line_addr, breakdown)
+            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY)
+            if entry.mode is LineMode.UNCACHED:
+                # Unshared: grant Exclusive (the E optimisation of MESI).
+                self.directory.grant_exclusive(line_addr, core_id)
+                self._set_state(core_id, line_addr, StableState.EXCLUSIVE)
+                self._fill_private(core_id, line_addr)
+                self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
+                outcome.value = self._load_value(line_addr)
+                return outcome
+            self.directory.grant_shared(line_addr, core_id)
+
+        self._set_state(core_id, line_addr, StableState.SHARED)
+        self._fill_private(core_id, line_addr)
+        self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
+        outcome.value = self._load_value(line_addr)
+        return outcome
+
+    def _downgrade_owner_for_read(
+        self, requester: int, owner: int, line_addr: int, breakdown: LatencyBreakdown
+    ) -> float:
+        """Fetch data from the current exclusive owner, downgrading it to S."""
+        requester_chip = self._chip(requester)
+        owner_chip = self._chip(owner)
+        breakdown.l3 += self.interconnect.onchip_hop_latency() + self.config.l3.latency
+        latency = self.config.l2.latency + 2 * self.interconnect.onchip_hop_latency()
+        if owner_chip != requester_chip:
+            latency += self.interconnect.offchip_round_trip()
+            breakdown.offchip_network += self.interconnect.offchip_round_trip()
+            breakdown.l4 += self.config.l4.latency
+            scope = LinkScope.OFF_CHIP
+        else:
+            scope = LinkScope.ON_CHIP
+        breakdown.l4_invalidations += latency
+        self.interconnect.record_one(MessageType.DOWNGRADE, scope)
+        self.interconnect.record_one(MessageType.DATA_WRITEBACK, scope)
+        self.stat_downgrades += 1
+        self.hierarchy.l3_fill(requester_chip, line_addr)
+        return latency
+
+    def _write_transaction(
+        self,
+        core_id: int,
+        line_addr: int,
+        now: float,
+        *,
+        needs_data: bool,
+    ) -> AccessOutcome:
+        """GetX/Upgrade: obtain exclusive (M) permission."""
+        outcome = AccessOutcome()
+        breakdown = outcome.latency
+        breakdown.l1 += self.config.l1d.latency
+        breakdown.l2 += self.config.l2.latency
+        chip = self._chip(core_id)
+        entry = self.directory.entry(line_addr)
+        self.interconnect.record_one(MessageType.GET_EXCLUSIVE, LinkScope.ON_CHIP)
+
+        sharers = set(entry.sharers)
+        occupancy = self.LIGHT_OCCUPANCY
+
+        if entry.mode is LineMode.EXCLUSIVE and entry.exclusive_owner() != core_id:
+            owner = entry.exclusive_owner()
+            occupancy = self._downgrade_owner_for_read(core_id, owner, line_addr, breakdown)
+            self.hierarchy.private_invalidate(owner, line_addr)
+            self._set_state(owner, line_addr, StableState.INVALID)
+            self.stat_invalidations += 1
+            outcome.invalidations += 1
+        elif entry.mode in (LineMode.READ_ONLY, LineMode.UPDATE_ONLY) and sharers - {core_id}:
+            self._ensure_shared_levels(chip, line_addr, breakdown)
+            count = self._invalidate_sharers(core_id, line_addr, sharers, breakdown)
+            outcome.invalidations += count
+            occupancy = breakdown.l4_invalidations + self.LIGHT_OCCUPANCY
+        else:
+            if needs_data and self.core_state(core_id, line_addr) is StableState.INVALID:
+                self._ensure_shared_levels(chip, line_addr, breakdown)
+            occupancy = max(self.LIGHT_OCCUPANCY, breakdown.offchip_network + breakdown.l4)
+
+        self._serialize_at_home(line_addr, now, breakdown, occupancy)
+        self.directory.clear_all_sharers(line_addr)
+        self.directory.grant_exclusive(line_addr, core_id)
+        self._set_state(core_id, line_addr, StableState.MODIFIED)
+        self._fill_private(core_id, line_addr)
+        self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
+        return outcome
+
+    # ------------------------------------------------------------ value helpers
+
+    def _load_value(self, line_addr: int):
+        if not self.track_values:
+            return None
+        return None  # Line-level loads have word granularity handled by callers.
+
+    def _functional_load(self, access: MemoryAccess):
+        if not self.track_values:
+            return None
+        return self.memory_image.get(access.address, 0)
+
+    def _functional_store(self, access: MemoryAccess) -> None:
+        if self.track_values and access.value is not None:
+            self.memory_image[access.address] = access.value
+
+    def _functional_update(self, access: MemoryAccess) -> None:
+        if not self.track_values or access.op is None or access.value is None:
+            return
+        current = self.memory_image.get(access.address, access.op.identity)
+        self.memory_image[access.address] = access.op.apply(current, access.value)
+
+    # --------------------------------------------------------------- main entry
+
+    def access(self, core_id: int, access: MemoryAccess, now: float) -> AccessOutcome:
+        self.current_time = now
+        line_addr = self.line_addr(access.address)
+        access_type = access.access_type
+        # MESI has no update-only support: commutative and remote updates are
+        # executed as conventional atomic read-modify-writes.
+        if access_type in (AccessType.COMMUTATIVE_UPDATE, AccessType.REMOTE_UPDATE):
+            access_type = AccessType.ATOMIC_RMW
+
+        state = self.core_state(core_id, line_addr)
+        lookup = self.hierarchy.private_lookup(core_id, line_addr)
+        present = lookup.is_hit and state is not StableState.INVALID
+
+        if access_type is AccessType.LOAD:
+            if present and state.can_read:
+                outcome = AccessOutcome(private_hit=True)
+                outcome.latency = self._private_hit_latency(lookup.level)
+                outcome.value = self._functional_load(access)
+                return outcome
+            outcome = self._read_transaction(core_id, line_addr, now)
+            outcome.value = self._functional_load(access)
+            return outcome
+
+        if access_type is AccessType.STORE:
+            if present and state.can_write:
+                outcome = AccessOutcome(private_hit=True)
+                outcome.latency = self._private_hit_latency(lookup.level)
+                self._set_state(core_id, line_addr, StableState.MODIFIED)
+                self._functional_store(access)
+                return outcome
+            outcome = self._write_transaction(
+                core_id, line_addr, now, needs_data=state is StableState.INVALID
+            )
+            self._functional_store(access)
+            return outcome
+
+        # Atomic read-modify-write: requires M just like a store, plus the
+        # core-side atomic sequence overhead charged by the core model.
+        if present and state.can_write:
+            outcome = AccessOutcome(private_hit=True)
+            outcome.latency = self._private_hit_latency(lookup.level)
+            self._set_state(core_id, line_addr, StableState.MODIFIED)
+            self._functional_update(access)
+            outcome.value = self._functional_load(access)
+            return outcome
+        outcome = self._write_transaction(
+            core_id, line_addr, now, needs_data=state is StableState.INVALID
+        )
+        self._functional_update(access)
+        outcome.value = self._functional_load(access)
+        return outcome

@@ -1,0 +1,380 @@
+"""MEUSI: the COUP-extended MESI protocol engine.
+
+MEUSI adds the update-only (U) state to MESI (Fig. 6): multiple private caches
+may simultaneously hold a line in U and satisfy commutative updates of the
+line's current operation type locally, buffering deltas relative to the
+identity element.  Reads, writes, evictions, and updates of a *different*
+commutative type trigger reductions that fold the buffered deltas into the
+authoritative copy at the shared cache:
+
+* an L2 capacity eviction of a U line sends its partial update to the chip's
+  L3 bank — a *partial reduction*, off the critical path;
+* a read or write request to a line in update-only mode triggers a *full
+  reduction*: every updater is invalidated, partial updates are gathered
+  hierarchically (per-chip L3 reduction, then L4), and the reduction unit
+  folds them before data is returned.
+
+Just as MESI grants E to a read of an unshared line, MEUSI grants M to an
+update of an unshared line, so interleaved reads and updates to private data
+cost the same as under MESI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.commutative import CommutativeOp, DeltaBuffer
+from repro.core.mesi import MesiProtocol
+from repro.core.protocol import AccessOutcome
+from repro.core.states import LineMode, StableState
+from repro.interconnect.messages import LinkScope, MessageType
+from repro.sim.access import AccessType, MemoryAccess
+from repro.sim.config import SystemConfig
+from repro.sim.stats import LatencyBreakdown
+
+
+class MeusiProtocol(MesiProtocol):
+    """COUP: MESI extended with update-only permission and reductions."""
+
+    name = "COUP"
+
+    def __init__(self, config: SystemConfig, track_values: bool = True) -> None:
+        super().__init__(config, track_values=track_values)
+        #: Per-core delta buffers for lines held in U: (core, line) -> buffer.
+        self.delta_buffers: Dict[Tuple[int, int], DeltaBuffer] = {}
+        #: Commutative updates satisfied locally without any protocol action.
+        self.stat_local_updates = 0
+        #: Update-only permission grants (GetU transactions).
+        self.stat_update_grants = 0
+
+    # ----------------------------------------------------------- delta handling
+
+    def _buffer_for(self, core_id: int, line_addr: int, op: CommutativeOp) -> DeltaBuffer:
+        key = (core_id, line_addr)
+        buffer = self.delta_buffers.get(key)
+        if buffer is None or buffer.op is not op:
+            buffer = DeltaBuffer(op)
+            self.delta_buffers[key] = buffer
+        return buffer
+
+    def _apply_local_update(self, core_id: int, access: MemoryAccess) -> None:
+        """Buffer a commutative update in the core's U-state line."""
+        line_addr = self.line_addr(access.address)
+        if self.track_values and access.value is not None:
+            buffer = self._buffer_for(core_id, line_addr, access.op)
+            buffer.update(access.address, access.value)
+
+    def _commit_buffer(self, core_id: int, line_addr: int) -> int:
+        """Fold one core's delta buffer into the memory image.
+
+        Returns 1 if a (possibly empty) partial update was present, so callers
+        can count the number of partial updates gathered by a reduction.
+        """
+        key = (core_id, line_addr)
+        buffer = self.delta_buffers.pop(key, None)
+        if buffer is None:
+            return 1
+        if self.track_values:
+            for word_addr in buffer.touched_offsets():
+                current = self.memory_image.get(word_addr, buffer.op.identity)
+                self.memory_image[word_addr] = buffer.op.apply(
+                    current, buffer.delta(word_addr)
+                )
+        return 1
+
+    # ------------------------------------------------------- eviction handling
+
+    def _handle_private_eviction(self, core_id: int, line_addr: int) -> None:
+        state = self.core_state(core_id, line_addr)
+        if state is StableState.UPDATE:
+            # Partial reduction: ship the delta to the chip's L3 reduction unit.
+            chip = self._chip(core_id)
+            self.interconnect.record_one(MessageType.PUT_PARTIAL, LinkScope.ON_CHIP)
+            unit = self.reduction_unit_for_l3(chip, line_addr)
+            unit.schedule(self.current_time, 1)
+            self._commit_buffer(core_id, line_addr)
+            self._set_state(core_id, line_addr, StableState.INVALID)
+            self.directory.remove_sharer(line_addr, core_id)
+            self.directory.drop_if_uncached(line_addr)
+            self.hierarchy.l3_fill(chip, line_addr)
+            self.stat_partial_reductions += 1
+            return
+        super()._handle_private_eviction(core_id, line_addr)
+
+    # ---------------------------------------------------------- full reductions
+
+    def _full_reduction(
+        self,
+        requester: int,
+        line_addr: int,
+        breakdown: LatencyBreakdown,
+        *,
+        keep_requester: bool = False,
+    ) -> Tuple[int, float]:
+        """Reduce all update-only copies of a line into the shared cache.
+
+        Returns ``(n_partials, critical_path_latency)``.  The reduction is
+        hierarchical: each chip with updaters invalidates them and folds their
+        partial updates at its L3 bank's reduction unit; the home L4 bank then
+        folds the per-chip results.  The critical path is therefore the
+        slowest chip-local gather plus the cross-chip gather, mirroring the
+        8 + 16 = 24 example of Sec. 3.2.
+        """
+        entry = self.directory.entry(line_addr)
+        updaters = set(entry.sharers)
+        if keep_requester:
+            updaters.discard(requester)
+        if not updaters and entry.mode is not LineMode.UPDATE_ONLY:
+            return 0, 0.0
+
+        requester_chip = self._chip(requester)
+        chips: Dict[int, List[int]] = {}
+        for core in sorted(updaters):
+            chips.setdefault(self._chip(core), []).append(core)
+
+        critical_path = 0.0
+        total_partials = 0
+        for chip, cores in chips.items():
+            # Invalidation fan-out within the chip plus local gather.
+            local_latency = (
+                2 * self.interconnect.onchip_hop_latency()
+                + self.config.l2.latency
+                + self.PER_SHARER_INVAL_CYCLES * max(0, len(cores) - 1)
+            )
+            unit = self.reduction_unit_for_l3(chip, line_addr)
+            timing = unit.schedule(self.current_time, len(cores))
+            local_latency += timing.latency
+            scope = LinkScope.OFF_CHIP if chip != requester_chip else LinkScope.ON_CHIP
+            for core in cores:
+                self.interconnect.record_one(MessageType.REDUCE_REQUEST, scope if chip != requester_chip else LinkScope.ON_CHIP)
+                self.interconnect.record_one(MessageType.PARTIAL_UPDATE, LinkScope.ON_CHIP)
+                self._commit_buffer(core, line_addr)
+                self.hierarchy.private_invalidate(core, line_addr)
+                self._set_state(core, line_addr, StableState.INVALID)
+                total_partials += 1
+            if chip != requester_chip:
+                # The chip's single aggregated partial update crosses off-chip.
+                self.interconnect.record_one(MessageType.PARTIAL_UPDATE, LinkScope.OFF_CHIP)
+                local_latency += self.interconnect.offchip_round_trip()
+            critical_path = max(critical_path, local_latency)
+
+        if len(chips) > 1 or (chips and requester_chip not in chips):
+            # Cross-chip gather at the home L4 bank's reduction unit.
+            l4_unit = self.reduction_unit_for_l4(line_addr)
+            timing = l4_unit.schedule(self.current_time, max(1, len(chips)))
+            critical_path += timing.latency + self.config.l4.latency
+
+        breakdown.l4_invalidations += critical_path
+        self.directory.clear_all_sharers(line_addr)
+        self.stat_full_reductions += 1
+        self.stat_invalidations += total_partials
+        return total_partials, critical_path
+
+    # --------------------------------------------------------- GetU transaction
+
+    def _update_transaction(
+        self, core_id: int, line_addr: int, op: CommutativeOp, now: float
+    ) -> AccessOutcome:
+        """Obtain update-only (or exclusive, if unshared) permission."""
+        outcome = AccessOutcome()
+        breakdown = outcome.latency
+        breakdown.l1 += self.config.l1d.latency
+        breakdown.l2 += self.config.l2.latency
+        chip = self._chip(core_id)
+        entry = self.directory.entry(line_addr)
+        self.interconnect.record_one(MessageType.GET_UPDATE, LinkScope.ON_CHIP)
+        self.stat_update_grants += 1
+
+        if entry.mode is LineMode.UNCACHED:
+            # Unshared: grant M directly (the E-like optimisation of Fig. 6).
+            self._ensure_shared_levels(chip, line_addr, breakdown)
+            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY)
+            self.directory.grant_exclusive(line_addr, core_id)
+            self._set_state(core_id, line_addr, StableState.MODIFIED)
+            self._fill_private(core_id, line_addr)
+            self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
+            return outcome
+
+        if entry.mode is LineMode.EXCLUSIVE:
+            owner = entry.exclusive_owner()
+            if owner == core_id:
+                # Our own copy: commutative updates proceed in M locally.
+                self._set_state(core_id, line_addr, StableState.MODIFIED)
+                return outcome
+            # Downgrade the owner from M to U; both caches become updaters.
+            owner_chip = self._chip(owner)
+            scope = LinkScope.OFF_CHIP if owner_chip != chip else LinkScope.ON_CHIP
+            latency = self.config.l2.latency + 2 * self.interconnect.onchip_hop_latency()
+            if owner_chip != chip:
+                latency += self.interconnect.offchip_round_trip()
+                breakdown.offchip_network += self.interconnect.offchip_round_trip()
+                breakdown.l4 += self.config.l4.latency
+            breakdown.l4_invalidations += latency
+            self.interconnect.record_one(MessageType.DOWNGRADE, scope)
+            self.interconnect.record_one(MessageType.DATA_WRITEBACK, scope)
+            self._serialize_at_home(line_addr, now, breakdown, latency)
+            self.stat_downgrades += 1
+            # The owner's data is written back to the shared cache; the owner
+            # keeps an update-only copy initialised to the identity element.
+            self.hierarchy.l3_fill(owner_chip, line_addr)
+            self.directory.clear_all_sharers(line_addr)
+            self.directory.grant_update_only(line_addr, owner, op)
+            self.directory.grant_update_only(line_addr, core_id, op)
+            self._set_state(owner, line_addr, StableState.UPDATE)
+            self._set_state(core_id, line_addr, StableState.UPDATE)
+            self._buffer_for(owner, line_addr, op)
+            self._fill_private(core_id, line_addr)
+            self.interconnect.record_one(MessageType.GRANT_NO_DATA, LinkScope.ON_CHIP)
+            return outcome
+
+        if entry.mode is LineMode.READ_ONLY:
+            # Invalidate all read-only copies, then grant update-only.
+            self._ensure_shared_levels(chip, line_addr, breakdown)
+            count = self._invalidate_sharers(core_id, line_addr, set(entry.sharers), breakdown)
+            outcome.invalidations += count
+            occupancy = breakdown.l4_invalidations + self.LIGHT_OCCUPANCY
+            self._serialize_at_home(line_addr, now, breakdown, occupancy)
+            self.directory.clear_all_sharers(line_addr)
+            self.directory.grant_update_only(line_addr, core_id, op)
+            self._set_state(core_id, line_addr, StableState.UPDATE)
+            self._fill_private(core_id, line_addr)
+            self.interconnect.record_one(MessageType.GRANT_NO_DATA, LinkScope.ON_CHIP)
+            return outcome
+
+        # entry.mode is UPDATE_ONLY
+        if entry.op is not op:
+            # Updates of different commutative types do not commute: perform a
+            # full reduction (type switch through the NN transient in Fig. 7b).
+            partials, latency = self._full_reduction(core_id, line_addr, breakdown)
+            outcome.invalidations += partials
+            outcome.full_reduction = True
+            self._serialize_at_home(line_addr, now, breakdown, latency + self.LIGHT_OCCUPANCY)
+        else:
+            self._ensure_shared_levels(chip, line_addr, breakdown)
+            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY)
+        self.directory.grant_update_only(line_addr, core_id, op)
+        self._set_state(core_id, line_addr, StableState.UPDATE)
+        self._fill_private(core_id, line_addr)
+        self.interconnect.record_one(MessageType.GRANT_NO_DATA, LinkScope.ON_CHIP)
+        return outcome
+
+    # ------------------------------------------------------------- main entry
+
+    def access(self, core_id: int, access: MemoryAccess, now: float) -> AccessOutcome:
+        self.current_time = now
+        line_addr = self.line_addr(access.address)
+        access_type = access.access_type
+        if access_type is AccessType.REMOTE_UPDATE:
+            # A COUP machine executes remote updates as commutative updates.
+            access_type = AccessType.COMMUTATIVE_UPDATE
+
+        state = self.core_state(core_id, line_addr)
+        entry = self.directory.peek(line_addr)
+        line_in_update_mode = entry is not None and entry.mode is LineMode.UPDATE_ONLY
+
+        if access_type is AccessType.COMMUTATIVE_UPDATE:
+            lookup = self.hierarchy.private_lookup(core_id, line_addr)
+            present = lookup.is_hit and state is not StableState.INVALID
+            line_op = entry.op if entry is not None else None
+            if present and state.can_update(access.op, line_op):
+                outcome = AccessOutcome(private_hit=True)
+                outcome.latency = self._private_hit_latency(lookup.level)
+                if state in (StableState.EXCLUSIVE, StableState.MODIFIED):
+                    self._set_state(core_id, line_addr, StableState.MODIFIED)
+                    self._functional_update(access)
+                else:
+                    self._apply_local_update(core_id, access)
+                self.stat_local_updates += 1
+                return outcome
+            outcome = self._update_transaction(core_id, line_addr, access.op, now)
+            new_state = self.core_state(core_id, line_addr)
+            if new_state in (StableState.EXCLUSIVE, StableState.MODIFIED):
+                self._functional_update(access)
+            else:
+                self._apply_local_update(core_id, access)
+            return outcome
+
+        if access_type is AccessType.LOAD and line_in_update_mode:
+            # Reads of a line in update-only mode trigger a full reduction.
+            outcome = AccessOutcome()
+            breakdown = outcome.latency
+            breakdown.l1 += self.config.l1d.latency
+            breakdown.l2 += self.config.l2.latency
+            self.interconnect.record_one(MessageType.GET_SHARED, LinkScope.ON_CHIP)
+            chip = self._chip(core_id)
+            self._ensure_shared_levels(chip, line_addr, breakdown)
+            partials, latency = self._full_reduction(core_id, line_addr, breakdown)
+            outcome.invalidations += partials
+            outcome.full_reduction = True
+            self._serialize_at_home(line_addr, now, breakdown, latency + self.LIGHT_OCCUPANCY)
+            self.directory.grant_shared(line_addr, core_id)
+            self._set_state(core_id, line_addr, StableState.SHARED)
+            self._fill_private(core_id, line_addr)
+            self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
+            outcome.value = self._functional_load(access)
+            return outcome
+
+        if access_type in (AccessType.STORE, AccessType.ATOMIC_RMW) and line_in_update_mode:
+            # Writes need M: reduce first, then take exclusive ownership.
+            outcome = AccessOutcome()
+            breakdown = outcome.latency
+            breakdown.l1 += self.config.l1d.latency
+            breakdown.l2 += self.config.l2.latency
+            self.interconnect.record_one(MessageType.GET_EXCLUSIVE, LinkScope.ON_CHIP)
+            chip = self._chip(core_id)
+            self._ensure_shared_levels(chip, line_addr, breakdown)
+            partials, latency = self._full_reduction(core_id, line_addr, breakdown)
+            outcome.invalidations += partials
+            outcome.full_reduction = True
+            self._serialize_at_home(line_addr, now, breakdown, latency + self.LIGHT_OCCUPANCY)
+            self.directory.clear_all_sharers(line_addr)
+            self.directory.grant_exclusive(line_addr, core_id)
+            self._set_state(core_id, line_addr, StableState.MODIFIED)
+            self._fill_private(core_id, line_addr)
+            self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
+            if access_type is AccessType.STORE:
+                self._functional_store(access)
+            else:
+                self._functional_update(access)
+                outcome.value = self._functional_load(access)
+            return outcome
+
+        # A core's own U-state line cannot satisfy loads/stores; drop to I
+        # first so the base-class transaction logic treats it as a miss.
+        if state is StableState.UPDATE and access_type in (
+            AccessType.LOAD,
+            AccessType.STORE,
+            AccessType.ATOMIC_RMW,
+        ):
+            # This can only happen if the directory entry lost update mode,
+            # which the full-reduction paths above prevent; keep as safety net.
+            self._commit_buffer(core_id, line_addr)
+            self._set_state(core_id, line_addr, StableState.INVALID)
+            self.directory.remove_sharer(line_addr, core_id)
+
+        return super().access(core_id, access, now)
+
+    # ---------------------------------------------------------------- finalize
+
+    def finalize(self) -> None:
+        """Fold every outstanding delta buffer into the memory image.
+
+        At the end of a run some lines may still be in update-only mode; their
+        buffered deltas have not yet been observed by any reader.  Committing
+        them here makes the functional memory image equal to what a reader
+        would see after a full reduction, which is what result-checking tests
+        compare against.
+        """
+        for (core_id, line_addr) in list(self.delta_buffers.keys()):
+            self._commit_buffer(core_id, line_addr)
+
+    # -------------------------------------------------------------- statistics
+
+    def reduction_statistics(self) -> dict:
+        """Reduction-related counters used by experiments and tests."""
+        return {
+            "local_updates": self.stat_local_updates,
+            "update_grants": self.stat_update_grants,
+            "full_reductions": self.stat_full_reductions,
+            "partial_reductions": self.stat_partial_reductions,
+        }

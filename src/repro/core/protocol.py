@@ -1,0 +1,134 @@
+"""Abstract coherence protocol interface used by the timing simulator.
+
+A protocol engine owns all coherence state for one simulation run: per-core
+private line states, directory entries, reduction units, and the functional
+memory image used to check results.  The simulator hands it one access at a
+time (in global-time order) and receives an :class:`AccessOutcome` describing
+the critical-path latency (broken down by level), the traffic generated, and
+the coherence actions taken.
+
+Protocol engines resolve each access atomically against *stable* states; the
+transient-state machinery needed for correctness on an unordered network is
+modelled and verified separately in :mod:`repro.verification`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.commutative import CommutativeOp
+from repro.core.directory import Directory
+from repro.core.reduction import ReductionUnit
+from repro.hierarchy.system import CacheHierarchy
+from repro.interconnect.network import InterconnectModel
+from repro.sim.access import MemoryAccess
+from repro.sim.config import SystemConfig
+from repro.sim.stats import LatencyBreakdown
+
+
+@dataclass
+class AccessOutcome:
+    """Result of resolving one memory access against the protocol."""
+
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+    #: Value returned to the core (loads and atomics only; None otherwise).
+    value: object = None
+    #: Whether the access hit in the private hierarchy without protocol action.
+    private_hit: bool = False
+    #: Number of sharers invalidated or downgraded on the critical path.
+    invalidations: int = 0
+    #: Whether a full reduction was performed to satisfy this access.
+    full_reduction: bool = False
+
+    @property
+    def total_latency(self) -> float:
+        return self.latency.total
+
+
+class CoherenceProtocol(abc.ABC):
+    """Base class for the stable-state protocol engines (MESI, MEUSI, RMO)."""
+
+    #: Human-readable protocol name used in results and experiment tables.
+    name: str = "abstract"
+
+    def __init__(self, config: SystemConfig, track_values: bool = True) -> None:
+        self.config = config
+        self.track_values = track_values
+        self.hierarchy = CacheHierarchy(config)
+        self.directory = Directory()
+        self.interconnect: InterconnectModel = self.hierarchy.interconnect
+        #: One reduction unit per L3 bank per chip plus one per L4 bank.
+        self.l3_reduction_units = {
+            (chip, bank): ReductionUnit(config.reduction_unit, name=f"rdu.l3.{chip}.{bank}")
+            for chip in range(config.n_chips)
+            for bank in range(config.l3.banks)
+        }
+        self.l4_reduction_units = {
+            (chip, bank): ReductionUnit(config.reduction_unit, name=f"rdu.l4.{chip}.{bank}")
+            for chip in range(config.n_l4_chips)
+            for bank in range(config.l4.banks)
+        }
+        #: Functional memory image: word address -> value.
+        self.memory_image: Dict[int, object] = {}
+        #: Simulator time of the access currently being resolved; protocol
+        #: engines set this at the top of :meth:`access` so internal helpers
+        #: (evictions, reductions) can schedule shared resources correctly.
+        self.current_time: float = 0.0
+        # Aggregate statistics (also mirrored in SimulationResult).
+        self.stat_invalidations = 0
+        self.stat_downgrades = 0
+        self.stat_full_reductions = 0
+        self.stat_partial_reductions = 0
+
+    # -- functional memory image ----------------------------------------------
+
+    def read_word(self, address: int):
+        """Current architectural value of a word (after any pending reduction).
+
+        Note: callers must have triggered the protocol-level reduction first;
+        this only consults the committed memory image.
+        """
+        return self.memory_image.get(address, 0)
+
+    def _write_word(self, address: int, value) -> None:
+        if self.track_values and value is not None:
+            self.memory_image[address] = value
+
+    def _apply_update(self, address: int, op: CommutativeOp, value) -> None:
+        if not self.track_values or value is None:
+            return
+        current = self.memory_image.get(address, op.identity if address not in self.memory_image else 0)
+        if address not in self.memory_image:
+            current = 0 if op.identity == 0 or isinstance(op.identity, float) else op.identity
+        self.memory_image[address] = op.apply(current, value)
+
+    # -- protocol interface ----------------------------------------------------
+
+    @abc.abstractmethod
+    def access(self, core_id: int, access: MemoryAccess, now: float) -> AccessOutcome:
+        """Resolve one access issued by ``core_id`` at simulator time ``now``."""
+
+    def finalize(self) -> None:
+        """Flush protocol state at the end of a run.
+
+        MEUSI overrides this to reduce any outstanding update-only lines so
+        that the functional memory image reflects all buffered deltas.
+        """
+
+    # -- shared latency helpers -------------------------------------------------
+
+    def line_addr(self, byte_addr: int) -> int:
+        return self.config.line_address(byte_addr)
+
+    def home_l4_chip(self, line_addr: int) -> int:
+        return self.config.l4_home_chip(line_addr)
+
+    def reduction_unit_for_l3(self, chip: int, line_addr: int) -> ReductionUnit:
+        return self.l3_reduction_units[(chip, self.config.l3_home_bank(line_addr))]
+
+    def reduction_unit_for_l4(self, line_addr: int) -> ReductionUnit:
+        chip = self.home_l4_chip(line_addr)
+        bank = line_addr % self.config.l4.banks
+        return self.l4_reduction_units[(chip, bank)]

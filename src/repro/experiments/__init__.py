@@ -1,0 +1,35 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+Every module exposes ``run(...)`` returning structured rows and ``main()``
+printing the corresponding table; the registry below maps experiment ids to
+those entry points so benchmarks, tests, and the command line can discover
+them uniformly.
+"""
+
+from repro.experiments import settings
+from repro.experiments.tables import format_table, geometric_mean, print_table
+
+#: Experiment id -> dotted module path implementing it.
+EXPERIMENT_MODULES = {
+    "figure2": "repro.experiments.figure02_histogram_bins",
+    "figure8": "repro.experiments.figure08_verification",
+    "figure10": "repro.experiments.figure10_speedups",
+    "figure11": "repro.experiments.figure11_amat",
+    "figure12": "repro.experiments.figure12_privatization",
+    "figure13": "repro.experiments.figure13_refcount",
+    "table1": "repro.experiments.table1_configuration",
+    "table2": "repro.experiments.table2_benchmarks",
+    "traffic": "repro.experiments.traffic_reduction",
+    "sensitivity": "repro.experiments.sensitivity_reduction_unit",
+    # Ablations beyond the paper's figures (design-choice studies).
+    "ablation-interleaving": "repro.experiments.ablation_interleaving",
+    "ablation-hierarchical": "repro.experiments.ablation_hierarchical_reduction",
+}
+
+__all__ = [
+    "EXPERIMENT_MODULES",
+    "format_table",
+    "geometric_mean",
+    "print_table",
+    "settings",
+]

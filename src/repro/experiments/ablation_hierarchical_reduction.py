@@ -1,0 +1,105 @@
+"""Ablation: hierarchical vs. flat reductions.
+
+Sec. 3.2 argues that hierarchical organisations rein in reduction latency: on
+a 128-core machine with eight 16-core sockets, a full reduction's critical
+path has 8 + 16 = 24 operations instead of 128.  This ablation quantifies the
+effect in two ways:
+
+* analytically, using the reduction-operation counts of
+  :func:`repro.core.reduction.hierarchical_reduction_ops`, and
+* empirically, by running the shared-counter workload under COUP on machines
+  with different socket widths (same total cores, different cores-per-chip),
+  which changes how many partial updates each L3 bank folds locally before
+  the L4 gathers the per-socket results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.reduction import flat_reduction_ops, hierarchical_reduction_ops
+from repro.experiments import settings
+from repro.experiments.tables import print_table
+from repro.sim.config import table1_config
+from repro.sim.simulator import simulate
+from repro.workloads import MultiCounterWorkload, UpdateStyle
+
+
+def analytic_rows(n_cores: int = 128, socket_widths: Sequence[int] = (4, 8, 16, 32)) -> List[dict]:
+    """Critical-path reduction operations for several socket widths."""
+    rows = []
+    for width in socket_widths:
+        n_sockets = max(1, n_cores // width)
+        rows.append(
+            {
+                "n_cores": n_cores,
+                "cores_per_socket": width,
+                "hierarchical_ops": hierarchical_reduction_ops([n_sockets, width]),
+                "flat_ops": flat_reduction_ops(n_cores),
+            }
+        )
+    return rows
+
+
+def simulated_rows(
+    n_cores: Optional[int] = None,
+    socket_widths: Sequence[int] = (4, 8, 16),
+    *,
+    n_counters: int = 16,
+    updates_per_core: Optional[int] = None,
+) -> List[dict]:
+    """Run the same COUP workload with different socket widths."""
+    n_cores = n_cores if n_cores is not None else min(32, settings.max_cores())
+    updates_per_core = (
+        updates_per_core if updates_per_core is not None else settings.scaled(300)
+    )
+    rows: List[dict] = []
+    for width in socket_widths:
+        if width > n_cores:
+            continue
+        config = dataclasses.replace(table1_config(n_cores), cores_per_chip=width)
+        workload = MultiCounterWorkload(
+            n_counters=n_counters,
+            updates_per_core=updates_per_core,
+            hot_fraction=0.3,
+            update_style=UpdateStyle.COMMUTATIVE,
+        )
+        result = simulate(workload.generate(n_cores), config, "COUP", track_values=False)
+        rows.append(
+            {
+                "n_cores": n_cores,
+                "cores_per_socket": width,
+                "n_sockets": config.n_chips,
+                "run_cycles": result.run_cycles,
+                "amat": result.amat,
+                "full_reductions": result.reductions,
+            }
+        )
+    return rows
+
+
+def run(n_cores: Optional[int] = None) -> dict:
+    """Run both halves of the ablation."""
+    return {
+        "analytic": analytic_rows(),
+        "simulated": simulated_rows(n_cores),
+    }
+
+
+def main() -> dict:
+    results = run()
+    print_table(
+        results["analytic"],
+        title="Ablation: critical-path reduction operations, hierarchical vs. flat (Sec. 3.2)",
+    )
+    print()
+    print_table(
+        results["simulated"],
+        title="Ablation: COUP run time as the socket width (reduction fan-in) varies",
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

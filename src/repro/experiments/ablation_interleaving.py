@@ -1,0 +1,88 @@
+"""Ablation: how many updates per update-only epoch does COUP need to win?
+
+Sec. 4 argues COUP yields benefits "with as little as two updates per
+update-only epoch", whereas software privatization needs many updates per
+core and data value to amortise its reduction phase.  This ablation sweeps
+the number of commutative updates between reads on a shared array
+(:class:`~repro.workloads.synthetic.InterleavedReadUpdateWorkload`) and
+reports run time under MESI (atomics), COUP, and RMO, exposing the crossover
+points of the three hardware schemes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments import settings
+from repro.experiments.tables import print_table
+from repro.sim.config import table1_config
+from repro.sim.simulator import simulate
+from repro.workloads import InterleavedReadUpdateWorkload, UpdateStyle
+
+DEFAULT_UPDATES_PER_READ = (0, 1, 2, 4, 8, 16)
+
+
+def run(
+    updates_per_read_values: Sequence[int] = DEFAULT_UPDATES_PER_READ,
+    *,
+    n_cores: Optional[int] = None,
+    n_elements: int = 16,
+    rounds: Optional[int] = None,
+) -> List[dict]:
+    """Run the interleaving sweep and return one row per updates-per-read value."""
+    n_cores = n_cores if n_cores is not None else min(32, settings.max_cores())
+    rounds = rounds if rounds is not None else settings.scaled(60)
+    config = table1_config(n_cores)
+
+    rows: List[dict] = []
+    for updates_per_read in updates_per_read_values:
+        def workload(style: UpdateStyle) -> InterleavedReadUpdateWorkload:
+            return InterleavedReadUpdateWorkload(
+                n_elements=n_elements,
+                updates_per_read=updates_per_read,
+                rounds=rounds,
+                update_style=style,
+            )
+
+        mesi = simulate(
+            workload(UpdateStyle.ATOMIC).generate(n_cores), config, "MESI", track_values=False
+        )
+        coup = simulate(
+            workload(UpdateStyle.COMMUTATIVE).generate(n_cores), config, "COUP", track_values=False
+        )
+        rmo = simulate(
+            workload(UpdateStyle.REMOTE).generate(n_cores), config, "RMO", track_values=False
+        )
+        rows.append(
+            {
+                "updates_per_read": updates_per_read,
+                "mesi_cycles": mesi.run_cycles,
+                "coup_cycles": coup.run_cycles,
+                "rmo_cycles": rmo.run_cycles,
+                "coup_over_mesi": mesi.run_cycles / coup.run_cycles,
+                "coup_over_rmo": rmo.run_cycles / coup.run_cycles,
+            }
+        )
+    return rows
+
+
+def main() -> List[dict]:
+    """Run the ablation and print the crossover table."""
+    rows = run()
+    print_table(
+        rows,
+        columns=[
+            "updates_per_read",
+            "coup_over_mesi",
+            "coup_over_rmo",
+            "mesi_cycles",
+            "coup_cycles",
+            "rmo_cycles",
+        ],
+        title="Ablation: updates per update-only epoch vs. COUP's advantage",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

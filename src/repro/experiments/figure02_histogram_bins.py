@@ -1,0 +1,98 @@
+"""Figure 2: histogram performance vs. number of bins on 64 cores.
+
+The paper's Fig. 2 compares three histogram implementations — MESI with atomic
+fetch-and-add, MESI with software privatization (TBB-style reductions), and
+COUP with commutative additions — as the number of output bins grows from 32
+to 32K, with a fixed number of input elements.  Performance is reported
+relative to COUP at 32 bins (higher is better).
+
+With few bins, atomics are heavily contended and privatization wins among the
+software schemes; with many bins, the privatized reduction phase dominates and
+atomics win.  COUP avoids both costs and stays on top across the sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.experiments import settings
+from repro.experiments.tables import print_table
+from repro.sim.config import table1_config
+from repro.sim.simulator import simulate
+from repro.software.privatization import PrivatizationLevel
+from repro.workloads import HistogramWorkload, UpdateStyle
+
+#: Bin counts swept by the paper (32 .. 32K); the default harness uses a
+#: subset so the sweep finishes in seconds.
+PAPER_BIN_COUNTS = (32, 128, 512, 2048, 8192, 32768)
+DEFAULT_BIN_COUNTS = (32, 256, 2048, 16384)
+
+
+def run(
+    bin_counts: Sequence[int] = DEFAULT_BIN_COUNTS,
+    *,
+    n_cores: int = 64,
+    n_items: Optional[int] = None,
+) -> List[dict]:
+    """Run the Fig. 2 sweep and return one row per bin count.
+
+    Each row reports the run time of the three schemes and their performance
+    relative to COUP at the smallest bin count, which is the paper's
+    normalisation.
+    """
+    n_cores = min(n_cores, settings.max_cores())
+    n_items = n_items if n_items is not None else settings.scaled(24_000)
+    config = table1_config(n_cores)
+
+    rows: List[dict] = []
+    for n_bins in bin_counts:
+        coup_workload = HistogramWorkload(
+            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.COMMUTATIVE
+        )
+        atomic_workload = HistogramWorkload(
+            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.ATOMIC
+        )
+        privatized = HistogramWorkload(
+            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.ATOMIC
+        ).generate_privatized(n_cores, level=PrivatizationLevel.CORE)
+
+        coup = simulate(coup_workload.generate(n_cores), config, "COUP", track_values=False)
+        atomics = simulate(atomic_workload.generate(n_cores), config, "MESI", track_values=False)
+        privatization = simulate(privatized, config, "MESI", track_values=False)
+
+        rows.append(
+            {
+                "n_bins": n_bins,
+                "coup_cycles": coup.run_cycles,
+                "atomics_cycles": atomics.run_cycles,
+                "privatization_cycles": privatization.run_cycles,
+            }
+        )
+
+    baseline = rows[0]["coup_cycles"]
+    for row in rows:
+        row["coup_rel"] = baseline / row["coup_cycles"]
+        row["atomics_rel"] = baseline / row["atomics_cycles"]
+        row["privatization_rel"] = baseline / row["privatization_cycles"]
+    return rows
+
+
+def main() -> List[dict]:
+    """Regenerate Fig. 2 and print it as a table."""
+    rows = run()
+    print_table(
+        rows,
+        columns=[
+            "n_bins",
+            "coup_rel",
+            "atomics_rel",
+            "privatization_rel",
+        ],
+        title="Figure 2: histogram performance vs. bins (relative to COUP at "
+        f"{rows[0]['n_bins']} bins, higher is better)",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

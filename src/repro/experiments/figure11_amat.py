@@ -1,0 +1,81 @@
+"""Figure 11: average memory access time (AMAT) breakdown.
+
+For each benchmark and for 8-, 32-, and 128-core systems, the paper breaks the
+average memory access latency into time spent at the L2, L3, off-chip network,
+L4, coherence invalidations from the L4, and main memory, normalised to COUP's
+AMAT at 8 cores.  COUP's AMAT advantage comes almost entirely from eliminating
+the invalidation/serialization component.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import settings
+from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
+from repro.experiments.tables import print_table
+from repro.sim.config import table1_config
+from repro.sim.simulator import simulate
+from repro.sim.stats import AMAT_COMPONENTS
+from repro.workloads import UpdateStyle
+
+
+def run_benchmark(
+    name: str, core_points: Optional[Sequence[int]] = None
+) -> List[dict]:
+    """AMAT breakdown rows for one benchmark (one row per protocol/core count)."""
+    if name not in PAPER_WORKLOAD_FACTORIES:
+        raise ValueError(f"unknown benchmark {name!r}")
+    factory = PAPER_WORKLOAD_FACTORIES[name]
+    core_points = list(core_points) if core_points else settings.amat_core_points()
+
+    rows: List[dict] = []
+    normalisation: Optional[float] = None
+    for n_cores in core_points:
+        config = table1_config(n_cores)
+        for protocol, style in (("COUP", UpdateStyle.COMMUTATIVE), ("MESI", UpdateStyle.ATOMIC)):
+            trace = factory(style).generate(n_cores)
+            result = simulate(trace, config, protocol, track_values=False)
+            breakdown = result.amat_breakdown()
+            row = {
+                "benchmark": name,
+                "protocol": protocol,
+                "n_cores": n_cores,
+                "amat": result.amat,
+            }
+            row.update(breakdown)
+            rows.append(row)
+            if normalisation is None and protocol == "COUP":
+                normalisation = result.amat
+    # Normalise to COUP at the smallest core count, as the paper does.
+    normalisation = normalisation or 1.0
+    for row in rows:
+        row["relative_amat"] = row["amat"] / normalisation if normalisation else 0.0
+    return rows
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    core_points: Optional[Sequence[int]] = None,
+) -> Dict[str, List[dict]]:
+    """Run the full Fig. 11 experiment."""
+    benchmarks = list(benchmarks) if benchmarks else list(PAPER_WORKLOAD_FACTORIES)
+    return {name: run_benchmark(name, core_points) for name in benchmarks}
+
+
+def main() -> Dict[str, List[dict]]:
+    """Regenerate Fig. 11 and print one table per benchmark."""
+    results = run()
+    columns = ["protocol", "n_cores", "relative_amat", *AMAT_COMPONENTS]
+    for name, rows in results.items():
+        print_table(
+            rows,
+            columns=columns,
+            title=f"Figure 11: {name} AMAT breakdown (normalised to COUP at the smallest core count)",
+        )
+        print()
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 12: histogram reduction variable — COUP vs. software privatization.
+
+The paper modifies ``hist`` to treat the histogram as a reduction variable and
+compares COUP against core-level privatization (one replica per thread) and
+socket-level privatization (one replica per socket, updated with atomics), at
+512 bins and 16K bins, on 1-128 cores.  With few bins, core-level privatization
+amortises its reduction phase well and nearly matches COUP; with many bins the
+reduction phase and cache pressure dominate and COUP wins by 2.5x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import settings
+from repro.experiments.tables import print_table
+from repro.sim.config import table1_config
+from repro.sim.simulator import simulate
+from repro.software.privatization import PrivatizationLevel
+from repro.workloads import HistogramWorkload, UpdateStyle
+
+#: Bin counts shown in Fig. 12a and Fig. 12b.
+PAPER_BIN_COUNTS = (512, 16384)
+
+
+def run_bin_count(
+    n_bins: int,
+    core_counts: Optional[Sequence[int]] = None,
+    *,
+    n_items: Optional[int] = None,
+) -> List[dict]:
+    """Speedup rows for one bin count (one row per core count)."""
+    core_counts = list(core_counts) if core_counts else settings.core_sweep()
+    if 1 not in core_counts:
+        core_counts = [1] + core_counts
+    n_items = n_items if n_items is not None else settings.scaled(24_000)
+
+    def make_workload() -> HistogramWorkload:
+        return HistogramWorkload(
+            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.COMMUTATIVE
+        )
+
+    baseline = simulate(make_workload().generate(1), table1_config(1), "MESI", track_values=False)
+
+    rows: List[dict] = []
+    for n_cores in core_counts:
+        config = table1_config(n_cores)
+        coup = simulate(make_workload().generate(n_cores), config, "COUP", track_values=False)
+        core_priv = simulate(
+            make_workload().generate_privatized(n_cores, level=PrivatizationLevel.CORE),
+            config,
+            "MESI",
+            track_values=False,
+        )
+        socket_priv = simulate(
+            make_workload().generate_privatized(
+                n_cores,
+                level=PrivatizationLevel.SOCKET,
+                cores_per_socket=config.cores_per_chip,
+            ),
+            config,
+            "MESI",
+            track_values=False,
+        )
+        rows.append(
+            {
+                "n_bins": n_bins,
+                "n_cores": n_cores,
+                "coup_speedup": baseline.run_cycles / coup.run_cycles,
+                "core_privatization_speedup": baseline.run_cycles / core_priv.run_cycles,
+                "socket_privatization_speedup": baseline.run_cycles / socket_priv.run_cycles,
+            }
+        )
+    return rows
+
+
+def run(
+    bin_counts: Sequence[int] = PAPER_BIN_COUNTS,
+    core_counts: Optional[Sequence[int]] = None,
+) -> Dict[int, List[dict]]:
+    """Run both panels of Fig. 12."""
+    return {n_bins: run_bin_count(n_bins, core_counts) for n_bins in bin_counts}
+
+
+def main() -> Dict[int, List[dict]]:
+    """Regenerate Fig. 12 and print one table per bin count."""
+    results = run()
+    for n_bins, rows in results.items():
+        print_table(
+            rows,
+            columns=[
+                "n_cores",
+                "coup_speedup",
+                "core_privatization_speedup",
+                "socket_privatization_speedup",
+            ],
+            title=f"Figure 12: hist with {n_bins} bins (speedup over 1-core run)",
+        )
+        print()
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,163 @@
+"""Figure 13: reference-counting case studies.
+
+Three panels:
+
+* **Fig. 13a** — immediate deallocation, low reference counts: COUP vs. SNZI
+  vs. flat atomic counters (XADD), speedup over the 1-core run as cores grow.
+  SNZI suffers when counts oscillate around zero; COUP wins.
+* **Fig. 13b** — immediate deallocation, high reference counts: SNZI's best
+  case; it overtakes COUP at high core counts, while COUP still beats XADD.
+* **Fig. 13c** — delayed deallocation: COUP (commutative counters + a modified
+  bitmap) vs. Refcache (per-thread delta caches), as the number of updates per
+  epoch grows.  COUP wins across the sweep, by up to 2.3x in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import settings
+from repro.experiments.tables import print_table
+from repro.sim.config import table1_config
+from repro.sim.simulator import simulate
+from repro.workloads import (
+    CountMode,
+    DelayedRefcountWorkload,
+    ImmediateRefcountWorkload,
+    RefcountScheme,
+)
+
+
+def run_immediate(
+    count_mode: CountMode,
+    core_counts: Optional[Sequence[int]] = None,
+    *,
+    n_counters: int = 1024,
+    updates_per_thread: Optional[int] = None,
+) -> List[dict]:
+    """Fig. 13a (low counts) or Fig. 13b (high counts)."""
+    core_counts = list(core_counts) if core_counts else settings.core_sweep()
+    if 1 not in core_counts:
+        core_counts = [1] + core_counts
+    updates_per_thread = (
+        updates_per_thread if updates_per_thread is not None else settings.scaled(600)
+    )
+
+    def workload(scheme: RefcountScheme) -> ImmediateRefcountWorkload:
+        return ImmediateRefcountWorkload(
+            n_counters=n_counters,
+            updates_per_thread=updates_per_thread,
+            scheme=scheme,
+            count_mode=count_mode,
+        )
+
+    baseline = simulate(
+        workload(RefcountScheme.XADD).generate(1), table1_config(1), "MESI", track_values=False
+    )
+
+    rows: List[dict] = []
+    for n_cores in core_counts:
+        config = table1_config(n_cores)
+        coup = simulate(
+            workload(RefcountScheme.COUP).generate(n_cores), config, "COUP", track_values=False
+        )
+        xadd = simulate(
+            workload(RefcountScheme.XADD).generate(n_cores), config, "MESI", track_values=False
+        )
+        snzi = simulate(
+            workload(RefcountScheme.SNZI).generate(n_cores), config, "MESI", track_values=False
+        )
+        # Work grows with the number of threads (fixed updates per thread), so
+        # throughput-style speedup = (work scale) * (baseline time / time).
+        rows.append(
+            {
+                "count_mode": count_mode.value,
+                "n_cores": n_cores,
+                "coup_speedup": n_cores * baseline.run_cycles / coup.run_cycles,
+                "xadd_speedup": n_cores * baseline.run_cycles / xadd.run_cycles,
+                "snzi_speedup": n_cores * baseline.run_cycles / snzi.run_cycles,
+            }
+        )
+    return rows
+
+
+def run_delayed(
+    updates_per_epoch_values: Sequence[int] = (1, 10, 100, 400),
+    *,
+    n_cores: Optional[int] = None,
+    n_counters: Optional[int] = None,
+) -> List[dict]:
+    """Fig. 13c: delayed deallocation, COUP vs. Refcache."""
+    n_cores = n_cores if n_cores is not None else min(settings.max_cores(), 64)
+    n_counters = n_counters if n_counters is not None else settings.scaled(4096)
+    config = table1_config(n_cores)
+
+    rows: List[dict] = []
+    for updates_per_epoch in updates_per_epoch_values:
+        coup_workload = DelayedRefcountWorkload(
+            n_counters=n_counters,
+            updates_per_epoch=updates_per_epoch,
+            scheme=RefcountScheme.COUP,
+        )
+        refcache_workload = DelayedRefcountWorkload(
+            n_counters=n_counters,
+            updates_per_epoch=updates_per_epoch,
+            scheme=RefcountScheme.REFCACHE,
+        )
+        coup = simulate(coup_workload.generate(n_cores), config, "COUP", track_values=False)
+        refcache = simulate(
+            refcache_workload.generate(n_cores), config, "MESI", track_values=False
+        )
+        # Performance = updates per kilocycle (higher is better), matching the
+        # paper's throughput-style y-axis.
+        total_updates = updates_per_epoch * coup_workload.n_epochs * n_cores
+        rows.append(
+            {
+                "updates_per_epoch": updates_per_epoch,
+                "coup_performance": 1000.0 * total_updates / coup.run_cycles,
+                "refcache_performance": 1000.0 * total_updates / refcache.run_cycles,
+                "coup_over_refcache": refcache.run_cycles / coup.run_cycles,
+            }
+        )
+    return rows
+
+
+def run(core_counts: Optional[Sequence[int]] = None) -> Dict[str, List[dict]]:
+    """Run all three panels of Fig. 13."""
+    return {
+        "immediate_low": run_immediate(CountMode.LOW, core_counts),
+        "immediate_high": run_immediate(CountMode.HIGH, core_counts),
+        "delayed": run_delayed(),
+    }
+
+
+def main() -> Dict[str, List[dict]]:
+    """Regenerate Fig. 13 and print one table per panel."""
+    results = run()
+    print_table(
+        results["immediate_low"],
+        columns=["n_cores", "coup_speedup", "snzi_speedup", "xadd_speedup"],
+        title="Figure 13a: immediate deallocation, low reference counts",
+    )
+    print()
+    print_table(
+        results["immediate_high"],
+        columns=["n_cores", "coup_speedup", "snzi_speedup", "xadd_speedup"],
+        title="Figure 13b: immediate deallocation, high reference counts",
+    )
+    print()
+    print_table(
+        results["delayed"],
+        columns=[
+            "updates_per_epoch",
+            "coup_performance",
+            "refcache_performance",
+            "coup_over_refcache",
+        ],
+        title="Figure 13c: delayed deallocation (updates per kilocycle, higher is better)",
+    )
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Factory functions for the paper's five benchmarks at experiment scale.
+
+Every speedup/AMAT/traffic experiment needs the same five workloads (Table 2)
+configured at a size that a pure-Python simulator can run in seconds.  This
+module centralises those configurations; the sizes scale with
+:func:`repro.experiments.settings.scaled` so one knob grows or shrinks the
+whole harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import settings
+from repro.workloads import (
+    BfsWorkload,
+    FluidanimateWorkload,
+    HistogramWorkload,
+    PageRankWorkload,
+    SpmvWorkload,
+    UpdateStyle,
+    Workload,
+)
+
+
+def make_hist(update_style: UpdateStyle = UpdateStyle.COMMUTATIVE, *, n_bins: int = 512) -> HistogramWorkload:
+    """The ``hist`` benchmark: histogramming with the GRiN-like 512-bin default."""
+    return HistogramWorkload(
+        n_bins=n_bins,
+        n_items=settings.scaled(24_000),
+        update_style=update_style,
+    )
+
+
+def make_spmv(update_style: UpdateStyle = UpdateStyle.COMMUTATIVE) -> SpmvWorkload:
+    """The ``spmv`` benchmark: CSC sparse matrix-vector multiplication."""
+    return SpmvWorkload(
+        n_rows=settings.scaled(1536),
+        n_cols=settings.scaled(1536),
+        nnz_per_col=6,
+        update_style=update_style,
+    )
+
+
+def make_pgrank(update_style: UpdateStyle = UpdateStyle.COMMUTATIVE) -> PageRankWorkload:
+    """The ``pgrank`` benchmark: push-style PageRank on a power-law graph."""
+    return PageRankWorkload(
+        n_vertices=settings.scaled(2048),
+        avg_degree=6,
+        n_iterations=2,
+        update_style=update_style,
+    )
+
+
+def make_bfs(update_style: UpdateStyle = UpdateStyle.COMMUTATIVE) -> BfsWorkload:
+    """The ``bfs`` benchmark: bitmap-based breadth-first search."""
+    return BfsWorkload(
+        n_vertices=settings.scaled(6144),
+        avg_degree=8,
+        max_levels=5,
+        update_style=update_style,
+    )
+
+
+def make_fluidanimate(update_style: UpdateStyle = UpdateStyle.COMMUTATIVE) -> FluidanimateWorkload:
+    """The ``fluidanimate`` benchmark: structured grid with ghost-cell sharing.
+
+    The grid is kept much taller than the largest core count so that only a
+    small fraction of cells are boundary (shared) cells, matching the paper's
+    observation that fluidanimate sees only a small COUP benefit.
+    """
+    return FluidanimateWorkload(
+        grid_x=24,
+        grid_y=settings.scaled(768),
+        n_steps=1,
+        update_style=update_style,
+    )
+
+
+#: Benchmark name -> factory, in the order the paper lists them.
+PAPER_WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "hist": make_hist,
+    "spmv": make_spmv,
+    "pgrank": make_pgrank,
+    "bfs": make_bfs,
+    "fluidanimate": make_fluidanimate,
+}

@@ -1,0 +1,59 @@
+"""Command-line entry point: run one or all of the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments.runner            # run everything
+    python -m repro.experiments.runner figure10   # run a single experiment
+    python -m repro.experiments.runner --list     # list experiment ids
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from typing import List
+
+from repro.experiments import EXPERIMENT_MODULES
+
+
+def run_experiment(experiment_id: str) -> None:
+    """Import and run one experiment's ``main()``."""
+    module_path = EXPERIMENT_MODULES[experiment_id]
+    module = importlib.import_module(module_path)
+    start = time.perf_counter()
+    module.main()
+    elapsed = time.perf_counter() - start
+    print(f"[{experiment_id}] completed in {elapsed:.1f}s\n")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in EXPERIMENT_MODULES:
+            print(experiment_id)
+        return 0
+
+    selected = args.experiments or list(EXPERIMENT_MODULES)
+    unknown = [e for e in selected if e not in EXPERIMENT_MODULES]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENT_MODULES)}", file=sys.stderr)
+        return 2
+
+    for experiment_id in selected:
+        run_experiment(experiment_id)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

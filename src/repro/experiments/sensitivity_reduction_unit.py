@@ -1,0 +1,67 @@
+"""Sec. 5.5: sensitivity to reduction-unit throughput.
+
+COUP's performance is barely sensitive to the reduction ALU: swapping the
+default 2-stage pipelined 256-bit unit (one line per 2 cycles) for a simple
+unpipelined 64-bit unit (one line per 16 cycles) degrades performance by at
+most 0.88% in the paper (on bfs at 128 cores).  This experiment runs every
+benchmark under COUP with both reduction units and reports the slowdown.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments import settings
+from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
+from repro.experiments.tables import print_table
+from repro.sim.config import ReductionUnitConfig, table1_config
+from repro.sim.simulator import simulate
+from repro.workloads import UpdateStyle
+
+
+def run(n_cores: Optional[int] = None) -> List[dict]:
+    """Compare fast and slow reduction units under COUP for every benchmark."""
+    n_cores = n_cores if n_cores is not None else settings.max_cores()
+    fast_config = table1_config(n_cores, reduction_unit=ReductionUnitConfig.fast())
+    slow_config = table1_config(n_cores, reduction_unit=ReductionUnitConfig.slow())
+
+    rows: List[dict] = []
+    for name, factory in PAPER_WORKLOAD_FACTORIES.items():
+        fast = simulate(
+            factory(UpdateStyle.COMMUTATIVE).generate(n_cores),
+            fast_config,
+            "COUP",
+            track_values=False,
+        )
+        slow = simulate(
+            factory(UpdateStyle.COMMUTATIVE).generate(n_cores),
+            slow_config,
+            "COUP",
+            track_values=False,
+        )
+        degradation = slow.run_cycles / fast.run_cycles - 1.0
+        rows.append(
+            {
+                "benchmark": name,
+                "n_cores": n_cores,
+                "fast_alu_cycles": fast.run_cycles,
+                "slow_alu_cycles": slow.run_cycles,
+                "degradation_pct": 100.0 * degradation,
+            }
+        )
+    return rows
+
+
+def main() -> List[dict]:
+    """Regenerate the Sec. 5.5 sensitivity study."""
+    rows = run()
+    print_table(
+        rows,
+        columns=["benchmark", "n_cores", "fast_alu_cycles", "slow_alu_cycles", "degradation_pct"],
+        title="Sec. 5.5: sensitivity to reduction-unit throughput (COUP, slow vs. fast ALU)",
+    )
+    return rows
+
+
+if __name__ == "__main__":
+    main()

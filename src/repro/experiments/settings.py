@@ -1,0 +1,82 @@
+"""Shared experiment settings: core-count sweeps and workload scaling.
+
+The paper's runs use billions of instructions on a 128-core simulator; a
+pure-Python reproduction must scale inputs down to finish in seconds per
+configuration.  All experiments read their scale from one place so that the
+whole harness can be made larger (closer to the paper) or smaller (CI-sized)
+by a single knob:
+
+* ``REPRO_SCALE`` — a float multiplier applied to workload sizes (default 1.0).
+* ``REPRO_MAX_CORES`` — caps the largest simulated core count (default 64 for
+  the benchmark harness; the library itself supports 128).
+
+Both can be set as environment variables or overridden programmatically via
+:func:`set_scale` / :func:`set_max_cores`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+_DEFAULT_SCALE = 1.0
+_DEFAULT_MAX_CORES = 64
+
+_scale: float = float(os.environ.get("REPRO_SCALE", _DEFAULT_SCALE))
+_max_cores: int = int(os.environ.get("REPRO_MAX_CORES", _DEFAULT_MAX_CORES))
+
+
+def scale() -> float:
+    """Current workload scale multiplier."""
+    return _scale
+
+
+def set_scale(value: float) -> None:
+    """Override the workload scale multiplier (tests use this)."""
+    global _scale
+    if value <= 0:
+        raise ValueError("scale must be positive")
+    _scale = value
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale an integer workload parameter, keeping it at least ``minimum``."""
+    return max(minimum, int(round(value * _scale)))
+
+
+def max_cores() -> int:
+    """Largest core count the experiment sweeps will simulate."""
+    return _max_cores
+
+
+def set_max_cores(value: int) -> None:
+    global _max_cores
+    if value <= 0:
+        raise ValueError("max_cores must be positive")
+    _max_cores = value
+
+
+def core_sweep(paper_points: List[int] = (1, 32, 64, 96, 128)) -> List[int]:
+    """The paper's core-count sweep, capped at :func:`max_cores`.
+
+    The cap always keeps at least the single-core baseline and one multi-core
+    point so speedup curves remain meaningful.
+    """
+    cap = max_cores()
+    points = [p for p in paper_points if p <= cap]
+    if not points:
+        points = [1]
+    if len(points) == 1 and cap > 1:
+        points.append(cap)
+    return points
+
+
+def amat_core_points(paper_points: List[int] = (8, 32, 128)) -> List[int]:
+    """Core counts used by the Fig. 11 AMAT breakdown, capped like the sweep."""
+    cap = max_cores()
+    points = [p for p in paper_points if p <= cap]
+    if not points:
+        points = [min(8, cap)]
+    if cap not in points and cap >= 8:
+        points.append(cap)
+    return sorted(set(points))

@@ -1,0 +1,75 @@
+"""Small helpers for printing experiment results as text tables.
+
+Every experiment module returns its results as a list of dictionaries (one
+per row) so tests and benchmarks can assert on them, and uses these helpers
+to print the same rows the paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value) -> str:
+    """Render one cell: floats get 3 significant decimals, others use str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3g}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,d}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Format a list of row dictionaries as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[format_value(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), max(len(cell[i]) for cell in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    *,
+    title: Optional[str] = None,
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(rows, columns, title=title))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used for summarising speedups across benchmarks."""
+    values = [float(v) for v in values]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= value
+    return product ** (1.0 / len(values))

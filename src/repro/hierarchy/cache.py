@@ -1,0 +1,124 @@
+"""Set-associative cache arrays with LRU replacement.
+
+These arrays track only *presence* and per-line metadata; data values live in
+the protocol engines (which need them for functional checking of commutative
+reductions).  Both private caches (L1/L2) and shared banked caches (L3/L4)
+are built from :class:`SetAssociativeCache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheLineInfo:
+    """Metadata attached to a resident cache line."""
+
+    line_addr: int
+    metadata: dict = field(default_factory=dict)
+    last_use: int = 0
+
+
+class SetAssociativeCache:
+    """A set-associative cache array with true-LRU replacement.
+
+    The array maps line addresses to :class:`CacheLineInfo`.  Insertion may
+    evict the least-recently-used line in the set; the evicted line's info is
+    returned so callers can perform writebacks or partial reductions.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self._sets: List[Dict[int, CacheLineInfo]] = [
+            {} for _ in range(config.num_sets)
+        ]
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, line_addr: int) -> bool:
+        return line_addr in self._sets[self._set_index(line_addr)]
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def _set_index(self, line_addr: int) -> int:
+        return line_addr % self.config.num_sets
+
+    def _next_tick(self) -> int:
+        self._tick += 1
+        return self._tick
+
+    def lookup(self, line_addr: int, *, touch: bool = True) -> Optional[CacheLineInfo]:
+        """Return the line's info if resident; update LRU and hit statistics."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        info = cache_set.get(line_addr)
+        if info is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if touch:
+            info.last_use = self._next_tick()
+        return info
+
+    def peek(self, line_addr: int) -> Optional[CacheLineInfo]:
+        """Return the line's info without touching LRU or statistics."""
+        return self._sets[self._set_index(line_addr)].get(line_addr)
+
+    def insert(self, line_addr: int, metadata: Optional[dict] = None) -> Optional[CacheLineInfo]:
+        """Insert a line, returning the victim's info if an eviction occurred.
+
+        Inserting a line that is already resident refreshes its LRU position
+        and merges the provided metadata.
+        """
+        set_index = self._set_index(line_addr)
+        cache_set = self._sets[set_index]
+        existing = cache_set.get(line_addr)
+        if existing is not None:
+            existing.last_use = self._next_tick()
+            if metadata:
+                existing.metadata.update(metadata)
+            return None
+
+        victim: Optional[CacheLineInfo] = None
+        if len(cache_set) >= self.config.ways:
+            victim_addr = min(cache_set, key=lambda addr: cache_set[addr].last_use)
+            victim = cache_set.pop(victim_addr)
+            self.evictions += 1
+
+        cache_set[line_addr] = CacheLineInfo(
+            line_addr=line_addr,
+            metadata=dict(metadata or {}),
+            last_use=self._next_tick(),
+        )
+        return victim
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLineInfo]:
+        """Remove a line (coherence invalidation); return its info if present."""
+        cache_set = self._sets[self._set_index(line_addr)]
+        return cache_set.pop(line_addr, None)
+
+    def resident_lines(self) -> Iterator[CacheLineInfo]:
+        """Iterate over all resident lines (order unspecified)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def occupancy(self) -> float:
+        """Fraction of the cache's capacity currently occupied."""
+        return len(self) / max(1, self.config.num_lines)
+
+    def reset_statistics(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

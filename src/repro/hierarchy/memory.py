@@ -1,0 +1,61 @@
+"""Main-memory model.
+
+A deliberately simple DRAM model: a fixed access latency plus a bandwidth
+term.  Each L4 chip owns a set of DDR3 channels; the model tracks per-chip
+channel occupancy so that memory-bandwidth-bound workloads (e.g. spmv) see
+queueing when many cores stream data, while latency-bound workloads see the
+configured latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.sim.config import MemoryConfig, SystemConfig
+
+
+@dataclass
+class MemoryAccessTiming:
+    """Timing outcome of one main-memory access."""
+
+    latency: int
+    queue_delay: float
+
+
+class MainMemoryModel:
+    """Per-L4-chip DRAM channels with a simple occupancy-based queue model."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.mem: MemoryConfig = config.memory
+        self._channel_busy_until: Dict[int, List[float]] = {}
+        self.accesses = 0
+        self.bytes_transferred = 0
+
+    def _channels(self, l4_chip: int) -> List[float]:
+        channels = self._channel_busy_until.get(l4_chip)
+        if channels is None:
+            channels = [0.0] * self.mem.channels_per_l4_chip
+            self._channel_busy_until[l4_chip] = channels
+        return channels
+
+    def access(self, l4_chip: int, now: float, line_bytes: int) -> MemoryAccessTiming:
+        """Account one line fill/writeback at ``l4_chip`` starting at ``now``."""
+        channels = self._channels(l4_chip)
+        # Pick the channel that frees up first (FR-FCFS approximation).
+        channel_index = min(range(len(channels)), key=lambda i: channels[i])
+        start = max(now, channels[channel_index])
+        queue_delay = start - now
+        transfer = line_bytes / self.mem.channel_bandwidth_bytes_per_cycle
+        channels[channel_index] = start + transfer
+        self.accesses += 1
+        self.bytes_transferred += line_bytes
+        return MemoryAccessTiming(
+            latency=int(self.mem.latency + queue_delay), queue_delay=queue_delay
+        )
+
+    def reset(self) -> None:
+        self._channel_busy_until.clear()
+        self.accesses = 0
+        self.bytes_transferred = 0

@@ -1,0 +1,14 @@
+"""Interconnect substrate: message catalogue, topology, traffic accounting."""
+
+from repro.interconnect.messages import LinkScope, MessageClass, MessageEvent, MessageType, total_bytes
+from repro.interconnect.network import InterconnectModel, TrafficCounters
+
+__all__ = [
+    "InterconnectModel",
+    "LinkScope",
+    "MessageClass",
+    "MessageEvent",
+    "MessageType",
+    "TrafficCounters",
+    "total_bytes",
+]

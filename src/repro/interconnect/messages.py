@@ -1,0 +1,88 @@
+"""Coherence message catalogue used for traffic accounting.
+
+The timing simulator does not transport individual messages; instead, each
+protocol action records which messages it would have sent and over which
+links, and the network model converts that into byte counts.  Sizes follow
+the simulated machine's configuration: 8-byte control messages and 72-byte
+data messages (64-byte line plus header) by default.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.config import NetworkConfig
+
+
+class MessageClass(enum.Enum):
+    """Whether a message carries a full cache line or just address/control."""
+
+    CONTROL = "control"
+    DATA = "data"
+
+
+class MessageType(enum.Enum):
+    """Coherence message types exchanged in MESI / MEUSI / RMO protocols."""
+
+    # Requests from private caches to the directory.
+    GET_SHARED = ("GetS", MessageClass.CONTROL)
+    GET_EXCLUSIVE = ("GetX", MessageClass.CONTROL)
+    GET_UPDATE = ("GetU", MessageClass.CONTROL)
+    UPGRADE = ("Upg", MessageClass.CONTROL)
+    PUT_LINE = ("Put", MessageClass.DATA)
+    PUT_PARTIAL = ("PutPartial", MessageClass.DATA)
+    #: Remote memory operation request (carries address + operand, control-sized).
+    REMOTE_OP = ("RemoteOp", MessageClass.CONTROL)
+
+    # Directory to private caches.
+    INVALIDATE = ("Inv", MessageClass.CONTROL)
+    DOWNGRADE = ("Downgrade", MessageClass.CONTROL)
+    REDUCE_REQUEST = ("ReduceReq", MessageClass.CONTROL)
+    DATA_RESPONSE = ("Data", MessageClass.DATA)
+    GRANT_NO_DATA = ("Grant", MessageClass.CONTROL)
+
+    # Private caches back to the directory.
+    ACK = ("Ack", MessageClass.CONTROL)
+    DATA_WRITEBACK = ("WbData", MessageClass.DATA)
+    PARTIAL_UPDATE = ("PartialUpdate", MessageClass.DATA)
+
+    def __init__(self, label: str, msg_class: MessageClass) -> None:
+        self.label = label
+        self.msg_class = msg_class
+
+    def size_bytes(self, network: NetworkConfig) -> int:
+        """Size of this message under a given network configuration."""
+        if self.msg_class is MessageClass.DATA:
+            return network.data_bytes
+        return network.control_bytes
+
+
+class LinkScope(enum.Enum):
+    """Which part of the interconnect a message traverses.
+
+    Off-chip messages cross the processor-chip/L4-chip dancehall links; the
+    paper's traffic numbers (Sec. 5.2) count off-chip traffic, so scopes let
+    the network model separate the two.
+    """
+
+    ON_CHIP = "on_chip"
+    OFF_CHIP = "off_chip"
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One message sent during a protocol action."""
+
+    msg_type: MessageType
+    scope: LinkScope
+    count: int = 1
+
+    def bytes(self, network: NetworkConfig) -> int:
+        return self.count * self.msg_type.size_bytes(network)
+
+
+def total_bytes(events: List[MessageEvent], network: NetworkConfig) -> int:
+    """Total bytes of a list of message events."""
+    return sum(event.bytes(network) for event in events)

@@ -1,0 +1,124 @@
+"""Interconnect model: on-chip crossbar plus off-chip dancehall topology.
+
+The simulated machine (Fig. 9) connects up to eight processor chips to the
+same number of L4/global-directory chips through point-to-point links in a
+dancehall arrangement.  The network model provides two things:
+
+* **latency helpers** — how many cycles a request/response pair spends on the
+  on-chip network and on the off-chip links, and
+* **traffic accounting** — bytes moved on- and off-chip, broken down by
+  message type, which reproduces the Sec. 5.2 traffic-reduction results.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.interconnect.messages import LinkScope, MessageEvent, MessageType
+from repro.sim.config import NetworkConfig, SystemConfig
+
+
+@dataclass
+class TrafficCounters:
+    """Accumulated traffic statistics for one simulation run."""
+
+    on_chip_bytes: int = 0
+    off_chip_bytes: int = 0
+    messages_by_type: Dict[str, int] = None
+    bytes_by_type: Dict[str, int] = None
+
+    def __post_init__(self) -> None:
+        if self.messages_by_type is None:
+            self.messages_by_type = defaultdict(int)
+        if self.bytes_by_type is None:
+            self.bytes_by_type = defaultdict(int)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.on_chip_bytes + self.off_chip_bytes
+
+    def merge(self, other: "TrafficCounters") -> None:
+        self.on_chip_bytes += other.on_chip_bytes
+        self.off_chip_bytes += other.off_chip_bytes
+        for key, value in other.messages_by_type.items():
+            self.messages_by_type[key] += value
+        for key, value in other.bytes_by_type.items():
+            self.bytes_by_type[key] += value
+
+    def as_dict(self) -> dict:
+        return {
+            "on_chip_bytes": self.on_chip_bytes,
+            "off_chip_bytes": self.off_chip_bytes,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class InterconnectModel:
+    """Latency and traffic model for the Table 1 machine's interconnect."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.network: NetworkConfig = config.network
+        self.traffic = TrafficCounters()
+
+    # -- latency helpers ------------------------------------------------------
+
+    def onchip_hop_latency(self) -> int:
+        """One traversal of the on-chip network between L2s and L3 banks."""
+        return self.network.onchip_latency
+
+    def offchip_round_trip(self) -> int:
+        """Request/response pair over a processor-chip <-> L4-chip link."""
+        return 2 * self.network.offchip_link_latency
+
+    def offchip_one_way(self) -> int:
+        return self.network.offchip_link_latency
+
+    def cross_socket_latency(self) -> int:
+        """Processor chip -> L4 chip -> other processor chip (one way).
+
+        In the dancehall topology every chip-to-chip path crosses an L4 chip,
+        so cross-socket coherence actions pay two link traversals each way.
+        """
+        return 2 * self.network.offchip_link_latency
+
+    # -- traffic accounting ---------------------------------------------------
+
+    def record(self, events: Iterable[MessageEvent]) -> int:
+        """Account a batch of messages; returns total bytes recorded."""
+        total = 0
+        for event in events:
+            size = event.bytes(self.network)
+            total += size
+            if event.scope is LinkScope.OFF_CHIP:
+                self.traffic.off_chip_bytes += size
+            else:
+                self.traffic.on_chip_bytes += size
+            self.traffic.messages_by_type[event.msg_type.label] += event.count
+            self.traffic.bytes_by_type[event.msg_type.label] += size
+        return total
+
+    def record_one(
+        self, msg_type: MessageType, scope: LinkScope, count: int = 1
+    ) -> int:
+        """Account ``count`` messages of one type over one scope."""
+        return self.record([MessageEvent(msg_type, scope, count)])
+
+    def reset(self) -> None:
+        self.traffic = TrafficCounters()
+
+    # -- topology helpers -----------------------------------------------------
+
+    def is_offchip(self, chip_a: int, chip_b: int) -> bool:
+        """Whether communication between two processor chips leaves the chip.
+
+        Any communication with the L4/global directory is off-chip; two cores
+        on the same processor chip communicate through the on-chip L3.
+        """
+        return chip_a != chip_b
+
+    def sharer_chips(self, sharers: Iterable[int]) -> List[int]:
+        """Distinct processor chips hosting the given cores."""
+        return sorted({self.config.chip_of_core(core) for core in sharers})

@@ -1,0 +1,62 @@
+"""Trace-driven multicore timing simulation.
+
+The simulator module is imported lazily (PEP 562) because protocol engines in
+:mod:`repro.core` import :mod:`repro.sim.config`; importing the simulator
+eagerly here would close an import cycle while those modules are still
+initialising.
+"""
+
+from repro.sim.access import AccessType, MemoryAccess, Trace, WorkloadTrace
+from repro.sim.config import (
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    NetworkConfig,
+    ReductionUnitConfig,
+    SystemConfig,
+    small_test_config,
+    table1_config,
+)
+from repro.sim.core_model import CoreTimingModel
+from repro.sim.stats import AMAT_COMPONENTS, CoreStats, LatencyBreakdown, SimulationResult
+
+__all__ = [
+    "AMAT_COMPONENTS",
+    "AccessType",
+    "CacheConfig",
+    "CoreConfig",
+    "CoreStats",
+    "CoreTimingModel",
+    "LatencyBreakdown",
+    "MemoryAccess",
+    "MemoryConfig",
+    "MulticoreSimulator",
+    "NetworkConfig",
+    "PROTOCOLS",
+    "ReductionUnitConfig",
+    "SimulationResult",
+    "SystemConfig",
+    "Trace",
+    "WorkloadTrace",
+    "compare_protocols",
+    "make_protocol",
+    "simulate",
+    "small_test_config",
+    "table1_config",
+]
+
+_LAZY_SIMULATOR_NAMES = {
+    "MulticoreSimulator",
+    "PROTOCOLS",
+    "compare_protocols",
+    "make_protocol",
+    "simulate",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SIMULATOR_NAMES:
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

@@ -1,0 +1,224 @@
+"""System configuration dataclasses and the Table 1 machine presets.
+
+The paper evaluates single- and multi-socket systems with up to 128 cores and
+a four-level cache hierarchy (Fig. 9 / Table 1): per-core L1s and L2s, a
+banked shared L3 with an in-cache directory per processor chip, and one or
+more L4/global-directory chips connected in a dancehall topology.  This module
+captures that configuration as plain dataclasses so experiments, tests, and
+benchmarks all build the same machine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and access latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency: int
+    line_bytes: int = 64
+    banks: int = 1
+    inclusive: bool = True
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.ways)
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.ways <= 0:
+            raise ValueError("associativity must be positive")
+        if self.line_bytes <= 0 or self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a positive power of two")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ValueError("cache size must be a multiple of ways * line size")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """On-chip and off-chip interconnect latencies and message sizes."""
+
+    #: Point-to-point link latency between a processor chip and an L4 chip.
+    offchip_link_latency: int = 40
+    #: Latency of the on-chip network between L2s and L3 banks.
+    onchip_latency: int = 3
+    #: Size of an address/control message in bytes (request, inval, ack).
+    control_bytes: int = 8
+    #: Size of a full data message in bytes (line + header).
+    data_bytes: int = 72
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main-memory (DDR3-1600-like) timing and bandwidth."""
+
+    latency: int = 120
+    channels_per_l4_chip: int = 4
+    channel_bandwidth_bytes_per_cycle: float = 6.4
+
+
+@dataclass(frozen=True)
+class ReductionUnitConfig:
+    """Reduction ALU at each shared cache bank (Sec. 5.1).
+
+    The default is the paper's 2-stage pipelined 256-bit ALU: one full 64-byte
+    line every 2 cycles, 3-cycle latency.  The sensitivity study (Sec. 5.5)
+    swaps in an unpipelined 64-bit ALU: one line per 16 cycles.
+    """
+
+    lane_bits: int = 256
+    pipelined: bool = True
+    latency_per_line: int = 3
+    cycles_per_line: int = 2
+
+    @staticmethod
+    def fast() -> "ReductionUnitConfig":
+        """The default 256-bit pipelined reduction unit."""
+        return ReductionUnitConfig()
+
+    @staticmethod
+    def slow() -> "ReductionUnitConfig":
+        """The simple 64-bit unpipelined unit from the sensitivity study."""
+        return ReductionUnitConfig(
+            lane_bits=64, pipelined=False, latency_per_line=16, cycles_per_line=16
+        )
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Simplified core timing model.
+
+    The paper simulates Nehalem-like OOO cores; our trace-driven model charges
+    a fixed number of cycles per non-memory instruction and a fixed µop
+    overhead for atomic read-modify-write sequences (load-linked, execute,
+    store-conditional, fence) and commutative-update instructions.
+    """
+
+    frequency_ghz: float = 2.4
+    cycles_per_instruction: float = 0.5
+    atomic_uop_overhead: int = 12
+    commutative_uop_overhead: int = 4
+    load_l1_latency: int = 4
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full machine description assembled from the component configs."""
+
+    n_cores: int
+    cores_per_chip: int = 16
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=32 * 1024, ways=8, latency=4)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=256 * 1024, ways=8, latency=7)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024 * 1024, ways=16, latency=27, banks=8
+        )
+    )
+    l4: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=128 * 1024 * 1024, ways=16, latency=35, banks=8
+        )
+    )
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    reduction_unit: ReductionUnitConfig = field(default_factory=ReductionUnitConfig)
+    core: CoreConfig = field(default_factory=CoreConfig)
+    line_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.cores_per_chip <= 0:
+            raise ValueError("cores_per_chip must be positive")
+
+    @property
+    def n_chips(self) -> int:
+        """Number of processor chips (16 cores per chip, at least one)."""
+        return max(1, math.ceil(self.n_cores / self.cores_per_chip))
+
+    @property
+    def n_l4_chips(self) -> int:
+        """The dancehall topology pairs each processor chip with one L4 chip."""
+        return self.n_chips
+
+    @property
+    def n_sockets(self) -> int:
+        """Alias for :attr:`n_chips`, used by socket-level privatization."""
+        return self.n_chips
+
+    def chip_of_core(self, core_id: int) -> int:
+        """Processor chip hosting ``core_id``."""
+        if not 0 <= core_id < self.n_cores:
+            raise ValueError(f"core id {core_id} out of range")
+        return core_id // self.cores_per_chip
+
+    def cores_on_chip(self, chip_id: int) -> range:
+        """Range of core ids on ``chip_id``."""
+        start = chip_id * self.cores_per_chip
+        stop = min(start + self.cores_per_chip, self.n_cores)
+        return range(start, stop)
+
+    def l4_home_chip(self, line_addr: int) -> int:
+        """L4/global-directory chip that is home to a line (address-interleaved)."""
+        return line_addr % self.n_l4_chips
+
+    def l3_home_bank(self, line_addr: int) -> int:
+        """L3 bank within a chip that is home to a line."""
+        return line_addr % self.l3.banks
+
+    def line_address(self, byte_addr: int) -> int:
+        """Cache-line address of a byte address."""
+        return byte_addr // self.line_bytes
+
+    def with_cores(self, n_cores: int) -> "SystemConfig":
+        """A copy of this configuration with a different core count."""
+        return dataclasses.replace(self, n_cores=n_cores)
+
+    def with_reduction_unit(self, unit: ReductionUnitConfig) -> "SystemConfig":
+        """A copy of this configuration with a different reduction unit."""
+        return dataclasses.replace(self, reduction_unit=unit)
+
+
+def table1_config(n_cores: int = 128, reduction_unit: Optional[ReductionUnitConfig] = None) -> SystemConfig:
+    """The paper's Table 1 machine at a given core count.
+
+    The paper scales the number of processor and L4 chips with the core count
+    (1-core runs use one of each, 32-core runs use two, and so on); that
+    scaling falls out of :attr:`SystemConfig.n_chips`.
+    """
+    config = SystemConfig(n_cores=n_cores)
+    if reduction_unit is not None:
+        config = config.with_reduction_unit(reduction_unit)
+    return config
+
+
+def small_test_config(n_cores: int = 4) -> SystemConfig:
+    """A deliberately tiny machine for fast unit tests.
+
+    Caches are shrunk so that capacity evictions actually occur in small
+    traces, exercising the partial-reduction and writeback paths.
+    """
+    return SystemConfig(
+        n_cores=n_cores,
+        cores_per_chip=4,
+        l1d=CacheConfig(size_bytes=1024, ways=2, latency=4),
+        l2=CacheConfig(size_bytes=4096, ways=4, latency=7),
+        l3=CacheConfig(size_bytes=16 * 1024, ways=4, latency=27, banks=2),
+        l4=CacheConfig(size_bytes=64 * 1024, ways=4, latency=35, banks=2),
+    )

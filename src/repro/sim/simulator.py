@@ -1,0 +1,230 @@
+"""Multicore trace-driven timing simulator.
+
+The simulator interleaves per-core access traces in global-time order: the
+core with the smallest local clock issues its next access, the protocol engine
+resolves it (returning critical-path latency and recording traffic), and the
+core's clock advances by the compute time plus memory latency.  Optional phase
+barriers synchronise all cores, which is how reduction phases of privatized
+workloads and supersteps of iterative algorithms are modelled.
+
+This per-access atomic resolution plus per-line serialization at the directory
+captures the effects COUP targets — line ping-pong, invalidation storms, and
+serialization of contended atomics — without modelling transient protocol
+races (those are verified separately in :mod:`repro.verification`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Type
+
+from repro.core.mesi import MesiProtocol
+from repro.core.meusi import MeusiProtocol
+from repro.core.protocol import CoherenceProtocol
+from repro.core.rmo import RmoProtocol
+from repro.sim.access import AccessType, MemoryAccess, WorkloadTrace
+from repro.sim.config import SystemConfig
+from repro.sim.core_model import CoreTimingModel
+from repro.sim.stats import CoreStats, SimulationResult
+
+
+#: Registry of protocol engines selectable by name.
+PROTOCOLS: Dict[str, Type[CoherenceProtocol]] = {
+    "MESI": MesiProtocol,
+    "COUP": MeusiProtocol,
+    "MEUSI": MeusiProtocol,
+    "RMO": RmoProtocol,
+}
+
+
+def make_protocol(
+    name: str, config: SystemConfig, track_values: bool = True
+) -> CoherenceProtocol:
+    """Instantiate a protocol engine by name (``MESI``, ``COUP``, ``RMO``)."""
+    try:
+        protocol_cls = PROTOCOLS[name.upper()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown protocol {name!r}; expected one of {sorted(PROTOCOLS)}"
+        ) from exc
+    return protocol_cls(config, track_values=track_values)
+
+
+@dataclass
+class _CoreCursor:
+    """Per-core simulation cursor."""
+
+    core_id: int
+    clock: float = 0.0
+    next_index: int = 0
+    phase: int = 0
+    waiting_at_barrier: bool = False
+
+
+class MulticoreSimulator:
+    """Runs one workload trace under one protocol on one machine config."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        protocol: CoherenceProtocol,
+        *,
+        track_values: bool = True,
+    ) -> None:
+        self.config = config
+        self.protocol = protocol
+        self.core_model = CoreTimingModel(config.core)
+        self.track_values = track_values
+
+    def run(self, workload: WorkloadTrace) -> SimulationResult:
+        """Simulate the workload to completion and return statistics."""
+        if workload.n_cores > self.config.n_cores:
+            raise ValueError(
+                f"workload uses {workload.n_cores} cores but the machine has "
+                f"{self.config.n_cores}"
+            )
+        workload.validate()
+
+        n_cores = workload.n_cores
+        cursors = [_CoreCursor(core_id=i) for i in range(n_cores)]
+        core_stats = [CoreStats(core_id=i) for i in range(n_cores)]
+        phase_boundaries = workload.phase_boundaries or []
+        n_phases = len(phase_boundaries)
+
+        # Min-heap of (clock, core_id) for cores that still have work to do.
+        heap: List[tuple] = [(0.0, i) for i in range(n_cores)]
+        heapq.heapify(heap)
+        barrier_waiters: List[int] = []
+
+        while heap or barrier_waiters:
+            if not heap:
+                # Every runnable core reached the current barrier: release it.
+                self._release_barrier(cursors, barrier_waiters, heap)
+                continue
+
+            clock, core_id = heapq.heappop(heap)
+            cursor = cursors[core_id]
+            cursor.clock = clock
+            trace = workload.per_core[core_id]
+
+            if cursor.next_index >= len(trace):
+                # This core is done; it still participates in barriers so that
+                # phases end only when every core has arrived.
+                if cursor.phase < n_phases:
+                    barrier_waiters.append(core_id)
+                continue
+
+            # Check whether the core has reached its next phase boundary.
+            if cursor.phase < n_phases:
+                boundary = phase_boundaries[cursor.phase][core_id]
+                if cursor.next_index >= boundary:
+                    barrier_waiters.append(core_id)
+                    continue
+
+            access = trace[cursor.next_index]
+            cursor.next_index += 1
+
+            think = self.core_model.think_cycles(access)
+            issue_time = cursor.clock + think
+            outcome = self.protocol.access(core_id, access, issue_time)
+            overhead = self.core_model.issue_overhead(access)
+            latency = outcome.total_latency
+            cursor.clock = issue_time + overhead + latency
+
+            stats = core_stats[core_id]
+            stats.accesses += 1
+            stats.compute_cycles += think + overhead
+            stats.memory_cycles += latency
+            stats.latency.add(outcome.latency)
+            if outcome.private_hit:
+                stats.l1_hits += 1
+            if access.access_type is AccessType.LOAD:
+                stats.loads += 1
+            elif access.access_type is AccessType.STORE:
+                stats.stores += 1
+            elif access.access_type is AccessType.ATOMIC_RMW:
+                stats.atomics += 1
+            elif access.access_type is AccessType.COMMUTATIVE_UPDATE:
+                stats.commutative_updates += 1
+            elif access.access_type is AccessType.REMOTE_UPDATE:
+                stats.remote_updates += 1
+
+            heapq.heappush(heap, (cursor.clock, core_id))
+
+        self.protocol.finalize()
+
+        for cursor, stats in zip(cursors, core_stats):
+            stats.finish_time = cursor.clock
+
+        run_cycles = max((stats.finish_time for stats in core_stats), default=0.0)
+        traffic = self.protocol.interconnect.traffic
+        meusi_stats = getattr(self.protocol, "reduction_statistics", None)
+        reductions = self.protocol.stat_full_reductions
+        partials = self.protocol.stat_partial_reductions
+
+        return SimulationResult(
+            protocol=self.protocol.name,
+            workload=workload.name,
+            n_cores=n_cores,
+            core_stats=core_stats,
+            run_cycles=run_cycles,
+            offchip_bytes=traffic.off_chip_bytes,
+            onchip_bytes=traffic.on_chip_bytes,
+            reductions=reductions,
+            partial_reductions=partials,
+            invalidations=self.protocol.stat_invalidations,
+            downgrades=self.protocol.stat_downgrades,
+            final_values=dict(self.protocol.memory_image) if self.track_values else None,
+            params=dict(workload.params),
+        )
+
+    @staticmethod
+    def _release_barrier(
+        cursors: Sequence[_CoreCursor], barrier_waiters: List[int], heap: List[tuple]
+    ) -> None:
+        """Advance every waiting core past the barrier at the barrier time."""
+        if not barrier_waiters:
+            return
+        release_time = max(cursors[core_id].clock for core_id in barrier_waiters)
+        for core_id in barrier_waiters:
+            cursor = cursors[core_id]
+            cursor.clock = release_time
+            cursor.phase += 1
+            heapq.heappush(heap, (cursor.clock, core_id))
+        barrier_waiters.clear()
+
+
+def simulate(
+    workload: WorkloadTrace,
+    config: SystemConfig,
+    protocol: str = "MESI",
+    *,
+    track_values: bool = True,
+) -> SimulationResult:
+    """Convenience wrapper: build the protocol engine and run the workload."""
+    engine = make_protocol(protocol, config, track_values=track_values)
+    simulator = MulticoreSimulator(config, engine, track_values=track_values)
+    return simulator.run(workload)
+
+
+def compare_protocols(
+    workload_factory: Callable[[int], WorkloadTrace],
+    config: SystemConfig,
+    protocols: Sequence[str] = ("MESI", "COUP"),
+    *,
+    track_values: bool = False,
+) -> Dict[str, SimulationResult]:
+    """Run the same workload (regenerated per protocol) under several protocols.
+
+    The factory receives the core count so workloads can be regenerated with
+    identical parameters; regenerating (rather than sharing) the trace keeps
+    results independent even if a workload uses its own RNG lazily.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for protocol in protocols:
+        workload = workload_factory(config.n_cores)
+        results[protocol] = simulate(
+            workload, config, protocol, track_values=track_values
+        )
+    return results

@@ -1,0 +1,22 @@
+"""Software baseline models: privatization, delegation, SNZI, Refcache."""
+
+from repro.software.delegation import DelegationBuilder
+from repro.software.privatization import (
+    PrivatizationLevel,
+    PrivatizedReductionBuilder,
+    PrivatizedReductionPlan,
+    socket_of_core,
+)
+from repro.software.refcache import RefcacheConfig, RefcacheThreadCache
+from repro.software.snzi import SnziTree
+
+__all__ = [
+    "DelegationBuilder",
+    "PrivatizationLevel",
+    "PrivatizedReductionBuilder",
+    "PrivatizedReductionPlan",
+    "RefcacheConfig",
+    "RefcacheThreadCache",
+    "SnziTree",
+    "socket_of_core",
+]

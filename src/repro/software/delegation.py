@@ -1,0 +1,106 @@
+"""Delegation software baseline: the software counterpart of RMOs (Sec. 2.2).
+
+Delegation schemes partition shared data among threads and send each update to
+the owning thread through a shared-memory queue; the owner applies updates to
+its partition locally.  Like RMOs, delegation avoids ping-ponging the data
+itself but pays per-update queue traffic and is limited by the owner's
+throughput.
+
+The model generates the access stream of a simple single-producer/single-
+consumer mailbox per (sender, owner) pair: the sender writes a queue entry
+(store) and bumps the tail pointer (store); the owner later reads the entry
+and applies the update to its local partition with plain read-modify-writes.
+Owner-side work is appended as a separate phase so the simulator's barrier
+places it after the producers finish, which models the bulk-synchronous way
+delegation is typically used for reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.commutative import CommutativeOp
+from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.workloads.base import AddressMap
+
+
+class DelegationBuilder:
+    """Builds delegation-style traces from logical per-core update streams."""
+
+    #: Bytes per queue entry (address + value + sequence number).
+    ENTRY_BYTES = 24
+
+    def __init__(
+        self,
+        addresses: AddressMap,
+        n_cores: int,
+        *,
+        owner_of_element: Callable[[int], int],
+        element_address: Callable[[int], int],
+        op: CommutativeOp = CommutativeOp.ADD_I64,
+    ) -> None:
+        self.addresses = addresses
+        self.n_cores = n_cores
+        self.owner_of_element = owner_of_element
+        self.element_address = element_address
+        self.op = op
+
+    def _queue_entry_address(self, sender: int, owner: int, index: int) -> int:
+        return self.addresses.element(
+            f"deleg_queue_{sender}_{owner}", index, self.ENTRY_BYTES
+        )
+
+    def build(
+        self, per_core_updates: Sequence[Sequence[Tuple[int, object, int]]]
+    ) -> WorkloadTrace:
+        """Produce a two-phase delegation trace.
+
+        ``per_core_updates[core]`` lists ``(element_index, value, think)``
+        updates that ``core`` wants performed.  Phase 1: senders enqueue
+        updates into per-owner mailboxes.  Phase 2: owners drain their
+        mailboxes and apply the updates to their partition.
+        """
+        if len(per_core_updates) != self.n_cores:
+            raise ValueError("need one update stream per core")
+
+        mailboxes: Dict[int, List[Tuple[int, int, object]]] = {
+            owner: [] for owner in range(self.n_cores)
+        }
+        per_core: List[Trace] = [[] for _ in range(self.n_cores)]
+        queue_positions: Dict[Tuple[int, int], int] = {}
+
+        # Phase 1: producers enqueue.
+        for sender, updates in enumerate(per_core_updates):
+            trace = per_core[sender]
+            for element, value, think in updates:
+                owner = self.owner_of_element(element)
+                if owner == sender:
+                    # Local elements are updated directly, no queueing needed.
+                    address = self.element_address(element)
+                    trace.append(MemoryAccess.load(address, think=think))
+                    trace.append(MemoryAccess.store(address, None, think=1))
+                    continue
+                index = queue_positions.get((sender, owner), 0)
+                queue_positions[(sender, owner)] = index + 1
+                entry = self._queue_entry_address(sender, owner, index)
+                trace.append(MemoryAccess.store(entry, None, think=think))
+                trace.append(MemoryAccess.store(entry + 8, None, think=1))
+                mailboxes[owner].append((sender, index, (element, value)))
+        phase1 = [len(trace) for trace in per_core]
+
+        # Phase 2: owners drain their mailboxes.
+        for owner, entries in mailboxes.items():
+            trace = per_core[owner]
+            for sender, index, (element, value) in entries:
+                entry = self._queue_entry_address(sender, owner, index)
+                trace.append(MemoryAccess.load(entry, think=4))
+                address = self.element_address(element)
+                trace.append(MemoryAccess.load(address, think=2))
+                trace.append(MemoryAccess.store(address, None, think=1))
+
+        return WorkloadTrace(
+            name="delegation",
+            per_core=per_core,
+            params={"n_cores": self.n_cores},
+            phase_boundaries=[phase1],
+        )

@@ -1,0 +1,159 @@
+"""Software privatization: the software counterpart of COUP (Sec. 2.2, 4.1).
+
+Privatization keeps one replica of the reduction variable per thread (or per
+socket); threads update their replica with plain stores (or with atomics, for
+socket-level sharing) and a separate *reduction phase* folds all replicas into
+the shared result.  The technique removes coherence traffic from the update
+phase, at the cost of
+
+* a reduction phase whose work grows with ``n_replicas * n_elements``, and
+* an ``n_replicas``-fold increase in memory footprint, which pressures the
+  shared caches when the reduction variable is large (Sec. 5.3).
+
+This module provides trace builders that turn a logical stream of updates per
+core into the privatized update phase plus reduction phase, so any workload
+with reduction-variable structure (histogram is the paper's example) can be
+expressed in privatized form.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.core.commutative import CommutativeOp
+from repro.sim.access import MemoryAccess, Trace
+from repro.workloads.base import AddressMap
+
+
+class PrivatizationLevel(enum.Enum):
+    """Granularity at which replicas are created."""
+
+    #: One replica per core ("thread-local" privatization).
+    CORE = "core"
+    #: One replica per socket, updated with atomics by the socket's cores.
+    SOCKET = "socket"
+
+
+@dataclass
+class PrivatizedReductionPlan:
+    """Layout of a privatized reduction variable.
+
+    Attributes
+    ----------
+    n_elements:
+        Number of elements in the logical reduction variable.
+    element_bytes:
+        Size of each element.
+    op:
+        Commutative operation used to combine per-replica values.
+    level:
+        Replication granularity.
+    n_replicas:
+        Number of replicas (cores or sockets).
+    """
+
+    n_elements: int
+    element_bytes: int
+    op: CommutativeOp
+    level: PrivatizationLevel
+    n_replicas: int
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total memory footprint of all replicas (the privatization cost)."""
+        return self.n_elements * self.element_bytes * self.n_replicas
+
+
+class PrivatizedReductionBuilder:
+    """Builds per-core traces for a privatized reduction variable.
+
+    The caller supplies, per core, the logical update stream as
+    ``(element_index, value, think_instructions)`` tuples.  The builder
+    produces:
+
+    * an **update phase**, where each core updates its replica —
+      with plain load/store pairs for core-level privatization (the replica
+      is thread-private) or atomic adds for socket-level privatization
+      (the replica is shared by the socket's cores), and
+    * a **reduction phase**, where the elements are partitioned among cores
+      and each core folds every replica's value for its elements into the
+      shared result array.
+    """
+
+    def __init__(
+        self,
+        plan: PrivatizedReductionPlan,
+        addresses: AddressMap,
+        *,
+        array_name: str = "reduction",
+        replica_of_core: Callable[[int], int] = None,
+    ) -> None:
+        self.plan = plan
+        self.addresses = addresses
+        self.array_name = array_name
+        self.replica_of_core = replica_of_core or (lambda core: core)
+
+    def _replica_address(self, replica: int, element: int) -> int:
+        name = f"{self.array_name}_replica_{replica}"
+        return self.addresses.element(name, element, self.plan.element_bytes)
+
+    def _shared_address(self, element: int) -> int:
+        return self.addresses.element(
+            f"{self.array_name}_shared", element, self.plan.element_bytes
+        )
+
+    # -- update phase -----------------------------------------------------------
+
+    def update_phase(
+        self, core_id: int, updates: Sequence[Tuple[int, object, int]]
+    ) -> Trace:
+        """Trace of one core's updates applied to its replica."""
+        replica = self.replica_of_core(core_id)
+        trace: Trace = []
+        private_replica = self.plan.level is PrivatizationLevel.CORE
+        for element, value, think in updates:
+            address = self._replica_address(replica, element)
+            if private_replica:
+                # Thread-private replica: read-modify-write with plain accesses.
+                trace.append(MemoryAccess.load(address, think=think))
+                trace.append(MemoryAccess.store(address, None, think=1))
+            else:
+                # Socket-shared replica: atomics are still required.
+                trace.append(MemoryAccess.atomic(address, self.plan.op, value, think=think))
+        return trace
+
+    # -- reduction phase ---------------------------------------------------------
+
+    def reduction_phase(self, core_id: int, n_cores: int) -> Trace:
+        """Trace of one core's share of the final reduction.
+
+        Elements are block-partitioned among cores; for its elements the core
+        loads every replica's value and stores the combined result into the
+        shared array.  This is the phase whose cost grows with the number of
+        elements and replicas, and which COUP eliminates.
+        """
+        trace: Trace = []
+        n_elements = self.plan.n_elements
+        bounds = [
+            (n_elements * i) // n_cores for i in range(n_cores + 1)
+        ]
+        for element in range(bounds[core_id], bounds[core_id + 1]):
+            for replica in range(self.plan.n_replicas):
+                trace.append(
+                    MemoryAccess.load(self._replica_address(replica, element), think=1)
+                )
+            trace.append(
+                MemoryAccess.store(self._shared_address(element), None, think=1)
+            )
+        return trace
+
+
+def socket_of_core(cores_per_socket: int) -> Callable[[int], int]:
+    """Replica-assignment function for socket-level privatization."""
+
+    def _socket(core_id: int) -> int:
+        return core_id // cores_per_socket
+
+    return _socket

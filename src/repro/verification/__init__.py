@@ -1,0 +1,46 @@
+"""Protocol verification substrate: transient-state models and a model checker."""
+
+from repro.verification.checker import ExplorationResult, ModelChecker, verify_protocol
+from repro.verification.inventory import (
+    INVENTORIES,
+    THREE_LEVEL_MESI,
+    THREE_LEVEL_MEUSI,
+    TWO_LEVEL_MESI,
+    TWO_LEVEL_MEUSI,
+    ControllerInventory,
+    ProtocolInventory,
+    directory_type_field_bits,
+    extra_states_over_mesi,
+)
+from repro.verification.invariants import InvariantViolation, check_invariants
+from repro.verification.model import (
+    CacheState,
+    CoherenceModel,
+    DirState,
+    GlobalState,
+    ModelConfig,
+    MsgType,
+)
+
+__all__ = [
+    "CacheState",
+    "CoherenceModel",
+    "ControllerInventory",
+    "DirState",
+    "ExplorationResult",
+    "GlobalState",
+    "INVENTORIES",
+    "InvariantViolation",
+    "ModelChecker",
+    "ModelConfig",
+    "MsgType",
+    "ProtocolInventory",
+    "THREE_LEVEL_MESI",
+    "THREE_LEVEL_MEUSI",
+    "TWO_LEVEL_MESI",
+    "TWO_LEVEL_MEUSI",
+    "check_invariants",
+    "directory_type_field_bits",
+    "extra_states_over_mesi",
+    "verify_protocol",
+]

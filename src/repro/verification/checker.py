@@ -1,0 +1,142 @@
+"""Explicit-state model checker (breadth-first reachability + invariants).
+
+This plays the role Murphi plays in the paper's Sec. 3.4: starting from the
+initial state of a :class:`~repro.verification.model.CoherenceModel`, it
+enumerates every reachable global state, checks the coherence invariants on
+each, verifies absence of deadlock (every non-quiescent state has a successor),
+and reports the state-space size and wall-clock time.  Fig. 8's experiment
+sweeps core count and number of commutative-update types and plots exactly
+these quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.verification.invariants import InvariantViolation, check_invariants
+from repro.verification.model import CoherenceModel, GlobalState, ModelConfig
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exhaustive exploration."""
+
+    config: ModelConfig
+    n_states: int
+    n_transitions: int
+    elapsed_seconds: float
+    violations: List[InvariantViolation] = field(default_factory=list)
+    deadlocks: int = 0
+    completed: bool = True
+    max_frontier: int = 0
+
+    @property
+    def verified(self) -> bool:
+        """True if the exploration finished with no violations or deadlocks."""
+        return self.completed and not self.violations and self.deadlocks == 0
+
+    def summary(self) -> dict:
+        return {
+            "protocol": self.config.protocol,
+            "n_cores": self.config.n_cores,
+            "n_ops": self.config.n_ops,
+            "states": self.n_states,
+            "transitions": self.n_transitions,
+            "time_s": self.elapsed_seconds,
+            "verified": self.verified,
+            "completed": self.completed,
+        }
+
+
+class ModelChecker:
+    """Breadth-first explicit-state enumeration with invariant checking."""
+
+    def __init__(
+        self,
+        config: ModelConfig,
+        *,
+        max_states: int = 2_000_000,
+        check_deadlock: bool = True,
+        stop_on_violation: bool = True,
+    ) -> None:
+        self.config = config
+        self.model = CoherenceModel(config)
+        self.max_states = max_states
+        self.check_deadlock = check_deadlock
+        self.stop_on_violation = stop_on_violation
+
+    def run(self) -> ExplorationResult:
+        """Explore the reachable state space and return statistics."""
+        start = time.perf_counter()
+        initial = self.model.initial_state()
+        visited: Dict[tuple, None] = {initial.key(): None}
+        frontier = deque([initial])
+        violations: List[InvariantViolation] = []
+        transitions = 0
+        deadlocks = 0
+        completed = True
+        max_frontier = 1
+
+        while frontier:
+            state = frontier.popleft()
+            violations.extend(check_invariants(state, self.config))
+            if violations and self.stop_on_violation:
+                completed = False
+                break
+
+            successor_count = 0
+            for _rule, successor in self.model.successors(state):
+                transitions += 1
+                successor_count += 1
+                key = successor.key()
+                if key not in visited:
+                    visited[key] = None
+                    frontier.append(successor)
+            max_frontier = max(max_frontier, len(frontier))
+
+            if self.check_deadlock and successor_count == 0 and not self._is_quiescent(state):
+                deadlocks += 1
+
+            if len(visited) > self.max_states:
+                completed = False
+                break
+
+        elapsed = time.perf_counter() - start
+        return ExplorationResult(
+            config=self.config,
+            n_states=len(visited),
+            n_transitions=transitions,
+            elapsed_seconds=elapsed,
+            violations=violations,
+            deadlocks=deadlocks,
+            completed=completed,
+            max_frontier=max_frontier,
+        )
+
+    @staticmethod
+    def _is_quiescent(state: GlobalState) -> bool:
+        """A state with no pending work: empty network and no transient states."""
+        if state.network:
+            return False
+        if state.directory.state.is_busy:
+            return False
+        return all(cache.state.is_stable for cache in state.caches)
+
+
+def verify_protocol(
+    protocol: str,
+    n_cores: int,
+    n_ops: int = 1,
+    *,
+    max_states: int = 2_000_000,
+    value_base: int = 2,
+) -> ExplorationResult:
+    """Convenience wrapper used by experiments, examples, and tests."""
+    config = ModelConfig(
+        n_cores=n_cores, n_ops=n_ops, protocol=protocol, value_base=value_base
+    )
+    checker = ModelChecker(config, max_states=max_states)
+    return checker.run()

@@ -1,0 +1,181 @@
+"""Coherence invariants checked on every reachable state of the protocol model.
+
+Sec. 3.3 argues COUP maintains coherence even though it abandons the
+single-writer/multiple-reader (SWMR) invariant: in update-only mode any serial
+order of the buffered commutative updates yields the same result, and every
+transition out of update-only mode propagates all partial updates before data
+becomes readable.  The checkable consequences on our model are:
+
+* **Exclusive-owner invariant** — at most one cache in M or E, and if one
+  exists no cache is in S or U.
+* **Single-mode invariant** — read-only (S) and update-only (U) copies never
+  coexist, and all U copies use the same operation type (the directory's type
+  field matches).
+* **Read-value invariant** — any cache that may satisfy reads (S, E, M) holds
+  exactly the ghost (architecturally correct) value.
+* **Update-conservation invariant** — the ghost value always equals the
+  directory's value plus every buffered delta in U caches plus every delta in
+  flight in PutU/Partial messages plus any dirty value still travelling in
+  writebacks.  This is the "no update is ever lost or duplicated" property
+  that makes reductions produce the correct value.
+* **Directory-consistency invariant** — the directory's sharer/owner records
+  agree with the caches' states (modulo in-flight transactions, which are
+  accounted through the message terms above).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.verification.model import (
+    CacheState,
+    DirState,
+    GlobalState,
+    ModelConfig,
+    MsgType,
+)
+
+
+@dataclass
+class InvariantViolation:
+    """One invariant failure found during state-space exploration."""
+
+    invariant: str
+    detail: str
+    state: GlobalState
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.invariant}: {self.detail}"
+
+
+def _value_carrying_terms(state: GlobalState, config: ModelConfig) -> Optional[int]:
+    """Reconstruct the logical value from directory + caches + network.
+
+    Returns ``None`` when a value-carrying response (Data) is in flight in a
+    direction that makes the accounting ambiguous; those states are skipped by
+    the conservation check (the value is still checked once it lands).
+    """
+    base = config.value_base
+    total = state.directory.value
+
+    owner_value: Optional[int] = None
+    for cache in state.caches:
+        if cache.state in (CacheState.M, CacheState.E):
+            owner_value = cache.value
+        elif cache.state is CacheState.U:
+            total = (total + cache.value) % base
+        elif cache.state is CacheState.IU_W and cache.op is not None:
+            # Type-switch in progress: the cache still buffers its old delta.
+            total = (total + cache.value) % base
+
+    for msg_type, _src, _dst, payload in state.network:
+        if msg_type is MsgType.PUT_U:
+            total = (total + payload[1]) % base
+        elif msg_type is MsgType.PARTIAL and payload[0] is not None:
+            total = (total + payload[1]) % base
+        elif msg_type is MsgType.PUT_M or msg_type is MsgType.DATA_WB:
+            # A dirty value is in flight; it will overwrite the directory copy.
+            owner_value = payload[0]
+        elif msg_type is MsgType.DATA:
+            # The authoritative value is being handed to a requester; the
+            # directory already recorded it, nothing to add.
+            continue
+
+    if owner_value is not None:
+        return owner_value % base
+    return total % base
+
+
+def check_invariants(state: GlobalState, config: ModelConfig) -> List[InvariantViolation]:
+    """Return every invariant violated by ``state`` (empty list if none)."""
+    violations: List[InvariantViolation] = []
+
+    exclusive = [i for i, c in enumerate(state.caches) if c.state in (CacheState.M, CacheState.E)]
+    shared = [i for i, c in enumerate(state.caches) if c.state is CacheState.S]
+    updating = [i for i, c in enumerate(state.caches) if c.state is CacheState.U]
+
+    if len(exclusive) > 1:
+        violations.append(
+            InvariantViolation("exclusive-owner", f"multiple owners {exclusive}", state)
+        )
+    if exclusive and (shared or updating):
+        violations.append(
+            InvariantViolation(
+                "exclusive-owner",
+                f"owner {exclusive} coexists with S={shared} U={updating}",
+                state,
+            )
+        )
+    if shared and updating:
+        violations.append(
+            InvariantViolation(
+                "single-mode", f"S={shared} and U={updating} coexist", state
+            )
+        )
+
+    ops = {state.caches[i].op for i in updating}
+    if len(ops) > 1:
+        violations.append(
+            InvariantViolation("single-mode", f"mixed update types {ops}", state)
+        )
+    if updating and state.directory.state is DirState.UPDATE and ops and state.directory.op not in ops:
+        violations.append(
+            InvariantViolation(
+                "single-mode",
+                f"directory op {state.directory.op} != cache ops {ops}",
+                state,
+            )
+        )
+
+    # Read-value invariant: readable copies hold the ghost value, except while
+    # the directory is mid-transaction moving the line away from them.
+    if not state.directory.state.is_busy:
+        for index in exclusive + shared:
+            cache = state.caches[index]
+            if cache.value != state.ghost_value:
+                violations.append(
+                    InvariantViolation(
+                        "read-value",
+                        f"core {index} in {cache.state.value} holds {cache.value}, "
+                        f"ghost is {state.ghost_value}",
+                        state,
+                    )
+                )
+                break
+
+    reconstructed = _value_carrying_terms(state, config)
+    if reconstructed is not None and reconstructed != state.ghost_value % config.value_base:
+        violations.append(
+            InvariantViolation(
+                "update-conservation",
+                f"reconstructed {reconstructed} != ghost {state.ghost_value}",
+                state,
+            )
+        )
+
+    # Directory consistency (checked only in quiescent directory states).
+    directory = state.directory
+    if directory.state is DirState.EXCLUSIVE and not directory.state.is_busy:
+        pass  # The owner may be mid-eviction; detailed agreement is covered above.
+    if directory.state is DirState.UPDATE and not updating:
+        # The registered updaters may be mid-eviction (PutU in flight), not yet
+        # granted (GrantU in flight), or mid-type-switch (IU_W still holding
+        # the old type's delta); only a state with none of those is anomalous.
+        in_flight_putu = any(m[0] is MsgType.PUT_U for m in state.network)
+        pending_grant = any(m[0] is MsgType.GRANT_U for m in state.network)
+        evicting_or_switching = any(
+            cache.state in (CacheState.UI_A,)
+            or (cache.state is CacheState.IU_W and cache.op is not None)
+            for cache in state.caches
+        )
+        if not in_flight_putu and not pending_grant and not evicting_or_switching:
+            violations.append(
+                InvariantViolation(
+                    "directory-consistency",
+                    "directory in UPDATE mode with no updaters and no in-flight PutU",
+                    state,
+                )
+            )
+
+    return violations

@@ -1,0 +1,765 @@
+"""Message-level coherence protocol model used for exhaustive verification.
+
+The paper verifies MESI and MEUSI with Murphi, adopting the usual reductions:
+a single 1-bit cache line, a handful of cores, self-eviction rules to model
+limited capacity (Sec. 3.4).  This module defines an equivalent explicit-state
+model in Python: a parametric transition system whose global states are
+
+* one line state per private cache (stable or transient, plus the buffered
+  delta when in update-only mode),
+* the directory/LLC state (sharer set, owner, update-only operation type,
+  authoritative value, a blocking-transaction record while the directory is
+  collecting acks, writebacks, or partial updates, and an unblock counter
+  while a grant is still travelling to its requester),
+* the multiset of messages in flight on an unordered network, and
+* a ghost variable holding the architecturally correct value of the line,
+  updated whenever a core legitimately performs a write or commutative update.
+
+Values are integers modulo a small base so the state space stays finite while
+still detecting lost or duplicated updates.  The number of distinct
+commutative-update operation types is a parameter, mirroring Fig. 8's sweep.
+
+The directory blocks while a transaction is in flight and additionally waits
+for an ``Unblock`` acknowledgment from the requester before serving the next
+demand request for the line (the SGI-Origin-style busy/unblock discipline).
+This keeps the per-cache transient-state set small — the model needs only
+``IS_D``, ``IM_D``, and ``IU_W`` — while remaining a legal, race-free
+implementation; the paper's Fig. 7 controllers instead resolve the same races
+with additional L1 transient states (ISI, WBI, xMI, ...), whose inventory is
+recorded in :mod:`repro.verification.inventory`.
+
+The :mod:`repro.verification.checker` enumerates all reachable states of this
+model and checks the coherence invariants from Sec. 3.3 on every one of them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Optional, Tuple
+
+
+class CacheState(enum.Enum):
+    """Private cache (L1) states: MESI stable states, U, and transients."""
+
+    I = "I"  # noqa: E741 - the canonical protocol state name
+    S = "S"
+    E = "E"
+    M = "M"
+    U = "U"
+    # Transient states: waiting for a response from the directory.
+    IS_D = "IS_D"   # read miss, waiting for data
+    IM_D = "IM_D"   # write miss/upgrade, waiting for data/ack
+    IU_W = "IU_W"   # update-permission miss, waiting for grant
+    # Eviction transients: waiting for the directory to acknowledge a Put.
+    SI_A = "SI_A"
+    MI_A = "MI_A"
+    UI_A = "UI_A"
+
+    @property
+    def is_transient(self) -> bool:
+        return self in (
+            CacheState.IS_D,
+            CacheState.IM_D,
+            CacheState.IU_W,
+            CacheState.SI_A,
+            CacheState.MI_A,
+            CacheState.UI_A,
+        )
+
+    @property
+    def is_evicting(self) -> bool:
+        return self in (CacheState.SI_A, CacheState.MI_A, CacheState.UI_A)
+
+    @property
+    def is_stable(self) -> bool:
+        return not self.is_transient
+
+
+class DirState(enum.Enum):
+    """Directory (LLC) states, including blocking transient states."""
+
+    UNCACHED = "Un"
+    SHARED = "Sh"
+    EXCLUSIVE = "Ex"
+    UPDATE = "Up"
+    # Blocking states: the directory has sent invalidations / reduce requests
+    # and is waiting for all acks before completing the pending request.
+    BUSY_INV = "BusyInv"
+    BUSY_REDUCE = "BusyRed"
+    BUSY_WB = "BusyWb"
+
+    @property
+    def is_busy(self) -> bool:
+        return self in (DirState.BUSY_INV, DirState.BUSY_REDUCE, DirState.BUSY_WB)
+
+
+class MsgType(enum.Enum):
+    """Network message types."""
+
+    # Core -> directory requests.
+    GETS = "GetS"
+    GETX = "GetX"
+    GETU = "GetU"
+    PUT_M = "PutM"
+    PUT_S = "PutS"
+    PUT_U = "PutU"
+    # Directory -> core.
+    DATA = "Data"          # payload: (value, grant_exclusive)
+    GRANT_M = "GrantM"
+    GRANT_U = "GrantU"
+    INV = "Inv"
+    REDUCE = "Reduce"
+    PUT_ACK = "PutAck"     # directory acknowledges an eviction
+    # Core -> directory responses.
+    INV_ACK = "InvAck"
+    DATA_WB = "DataWb"     # payload: value
+    PARTIAL = "Partial"    # payload: (op, delta)
+    UNBLOCK = "Unblock"    # requester confirms receipt of a grant
+
+
+# A message is (type, src, dst, payload); cores are 0..n-1, the directory is -1.
+Message = Tuple[MsgType, int, int, Tuple]
+DIR = -1
+
+
+@dataclass(frozen=True)
+class CacheLine:
+    """One private cache's view of the line."""
+
+    state: CacheState = CacheState.I
+    value: int = 0          # data value when in S/E/M; delta when in U
+    op: Optional[int] = None  # commutative op id when in U / IU_W
+    pending_op: Optional[int] = None  # op requested while in a transient state
+
+    def as_tuple(self) -> Tuple:
+        return (self.state.value, self.value, self.op, self.pending_op)
+
+
+@dataclass(frozen=True)
+class DirectoryLine:
+    """The directory/LLC view of the line."""
+
+    state: DirState = DirState.UNCACHED
+    value: int = 0
+    sharers: FrozenSet[int] = frozenset()
+    owner: Optional[int] = None
+    op: Optional[int] = None            # update-only op type
+    pending: Optional[Tuple] = None     # (requestor, MsgType, op) while busy
+    acks_needed: int = 0
+    #: Grants sent whose Unblock has not yet arrived; demand requests stall.
+    unblocks_pending: int = 0
+
+    def as_tuple(self) -> Tuple:
+        return (
+            self.state.value,
+            self.value,
+            tuple(sorted(self.sharers)),
+            self.owner,
+            self.op,
+            self.pending,
+            self.acks_needed,
+            self.unblocks_pending,
+        )
+
+    def replace(self, **kwargs) -> "DirectoryLine":
+        """Return a copy with the given fields replaced."""
+        fields = {
+            "state": self.state,
+            "value": self.value,
+            "sharers": self.sharers,
+            "owner": self.owner,
+            "op": self.op,
+            "pending": self.pending,
+            "acks_needed": self.acks_needed,
+            "unblocks_pending": self.unblocks_pending,
+        }
+        fields.update(kwargs)
+        return DirectoryLine(**fields)
+
+
+@dataclass(frozen=True)
+class GlobalState:
+    """A complete, hashable snapshot of the protocol model."""
+
+    caches: Tuple[CacheLine, ...]
+    directory: DirectoryLine
+    network: Tuple[Message, ...]   # sorted tuple acting as a multiset
+    ghost_value: int
+
+    def key(self) -> Tuple:
+        return (
+            tuple(cache.as_tuple() for cache in self.caches),
+            self.directory.as_tuple(),
+            self.network,
+            self.ghost_value,
+        )
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Parameters of the verification model."""
+
+    n_cores: int = 2
+    n_ops: int = 1
+    protocol: str = "MEUSI"     # "MESI" disables U-state transitions
+    value_base: int = 2         # values are integers modulo this base
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if self.n_ops < 1:
+            raise ValueError("n_ops must be >= 1")
+        if self.protocol.upper() not in ("MESI", "MEUSI", "MSI", "MUSI"):
+            raise ValueError(f"unsupported protocol {self.protocol!r}")
+        if self.value_base < 2:
+            raise ValueError("value_base must be >= 2")
+
+    @property
+    def supports_update_state(self) -> bool:
+        return self.protocol.upper() in ("MEUSI", "MUSI")
+
+
+class CoherenceModel:
+    """Parametric MESI/MEUSI transition system over a single cache line."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.config = config
+
+    # -- construction helpers --------------------------------------------------
+
+    def initial_state(self) -> GlobalState:
+        caches = tuple(CacheLine() for _ in range(self.config.n_cores))
+        return GlobalState(
+            caches=caches,
+            directory=DirectoryLine(),
+            network=(),
+            ghost_value=0,
+        )
+
+    @staticmethod
+    def _with_cache(state: GlobalState, core: int, line: CacheLine) -> GlobalState:
+        caches = list(state.caches)
+        caches[core] = line
+        return GlobalState(tuple(caches), state.directory, state.network, state.ghost_value)
+
+    @staticmethod
+    def _with_dir(state: GlobalState, directory: DirectoryLine) -> GlobalState:
+        return GlobalState(state.caches, directory, state.network, state.ghost_value)
+
+    @staticmethod
+    def _with_ghost(state: GlobalState, ghost: int) -> GlobalState:
+        return GlobalState(state.caches, state.directory, state.network, ghost)
+
+    @staticmethod
+    def _send(state: GlobalState, *messages: Message) -> GlobalState:
+        network = tuple(sorted(state.network + messages, key=repr))
+        return GlobalState(state.caches, state.directory, network, state.ghost_value)
+
+    @staticmethod
+    def _consume(state: GlobalState, message: Message) -> GlobalState:
+        network = list(state.network)
+        network.remove(message)
+        return GlobalState(state.caches, state.directory, tuple(network), state.ghost_value)
+
+    def _mod(self, value: int) -> int:
+        return value % self.config.value_base
+
+    # -- successor generation ---------------------------------------------------
+
+    def successors(self, state: GlobalState) -> Iterator[Tuple[str, GlobalState]]:
+        """Yield (rule_name, next_state) for every enabled transition."""
+        yield from self._core_request_rules(state)
+        yield from self._core_local_op_rules(state)
+        yield from self._eviction_rules(state)
+        yield from self._message_delivery_rules(state)
+
+    # Core-initiated requests ---------------------------------------------------
+
+    def _core_request_rules(self, state: GlobalState) -> Iterator[Tuple[str, GlobalState]]:
+        for core, line in enumerate(state.caches):
+            if line.state is CacheState.I:
+                next_state = self._with_cache(state, core, CacheLine(CacheState.IS_D))
+                yield f"core{core}.read_miss", self._send(
+                    next_state, (MsgType.GETS, core, DIR, ())
+                )
+                next_state = self._with_cache(state, core, CacheLine(CacheState.IM_D))
+                yield f"core{core}.write_miss", self._send(
+                    next_state, (MsgType.GETX, core, DIR, ())
+                )
+                if self.config.supports_update_state:
+                    for op in range(self.config.n_ops):
+                        next_state = self._with_cache(
+                            state, core, CacheLine(CacheState.IU_W, 0, None, op)
+                        )
+                        yield f"core{core}.update_miss_op{op}", self._send(
+                            next_state, (MsgType.GETU, core, DIR, (op,))
+                        )
+            elif line.state is CacheState.S:
+                # Upgrade for write; reads hit locally (no state change).
+                next_state = self._with_cache(state, core, CacheLine(CacheState.IM_D))
+                yield f"core{core}.upgrade", self._send(
+                    next_state, (MsgType.GETX, core, DIR, ())
+                )
+                if self.config.supports_update_state:
+                    for op in range(self.config.n_ops):
+                        next_state = self._with_cache(
+                            state, core, CacheLine(CacheState.IU_W, 0, None, op)
+                        )
+                        yield f"core{core}.update_from_s_op{op}", self._send(
+                            next_state, (MsgType.GETU, core, DIR, (op,))
+                        )
+            elif line.state is CacheState.U and self.config.supports_update_state:
+                # An update of a *different* type requires a new request; the
+                # buffered delta of the old type is surrendered when the
+                # directory's Reduce message arrives (the cache keeps it in
+                # the transient state until then).
+                for op in range(self.config.n_ops):
+                    if op == line.op:
+                        continue
+                    next_state = self._with_cache(
+                        state,
+                        core,
+                        CacheLine(CacheState.IU_W, line.value, line.op, op),
+                    )
+                    yield f"core{core}.type_switch_op{op}", self._send(
+                        next_state, (MsgType.GETU, core, DIR, (op,))
+                    )
+
+    # Local operations that need no protocol action -------------------------------
+
+    def _core_local_op_rules(self, state: GlobalState) -> Iterator[Tuple[str, GlobalState]]:
+        for core, line in enumerate(state.caches):
+            if line.state in (CacheState.M, CacheState.E):
+                # Write: bump the value (E silently upgrades to M).  The same
+                # rule covers a commutative update performed on the owned copy.
+                new_value = self._mod(state.ghost_value + 1)
+                next_state = self._with_cache(state, core, CacheLine(CacheState.M, new_value))
+                next_state = self._with_ghost(next_state, new_value)
+                yield f"core{core}.local_write", next_state
+            elif line.state is CacheState.U:
+                # Commutative update of the line's current type: buffer +1.
+                new_delta = self._mod(line.value + 1)
+                next_state = self._with_cache(
+                    state, core, CacheLine(CacheState.U, new_delta, line.op)
+                )
+                next_state = self._with_ghost(next_state, self._mod(state.ghost_value + 1))
+                yield f"core{core}.local_update_in_u", next_state
+
+    # Self-evictions ----------------------------------------------------------------
+
+    def _eviction_rules(self, state: GlobalState) -> Iterator[Tuple[str, GlobalState]]:
+        for core, line in enumerate(state.caches):
+            if line.state is CacheState.S:
+                next_state = self._with_cache(state, core, CacheLine(CacheState.SI_A))
+                yield f"core{core}.evict_s", self._send(
+                    next_state, (MsgType.PUT_S, core, DIR, ())
+                )
+            elif line.state in (CacheState.M, CacheState.E):
+                next_state = self._with_cache(state, core, CacheLine(CacheState.MI_A))
+                yield f"core{core}.evict_m", self._send(
+                    next_state, (MsgType.PUT_M, core, DIR, (line.value,))
+                )
+            elif line.state is CacheState.U:
+                next_state = self._with_cache(state, core, CacheLine(CacheState.UI_A))
+                yield f"core{core}.evict_u", self._send(
+                    next_state, (MsgType.PUT_U, core, DIR, (line.op, line.value)),
+                )
+
+    # Message deliveries ---------------------------------------------------------------
+
+    def _message_delivery_rules(self, state: GlobalState) -> Iterator[Tuple[str, GlobalState]]:
+        for message in set(state.network):
+            if message[2] == DIR:
+                yield from self._deliver_to_directory(state, message)
+            else:
+                yield from self._deliver_to_cache(state, message)
+
+    # -- directory side ------------------------------------------------------------------
+
+    def _deliver_to_directory(
+        self, state: GlobalState, message: Message
+    ) -> Iterator[Tuple[str, GlobalState]]:
+        msg_type, src, _dst, payload = message
+        directory = state.directory
+        base = self._consume(state, message)
+        rule = f"dir.{msg_type.value}.from{src}"
+
+        # Acks, writebacks, partial updates, and unblocks are accepted always.
+        if msg_type is MsgType.UNBLOCK:
+            new_dir = directory.replace(
+                unblocks_pending=max(0, directory.unblocks_pending - 1)
+            )
+            yield rule, self._with_dir(base, new_dir)
+            return
+        if msg_type is MsgType.INV_ACK:
+            yield rule, self._dir_collect_ack(base, delta=None)
+            return
+        if msg_type is MsgType.DATA_WB:
+            updated = self._with_dir(base, base.directory.replace(value=payload[0]))
+            yield rule, self._dir_collect_ack(updated, delta=None)
+            return
+        if msg_type is MsgType.PARTIAL:
+            delta = payload[1] if payload[0] is not None else 0
+            yield rule, self._dir_collect_ack(base, delta=delta)
+            return
+        if msg_type is MsgType.PUT_S:
+            yield rule, self._send(
+                self._dir_handle_put_s(base, directory, src),
+                (MsgType.PUT_ACK, DIR, src, ()),
+            )
+            return
+        if msg_type is MsgType.PUT_M:
+            yield rule, self._send(
+                self._dir_handle_put_m(base, directory, src, payload[0]),
+                (MsgType.PUT_ACK, DIR, src, ()),
+            )
+            return
+        if msg_type is MsgType.PUT_U:
+            yield rule, self._send(
+                self._dir_handle_put_u(base, directory, src, payload[1]),
+                (MsgType.PUT_ACK, DIR, src, ()),
+            )
+            return
+
+        # Demand requests stall while the directory is busy or while a previous
+        # grant has not been unblocked by its requester.  (Evictions cannot
+        # race with a core's own requests: the eviction-ack transient states
+        # keep a cache from issuing a new request until its Put is absorbed.)
+        if directory.state.is_busy or directory.unblocks_pending > 0:
+            return
+        if msg_type is MsgType.GETS:
+            yield rule, self._dir_handle_gets(base, directory, src)
+        elif msg_type is MsgType.GETX:
+            yield rule, self._dir_handle_getx(base, directory, src)
+        elif msg_type is MsgType.GETU:
+            yield rule, self._dir_handle_getu(base, directory, src, payload[0])
+
+    def _dir_handle_put_s(
+        self, state: GlobalState, directory: DirectoryLine, src: int
+    ) -> GlobalState:
+        if directory.state is DirState.SHARED:
+            sharers = directory.sharers - {src}
+            new_dir = directory.replace(
+                state=DirState.SHARED if sharers else DirState.UNCACHED,
+                sharers=sharers,
+            )
+            return self._with_dir(state, new_dir)
+        # Late PutS racing with an invalidation: drop the sharer record; the
+        # pending transaction's ack arrives separately from the Inv handler.
+        return self._with_dir(state, directory.replace(sharers=directory.sharers - {src}))
+
+    def _dir_handle_put_m(
+        self, state: GlobalState, directory: DirectoryLine, src: int, value: int
+    ) -> GlobalState:
+        if directory.state is DirState.EXCLUSIVE and directory.owner == src:
+            return self._with_dir(
+                state,
+                directory.replace(
+                    state=DirState.UNCACHED, value=value, owner=None, sharers=frozenset()
+                ),
+            )
+        # Late PutM racing with a fetch the directory already initiated: absorb
+        # the dirty value; the Inv reaching the now-empty cache supplies the ack.
+        return self._with_dir(state, directory.replace(value=value))
+
+    def _dir_handle_put_u(
+        self, state: GlobalState, directory: DirectoryLine, src: int, delta: int
+    ) -> GlobalState:
+        value = self._mod(directory.value + delta)
+        if directory.state is DirState.UPDATE:
+            sharers = directory.sharers - {src}
+            new_dir = DirectoryLine(
+                state=DirState.UPDATE if sharers else DirState.UNCACHED,
+                value=value,
+                sharers=sharers,
+                op=directory.op if sharers else None,
+                unblocks_pending=directory.unblocks_pending,
+            )
+            return self._with_dir(state, new_dir)
+        # Late PutU racing with a reduction the directory already started: fold
+        # the delta.  The ack accounting is untouched — the Reduce message will
+        # be answered once the evicting cache has drained to I.
+        return self._with_dir(state, directory.replace(value=value))
+
+    def _dir_handle_gets(
+        self, state: GlobalState, directory: DirectoryLine, src: int
+    ) -> GlobalState:
+        if directory.state is DirState.UNCACHED:
+            new_dir = DirectoryLine(
+                state=DirState.EXCLUSIVE, value=directory.value, owner=src, unblocks_pending=1
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, True)))
+        if directory.state is DirState.SHARED:
+            new_dir = directory.replace(
+                sharers=directory.sharers | {src}, unblocks_pending=1
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, False)))
+        if directory.state is DirState.EXCLUSIVE:
+            new_dir = directory.replace(
+                state=DirState.BUSY_WB,
+                pending=(src, MsgType.GETS.value, None),
+                acks_needed=1,
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.INV, DIR, directory.owner, ()))
+        # UPDATE mode: full reduction before data can be returned.
+        new_dir = directory.replace(
+            state=DirState.BUSY_REDUCE,
+            pending=(src, MsgType.GETS.value, None),
+            acks_needed=len(directory.sharers),
+            sharers=frozenset(),
+        )
+        next_state = self._with_dir(state, new_dir)
+        messages = tuple(
+            (MsgType.REDUCE, DIR, core, ()) for core in sorted(directory.sharers)
+        )
+        return self._send(next_state, *messages)
+
+    def _dir_handle_getx(
+        self, state: GlobalState, directory: DirectoryLine, src: int
+    ) -> GlobalState:
+        if directory.state is DirState.UNCACHED:
+            new_dir = DirectoryLine(
+                state=DirState.EXCLUSIVE, value=directory.value, owner=src, unblocks_pending=1
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, True)))
+        if directory.state is DirState.SHARED:
+            others = directory.sharers - {src}
+            if not others:
+                new_dir = DirectoryLine(
+                    state=DirState.EXCLUSIVE, value=directory.value, owner=src, unblocks_pending=1
+                )
+                next_state = self._with_dir(state, new_dir)
+                return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, True)))
+            new_dir = directory.replace(
+                state=DirState.BUSY_INV,
+                pending=(src, MsgType.GETX.value, None),
+                acks_needed=len(others),
+                sharers=frozenset(),
+            )
+            next_state = self._with_dir(state, new_dir)
+            messages = tuple((MsgType.INV, DIR, core, ()) for core in sorted(others))
+            return self._send(next_state, *messages)
+        if directory.state is DirState.EXCLUSIVE:
+            new_dir = directory.replace(
+                state=DirState.BUSY_WB,
+                pending=(src, MsgType.GETX.value, None),
+                acks_needed=1,
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.INV, DIR, directory.owner, ()))
+        # UPDATE mode: reduce everything, then grant M.
+        new_dir = directory.replace(
+            state=DirState.BUSY_REDUCE,
+            pending=(src, MsgType.GETX.value, None),
+            acks_needed=len(directory.sharers),
+            sharers=frozenset(),
+        )
+        next_state = self._with_dir(state, new_dir)
+        messages = tuple(
+            (MsgType.REDUCE, DIR, core, ()) for core in sorted(directory.sharers)
+        )
+        return self._send(next_state, *messages)
+
+    def _dir_handle_getu(
+        self, state: GlobalState, directory: DirectoryLine, src: int, op: int
+    ) -> GlobalState:
+        if directory.state is DirState.UNCACHED:
+            # Unshared: grant exclusive directly (MEUSI's E-like optimisation).
+            new_dir = DirectoryLine(
+                state=DirState.EXCLUSIVE, value=directory.value, owner=src, unblocks_pending=1
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, True)))
+        if directory.state is DirState.SHARED:
+            others = directory.sharers - {src}
+            if not others:
+                new_dir = DirectoryLine(
+                    state=DirState.EXCLUSIVE, value=directory.value, owner=src, unblocks_pending=1
+                )
+                next_state = self._with_dir(state, new_dir)
+                return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, True)))
+            new_dir = directory.replace(
+                state=DirState.BUSY_INV,
+                pending=(src, MsgType.GETU.value, op),
+                acks_needed=len(others),
+                sharers=frozenset(),
+            )
+            next_state = self._with_dir(state, new_dir)
+            messages = tuple((MsgType.INV, DIR, core, ()) for core in sorted(others))
+            return self._send(next_state, *messages)
+        if directory.state is DirState.EXCLUSIVE:
+            # Fetch the owner's dirty copy; it drops to I and the requester is
+            # granted update-only permission over the written-back value.
+            new_dir = directory.replace(
+                state=DirState.BUSY_WB,
+                pending=(src, MsgType.GETU.value, op),
+                acks_needed=1,
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.INV, DIR, directory.owner, ()))
+        # UPDATE mode.
+        if directory.op == op:
+            new_dir = directory.replace(
+                sharers=directory.sharers | {src}, unblocks_pending=1
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.GRANT_U, DIR, src, (op,)))
+        # Different op type: reduce all current updaters first.
+        new_dir = directory.replace(
+            state=DirState.BUSY_REDUCE,
+            pending=(src, MsgType.GETU.value, op),
+            acks_needed=len(directory.sharers),
+            sharers=frozenset(),
+        )
+        next_state = self._with_dir(state, new_dir)
+        messages = tuple(
+            (MsgType.REDUCE, DIR, core, ()) for core in sorted(directory.sharers)
+        )
+        return self._send(next_state, *messages)
+
+    def _dir_collect_ack(self, state: GlobalState, *, delta: Optional[int]) -> GlobalState:
+        """Fold one ack / partial update into a busy directory transaction."""
+        directory = state.directory
+        value = directory.value
+        if delta:
+            value = self._mod(value + delta)
+        if not directory.state.is_busy:
+            # A stale ack (e.g. a Reduce that found the cache already empty
+            # after its PutU was absorbed): just fold the delta.
+            return self._with_dir(state, directory.replace(value=value))
+        acks = max(0, directory.acks_needed - 1)
+        if acks > 0 or directory.pending is None:
+            return self._with_dir(
+                state, directory.replace(value=value, acks_needed=acks)
+            )
+        # Last ack: complete the pending request.
+        requestor, request, req_op = directory.pending
+        if request == MsgType.GETS.value:
+            new_dir = DirectoryLine(
+                state=DirState.SHARED,
+                value=value,
+                sharers=frozenset({requestor}),
+                unblocks_pending=1,
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.DATA, DIR, requestor, (value, False)))
+        if request == MsgType.GETX.value:
+            new_dir = DirectoryLine(
+                state=DirState.EXCLUSIVE, value=value, owner=requestor, unblocks_pending=1
+            )
+            next_state = self._with_dir(state, new_dir)
+            return self._send(next_state, (MsgType.DATA, DIR, requestor, (value, True)))
+        # GETU completion: grant update-only with the requested op type.
+        new_dir = DirectoryLine(
+            state=DirState.UPDATE,
+            value=value,
+            sharers=frozenset({requestor}),
+            op=req_op,
+            unblocks_pending=1,
+        )
+        next_state = self._with_dir(state, new_dir)
+        return self._send(next_state, (MsgType.GRANT_U, DIR, requestor, (req_op,)))
+
+    # -- cache side ---------------------------------------------------------------------------
+
+    def _deliver_to_cache(
+        self, state: GlobalState, message: Message
+    ) -> Iterator[Tuple[str, GlobalState]]:
+        msg_type, _src, core, payload = message
+        line = state.caches[core]
+        base = self._consume(state, message)
+        rule = f"core{core}.recv_{msg_type.value}"
+
+        if msg_type is MsgType.DATA:
+            value, exclusive = payload
+            if line.state is CacheState.IS_D:
+                new_state = CacheState.E if exclusive else CacheState.S
+                next_state = self._with_cache(base, core, CacheLine(new_state, value))
+                yield rule, self._send(next_state, (MsgType.UNBLOCK, core, DIR, ()))
+            elif line.state is CacheState.IM_D:
+                # Perform the pending write immediately upon receiving data.
+                new_value = self._mod(base.ghost_value + 1)
+                next_state = self._with_cache(base, core, CacheLine(CacheState.M, new_value))
+                next_state = self._with_ghost(next_state, new_value)
+                yield rule, self._send(next_state, (MsgType.UNBLOCK, core, DIR, ()))
+            elif line.state is CacheState.IU_W:
+                # GetU answered with exclusive data (line was unshared):
+                # perform the update in place, in M.
+                new_value = self._mod(base.ghost_value + 1)
+                next_state = self._with_cache(base, core, CacheLine(CacheState.M, new_value))
+                next_state = self._with_ghost(next_state, new_value)
+                yield rule, self._send(next_state, (MsgType.UNBLOCK, core, DIR, ()))
+            return
+        if msg_type is MsgType.GRANT_M:
+            if line.state is CacheState.IM_D:
+                new_value = self._mod(base.ghost_value + 1)
+                next_state = self._with_cache(base, core, CacheLine(CacheState.M, new_value))
+                next_state = self._with_ghost(next_state, new_value)
+                yield rule, self._send(next_state, (MsgType.UNBLOCK, core, DIR, ()))
+            return
+        if msg_type is MsgType.GRANT_U:
+            if line.state is CacheState.IU_W:
+                op = payload[0]
+                # The line enters U initialised to the identity element and the
+                # pending commutative update is applied to the delta buffer.
+                next_state = self._with_cache(
+                    base, core, CacheLine(CacheState.U, self._mod(1), op)
+                )
+                next_state = self._with_ghost(next_state, self._mod(base.ghost_value + 1))
+                yield rule, self._send(next_state, (MsgType.UNBLOCK, core, DIR, ()))
+            return
+        if msg_type is MsgType.PUT_ACK:
+            if line.state.is_evicting:
+                yield rule, self._with_cache(base, core, CacheLine())
+            else:
+                yield rule, base
+            return
+        if msg_type is MsgType.INV:
+            if line.state.is_evicting:
+                # The cache's Put (carrying its dirty value or delta) has not
+                # been absorbed by the directory yet; the invalidation waits so
+                # that its ack cannot complete the transaction with stale data.
+                return
+            if line.state in (CacheState.M, CacheState.E):
+                next_state = self._with_cache(base, core, CacheLine())
+                yield rule, self._send(next_state, (MsgType.DATA_WB, core, DIR, (line.value,)))
+            elif line.state is CacheState.S:
+                next_state = self._with_cache(base, core, CacheLine())
+                yield rule, self._send(next_state, (MsgType.INV_ACK, core, DIR, ()))
+            elif line.state is CacheState.U:
+                next_state = self._with_cache(base, core, CacheLine())
+                yield rule, self._send(
+                    next_state, (MsgType.PARTIAL, core, DIR, (line.op, line.value))
+                )
+            else:
+                # The copy was already surrendered (its Put has been absorbed,
+                # since evicting states defer the Inv): plain ack.
+                yield rule, self._send(base, (MsgType.INV_ACK, core, DIR, ()))
+            return
+        if msg_type is MsgType.REDUCE:
+            if line.state.is_evicting:
+                # As for Inv: wait until the PutU has been absorbed so the
+                # buffered delta cannot be lost.
+                return
+            if line.state is CacheState.U:
+                next_state = self._with_cache(base, core, CacheLine())
+                yield rule, self._send(
+                    next_state, (MsgType.PARTIAL, core, DIR, (line.op, line.value))
+                )
+            elif line.state is CacheState.IU_W and line.op is not None:
+                # Type-switch race: surrender the buffered delta of the old
+                # type; the new request remains outstanding.
+                next_state = self._with_cache(
+                    base, core, CacheLine(CacheState.IU_W, 0, None, line.pending_op)
+                )
+                yield rule, self._send(
+                    next_state, (MsgType.PARTIAL, core, DIR, (line.op, line.value))
+                )
+            else:
+                yield rule, self._send(base, (MsgType.PARTIAL, core, DIR, (None, 0)))
+            return

@@ -1,0 +1,56 @@
+"""Workload generators reproducing the paper's benchmarks and microbenchmarks."""
+
+from repro.workloads.base import AddressMap, UpdateStyle, Workload, WorkloadStats
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.fluidanimate import FluidanimateWorkload
+from repro.workloads.histogram import HistogramWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.refcount import (
+    CountMode,
+    DelayedRefcountWorkload,
+    ImmediateRefcountWorkload,
+    RefcountScheme,
+)
+from repro.workloads.spmv import SpmvWorkload
+from repro.workloads.synthetic import (
+    FalseSharingWorkload,
+    InterleavedReadUpdateWorkload,
+    MixedOpWorkload,
+    MultiCounterWorkload,
+    ReadOnlyWorkload,
+    ScalarReductionWorkload,
+    SharedCounterWorkload,
+)
+
+#: The five paper benchmarks (Table 2), keyed by their paper names.
+PAPER_BENCHMARKS = {
+    "hist": HistogramWorkload,
+    "spmv": SpmvWorkload,
+    "pgrank": PageRankWorkload,
+    "bfs": BfsWorkload,
+    "fluidanimate": FluidanimateWorkload,
+}
+
+__all__ = [
+    "AddressMap",
+    "BfsWorkload",
+    "CountMode",
+    "DelayedRefcountWorkload",
+    "FalseSharingWorkload",
+    "FluidanimateWorkload",
+    "HistogramWorkload",
+    "ImmediateRefcountWorkload",
+    "InterleavedReadUpdateWorkload",
+    "MixedOpWorkload",
+    "MultiCounterWorkload",
+    "PAPER_BENCHMARKS",
+    "PageRankWorkload",
+    "ReadOnlyWorkload",
+    "RefcountScheme",
+    "ScalarReductionWorkload",
+    "SharedCounterWorkload",
+    "SpmvWorkload",
+    "UpdateStyle",
+    "Workload",
+    "WorkloadStats",
+]

@@ -1,0 +1,186 @@
+"""Histogram construction workload (``hist``).
+
+The paper's ``hist`` benchmark is OpenCV's TBB-based histogramming program: a
+set of input values (image pixels) is processed in parallel and a histogram
+with a configurable number of bins is produced.  Every input element causes a
+read of the input (streaming, thread-private) plus one update to a shared bin
+counter; with few bins the bin array is heavily contended, with many bins the
+per-bin contention drops but privatized implementations pay an ever larger
+reduction phase (Fig. 2, Fig. 12).
+
+Variants:
+
+* ``UpdateStyle.ATOMIC`` — the baseline: atomic fetch-and-add on shared bins.
+* ``UpdateStyle.COMMUTATIVE`` — COUP commutative additions on shared bins.
+* :meth:`HistogramWorkload.generate_privatized` — core- or socket-level
+  software privatization with an explicit reduction phase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.commutative import CommutativeOp
+from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.software.privatization import (
+    PrivatizationLevel,
+    PrivatizedReductionBuilder,
+    PrivatizedReductionPlan,
+    socket_of_core,
+)
+from repro.workloads.base import UpdateStyle, Workload
+
+
+class HistogramWorkload(Workload):
+    """Parallel histogram of ``n_items`` input values into ``n_bins`` bins."""
+
+    name = "hist"
+    comm_op_label = "32b int add"
+
+    #: Instructions spent per input element outside the bin update
+    #: (load pixel, compute bin index, loop overhead).
+    THINK_PER_ITEM = 12
+
+    def __init__(
+        self,
+        n_bins: int = 512,
+        n_items: int = 50_000,
+        *,
+        skew: float = 0.0,
+        seed: int = 42,
+        update_style: UpdateStyle = UpdateStyle.COMMUTATIVE,
+        bin_bytes: int = 4,
+    ) -> None:
+        super().__init__(seed=seed, update_style=update_style)
+        if n_bins <= 0 or n_items <= 0:
+            raise ValueError("n_bins and n_items must be positive")
+        self.n_bins = n_bins
+        self.n_items = n_items
+        self.skew = skew
+        self.bin_bytes = bin_bytes
+        self.op = CommutativeOp.ADD_I32
+
+    # -- input generation --------------------------------------------------------
+
+    def _input_bins(self) -> np.ndarray:
+        """Bin index of every input element (shared across variants)."""
+        rng = self._rng(0)
+        if self.skew > 0.0:
+            # Zipf-like skew over bins, clipped to the bin range.
+            raw = rng.zipf(1.0 + self.skew, size=self.n_items)
+            return (raw - 1) % self.n_bins
+        return rng.integers(0, self.n_bins, size=self.n_items)
+
+    def _bin_address(self, bin_index: int) -> int:
+        return self.addresses.element("hist_bins", int(bin_index), self.bin_bytes)
+
+    def _input_address(self, item_index: int) -> int:
+        return self.addresses.element("hist_input", int(item_index), 4)
+
+    # -- shared-histogram variants (atomics / COUP / RMO) -------------------------
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        bins = self._input_bins()
+        partitions = self.split_work(self.n_items, n_cores)
+        per_core: List[Trace] = []
+        for core_id in range(n_cores):
+            trace: Trace = []
+            for item in partitions[core_id]:
+                trace.append(
+                    MemoryAccess.load(self._input_address(item), think=self.THINK_PER_ITEM, size=4)
+                )
+                trace.append(
+                    self.make_update(self._bin_address(bins[item]), self.op, 1, think=2)
+                )
+            per_core.append(trace)
+        return WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={
+                "n_bins": self.n_bins,
+                "n_items": self.n_items,
+                "variant": self.update_style.value,
+            },
+        )
+
+    # -- privatized variants -------------------------------------------------------
+
+    def generate_privatized(
+        self,
+        n_cores: int,
+        *,
+        level: PrivatizationLevel = PrivatizationLevel.CORE,
+        cores_per_socket: int = 16,
+    ) -> WorkloadTrace:
+        """Software-privatized histogram with an explicit reduction phase.
+
+        Core-level privatization gives each thread its own bin array updated
+        with plain loads and stores; socket-level privatization shares one
+        replica per socket, updated with atomics.  After a barrier, bins are
+        partitioned among cores and each core folds every replica into the
+        shared histogram (Fig. 12's two software schemes).
+        """
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        bins = self._input_bins()
+        partitions = self.split_work(self.n_items, n_cores)
+
+        if level is PrivatizationLevel.CORE:
+            n_replicas = n_cores
+            replica_of_core = lambda core: core  # noqa: E731 - tiny adapter
+        else:
+            n_replicas = max(1, (n_cores + cores_per_socket - 1) // cores_per_socket)
+            replica_of_core = socket_of_core(cores_per_socket)
+
+        plan = PrivatizedReductionPlan(
+            n_elements=self.n_bins,
+            element_bytes=self.bin_bytes,
+            op=self.op,
+            level=level,
+            n_replicas=n_replicas,
+        )
+        builder = PrivatizedReductionBuilder(
+            plan, self.addresses, array_name="hist_priv", replica_of_core=replica_of_core
+        )
+
+        per_core: List[Trace] = []
+        update_counts: List[int] = []
+        for core_id in range(n_cores):
+            updates = []
+            trace: Trace = []
+            for item in partitions[core_id]:
+                trace.append(
+                    MemoryAccess.load(self._input_address(item), think=self.THINK_PER_ITEM, size=4)
+                )
+                updates.append((int(bins[item]), 1, 2))
+            trace.extend(builder.update_phase(core_id, updates))
+            update_counts.append(len(trace))
+            trace.extend(builder.reduction_phase(core_id, n_cores))
+            per_core.append(trace)
+
+        return WorkloadTrace(
+            name=f"{self.name}-priv-{level.value}",
+            per_core=per_core,
+            params={
+                "n_bins": self.n_bins,
+                "n_items": self.n_items,
+                "variant": f"privatization-{level.value}",
+                "n_replicas": n_replicas,
+                "footprint_bytes": plan.footprint_bytes,
+            },
+            phase_boundaries=[update_counts],
+        )
+
+    # -- functional reference -------------------------------------------------------
+
+    def reference_result(self) -> Optional[Dict[int, object]]:
+        """Expected final bin counts (address -> count) for shared variants."""
+        bins = self._input_bins()
+        counts = np.bincount(bins, minlength=self.n_bins)
+        return {
+            self._bin_address(b): int(counts[b])
+            for b in range(self.n_bins)
+            if counts[b] > 0
+        }

@@ -1,0 +1,262 @@
+"""Reference-counting microbenchmarks (Sec. 5.4, Fig. 13).
+
+Two microbenchmarks model the two reference-counting regimes the paper
+studies:
+
+* **Immediate deallocation** (:class:`ImmediateRefcountWorkload`): each thread
+  performs a fixed number of increment and decrement-and-read operations over
+  a pool of shared counters, choosing a random counter each iteration.  The
+  low-count variant keeps 0 or 1 references per thread and object (surpluses
+  oscillate around zero, the worst case for SNZI); the high-count variant
+  keeps up to five (SNZI's best case).  Variants: flat atomic counters
+  (``XADD``), COUP commutative adds (reads trigger reductions), and SNZI
+  trees.
+
+* **Delayed deallocation** (:class:`DelayedRefcountWorkload`): threads perform
+  only increments/decrements during an epoch, then check which counters are
+  zero at epoch boundaries.  Variants: COUP (commutative adds plus a
+  commutative-OR "modified" bitmap, read between epochs) and Refcache
+  (per-thread delta caches flushed at epoch end).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.commutative import CommutativeOp
+from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.software.refcache import RefcacheThreadCache
+from repro.software.snzi import SnziTree
+from repro.workloads.base import UpdateStyle, Workload
+
+
+class RefcountScheme(enum.Enum):
+    """Reference-counting implementation being modelled."""
+
+    XADD = "xadd"
+    COUP = "coup"
+    SNZI = "snzi"
+    REFCACHE = "refcache"
+
+
+class CountMode(enum.Enum):
+    """How many references each thread holds per object (Fig. 13a vs 13b)."""
+
+    LOW = "low"
+    HIGH = "high"
+
+
+#: Increment probability given the number of references currently held, in
+#: high-count mode (from the paper's description of the microbenchmark).
+HIGH_COUNT_INCREMENT_PROBABILITY = {0: 1.0, 1: 0.7, 2: 0.5, 3: 0.5, 4: 0.3, 5: 0.0}
+
+
+class ImmediateRefcountWorkload(Workload):
+    """Immediate-deallocation reference counting over shared counters."""
+
+    name = "refcount-immediate"
+    comm_op_label = "64b int add"
+
+    THINK_PER_OP = 15
+
+    def __init__(
+        self,
+        n_counters: int = 1024,
+        updates_per_thread: int = 2000,
+        *,
+        scheme: RefcountScheme = RefcountScheme.COUP,
+        count_mode: CountMode = CountMode.LOW,
+        counter_bytes: int = 8,
+        seed: int = 42,
+    ) -> None:
+        style = (
+            UpdateStyle.COMMUTATIVE if scheme is RefcountScheme.COUP else UpdateStyle.ATOMIC
+        )
+        super().__init__(seed=seed, update_style=style)
+        if n_counters <= 0 or updates_per_thread <= 0:
+            raise ValueError("n_counters and updates_per_thread must be positive")
+        if scheme is RefcountScheme.REFCACHE:
+            raise ValueError("Refcache applies to the delayed-deallocation benchmark")
+        self.n_counters = n_counters
+        self.updates_per_thread = updates_per_thread
+        self.scheme = scheme
+        self.count_mode = count_mode
+        self.counter_bytes = counter_bytes
+        self.op = CommutativeOp.ADD_I64
+
+    def _counter_address(self, counter: int) -> int:
+        return self.addresses.element("refcount_counters", counter, self.counter_bytes)
+
+    def _choose_increment(self, rng: np.random.Generator, held: int) -> bool:
+        if self.count_mode is CountMode.LOW:
+            return held == 0
+        probability = HIGH_COUNT_INCREMENT_PROBABILITY.get(min(held, 5), 0.0)
+        return bool(rng.random() < probability)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        snzi_trees: Dict[int, SnziTree] = {}
+        if self.scheme is RefcountScheme.SNZI:
+            snzi_trees = {
+                counter: SnziTree(self.addresses, counter, n_cores)
+                for counter in range(self.n_counters)
+            }
+
+        for core_id in range(n_cores):
+            rng = self._rng(1000 + core_id)
+            held: Dict[int, int] = {}
+            trace: Trace = []
+            for _ in range(self.updates_per_thread):
+                counter = int(rng.integers(0, self.n_counters))
+                references = held.get(counter, 0)
+                increment = self._choose_increment(rng, references)
+                if increment:
+                    held[counter] = references + 1
+                    trace.extend(self._increment(core_id, counter, snzi_trees))
+                else:
+                    held[counter] = max(0, references - 1)
+                    trace.extend(self._decrement_and_read(core_id, counter, snzi_trees))
+            per_core.append(trace)
+
+        return WorkloadTrace(
+            name=f"{self.name}-{self.scheme.value}-{self.count_mode.value}",
+            per_core=per_core,
+            params={
+                "n_counters": self.n_counters,
+                "updates_per_thread": self.updates_per_thread,
+                "scheme": self.scheme.value,
+                "count_mode": self.count_mode.value,
+            },
+        )
+
+    def _increment(
+        self, core_id: int, counter: int, snzi_trees: Dict[int, SnziTree]
+    ) -> Trace:
+        if self.scheme is RefcountScheme.SNZI:
+            trace = snzi_trees[counter].arrive(core_id)
+            trace[0].think_instructions += self.THINK_PER_OP
+            return trace
+        return [
+            self.make_update(self._counter_address(counter), self.op, 1, think=self.THINK_PER_OP)
+        ]
+
+    def _decrement_and_read(
+        self, core_id: int, counter: int, snzi_trees: Dict[int, SnziTree]
+    ) -> Trace:
+        if self.scheme is RefcountScheme.SNZI:
+            trace = snzi_trees[counter].depart(core_id)
+            trace[0].think_instructions += self.THINK_PER_OP
+            trace.extend(snzi_trees[counter].query(core_id))
+            return trace
+        address = self._counter_address(counter)
+        return [
+            self.make_update(address, self.op, -1, think=self.THINK_PER_OP),
+            MemoryAccess.load(address, think=2),
+        ]
+
+    def reference_result(self) -> Optional[Dict[int, object]]:
+        """Expected counter values (flat-counter schemes only)."""
+        if self.scheme is RefcountScheme.SNZI:
+            return None
+        return None  # Values depend on the per-core RNG interleaving of held sets.
+
+
+class DelayedRefcountWorkload(Workload):
+    """Delayed-deallocation reference counting with per-epoch zero checks."""
+
+    name = "refcount-delayed"
+    comm_op_label = "64b int add + 64b OR"
+
+    THINK_PER_OP = 12
+    BITS_PER_WORD = 64
+
+    def __init__(
+        self,
+        n_counters: int = 4096,
+        updates_per_epoch: int = 100,
+        n_epochs: int = 2,
+        *,
+        scheme: RefcountScheme = RefcountScheme.COUP,
+        seed: int = 42,
+    ) -> None:
+        style = (
+            UpdateStyle.COMMUTATIVE if scheme is RefcountScheme.COUP else UpdateStyle.ATOMIC
+        )
+        super().__init__(seed=seed, update_style=style)
+        if scheme not in (RefcountScheme.COUP, RefcountScheme.REFCACHE):
+            raise ValueError("delayed deallocation compares COUP against Refcache")
+        if min(n_counters, updates_per_epoch, n_epochs) <= 0:
+            raise ValueError("workload parameters must be positive")
+        self.n_counters = n_counters
+        self.updates_per_epoch = updates_per_epoch
+        self.n_epochs = n_epochs
+        self.scheme = scheme
+        self.op = CommutativeOp.ADD_I64
+
+    def _counter_address(self, counter: int) -> int:
+        return self.addresses.element("delayed_counters", counter, 8)
+
+    def _bitmap_address(self, counter: int) -> int:
+        word = counter // self.BITS_PER_WORD
+        return self.addresses.element("delayed_modified_bitmap", word, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = [[] for _ in range(n_cores)]
+        phase_boundaries: List[List[int]] = []
+        caches = [
+            RefcacheThreadCache(self.addresses, core_id) for core_id in range(n_cores)
+        ]
+        #: Which counters each core marked as modified this epoch (COUP variant).
+        for epoch in range(self.n_epochs):
+            modified_per_core: List[set] = [set() for _ in range(n_cores)]
+            for core_id in range(n_cores):
+                rng = self._rng((epoch + 1) * 10_000 + core_id)
+                trace = per_core[core_id]
+                for _ in range(self.updates_per_epoch):
+                    counter = int(rng.integers(0, self.n_counters))
+                    delta = 1 if rng.random() < 0.5 else -1
+                    if self.scheme is RefcountScheme.COUP:
+                        trace.append(
+                            MemoryAccess.commutative(
+                                self._counter_address(counter), self.op, delta, think=self.THINK_PER_OP
+                            )
+                        )
+                        trace.append(
+                            MemoryAccess.commutative(
+                                self._bitmap_address(counter),
+                                CommutativeOp.OR_64,
+                                1 << (counter % self.BITS_PER_WORD),
+                                think=1,
+                            )
+                        )
+                        modified_per_core[core_id].add(counter)
+                    else:
+                        trace.extend(caches[core_id].update(counter, delta))
+            phase_boundaries.append([len(trace) for trace in per_core])
+
+            # End of epoch: check for zero counters (COUP) or flush deltas
+            # (Refcache), then a second barrier before the next epoch begins.
+            for core_id in range(n_cores):
+                trace = per_core[core_id]
+                if self.scheme is RefcountScheme.COUP:
+                    for counter in sorted(modified_per_core[core_id]):
+                        trace.append(MemoryAccess.load(self._bitmap_address(counter), think=3))
+                        trace.append(MemoryAccess.load(self._counter_address(counter), think=3))
+                else:
+                    trace.extend(caches[core_id].flush(self._counter_address))
+            phase_boundaries.append([len(trace) for trace in per_core])
+
+        return WorkloadTrace(
+            name=f"{self.name}-{self.scheme.value}",
+            per_core=per_core,
+            params={
+                "n_counters": self.n_counters,
+                "updates_per_epoch": self.updates_per_epoch,
+                "n_epochs": self.n_epochs,
+                "scheme": self.scheme.value,
+            },
+            phase_boundaries=phase_boundaries,
+        )

@@ -1,0 +1,377 @@
+"""Synthetic microbenchmark workloads.
+
+These tiny workloads exercise individual protocol behaviours in isolation and
+are used heavily by unit and integration tests, the quickstart example, and as
+building blocks for ablation benchmarks:
+
+* :class:`SharedCounterWorkload` — every core hammers one counter (the Fig. 1
+  motivating example).
+* :class:`MultiCounterWorkload` — updates spread over many counters with a
+  configurable skew.
+* :class:`FalseSharingWorkload` — cores update distinct words of one line.
+* :class:`ScalarReductionWorkload` — a scalar reduction variable with a final
+  read (the case Sec. 4.1 notes COUP barely helps).
+* :class:`ReadOnlyWorkload` — no updates at all (sanity baseline: COUP must
+  not change anything).
+* :class:`InterleavedReadUpdateWorkload` — configurable numbers of updates
+  between reads, used to study the update-run-length crossover.
+* :class:`MixedOpWorkload` — alternating commutative types on one line,
+  exercising the type-switch (NN) reductions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.commutative import CommutativeOp
+from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.workloads.base import UpdateStyle, Workload
+
+
+class SharedCounterWorkload(Workload):
+    """All cores repeatedly update a single shared counter; core 0 reads it last."""
+
+    name = "shared-counter"
+    comm_op_label = "64b int add"
+
+    def __init__(
+        self,
+        updates_per_core: int = 500,
+        *,
+        think: int = 5,
+        read_at_end: bool = True,
+        seed: int = 42,
+        update_style: UpdateStyle = UpdateStyle.COMMUTATIVE,
+    ) -> None:
+        super().__init__(seed=seed, update_style=update_style)
+        self.updates_per_core = updates_per_core
+        self.think = think
+        self.read_at_end = read_at_end
+        self.op = CommutativeOp.ADD_I64
+
+    @property
+    def counter_address(self) -> int:
+        return self.addresses.element("counter", 0, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        for _core in range(n_cores):
+            trace = [
+                self.make_update(self.counter_address, self.op, 1, think=self.think)
+                for _ in range(self.updates_per_core)
+            ]
+            per_core.append(trace)
+        boundaries = None
+        if self.read_at_end:
+            boundaries = [[len(trace) for trace in per_core]]
+            per_core[0].append(MemoryAccess.load(self.counter_address, think=2))
+            # The read happens in a second phase so it observes all updates.
+            boundaries[0][0] -= 0
+        workload = WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={"updates_per_core": self.updates_per_core},
+            phase_boundaries=boundaries,
+        )
+        return workload
+
+    def reference_result(self) -> Optional[Dict[int, object]]:
+        return None  # Depends on the core count; tests compute it inline.
+
+    def expected_total(self, n_cores: int) -> int:
+        """Final counter value after all updates complete."""
+        return self.updates_per_core * n_cores
+
+
+class MultiCounterWorkload(Workload):
+    """Updates spread over ``n_counters`` with optional hot-spot skew."""
+
+    name = "multi-counter"
+    comm_op_label = "64b int add"
+
+    def __init__(
+        self,
+        n_counters: int = 64,
+        updates_per_core: int = 500,
+        *,
+        hot_fraction: float = 0.0,
+        think: int = 5,
+        seed: int = 42,
+        update_style: UpdateStyle = UpdateStyle.COMMUTATIVE,
+    ) -> None:
+        super().__init__(seed=seed, update_style=update_style)
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.n_counters = n_counters
+        self.updates_per_core = updates_per_core
+        self.hot_fraction = hot_fraction
+        self.think = think
+        self.op = CommutativeOp.ADD_I64
+
+    def counter_address(self, index: int) -> int:
+        return self.addresses.element("counters", index, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        for core_id in range(n_cores):
+            rng = self._rng(core_id)
+            trace: Trace = []
+            for _ in range(self.updates_per_core):
+                if self.hot_fraction and rng.random() < self.hot_fraction:
+                    index = 0
+                else:
+                    index = int(rng.integers(0, self.n_counters))
+                trace.append(
+                    self.make_update(self.counter_address(index), self.op, 1, think=self.think)
+                )
+            per_core.append(trace)
+        return WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={
+                "n_counters": self.n_counters,
+                "updates_per_core": self.updates_per_core,
+                "hot_fraction": self.hot_fraction,
+            },
+        )
+
+    def expected_total(self, n_cores: int) -> int:
+        return self.updates_per_core * n_cores
+
+
+class FalseSharingWorkload(Workload):
+    """Each core updates its own word, but all words share one cache line."""
+
+    name = "false-sharing"
+    comm_op_label = "64b int add"
+
+    def __init__(
+        self,
+        updates_per_core: int = 300,
+        *,
+        think: int = 5,
+        seed: int = 42,
+        update_style: UpdateStyle = UpdateStyle.COMMUTATIVE,
+    ) -> None:
+        super().__init__(seed=seed, update_style=update_style)
+        self.updates_per_core = updates_per_core
+        self.think = think
+        self.op = CommutativeOp.ADD_I64
+
+    def word_address(self, core_id: int) -> int:
+        # Eight 8-byte words share each 64-byte line.
+        return self.addresses.element("false_sharing", core_id, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        for core_id in range(n_cores):
+            trace = [
+                self.make_update(self.word_address(core_id), self.op, 1, think=self.think)
+                for _ in range(self.updates_per_core)
+            ]
+            per_core.append(trace)
+        return WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={"updates_per_core": self.updates_per_core},
+        )
+
+
+class ScalarReductionWorkload(Workload):
+    """A single scalar reduction variable: the case where COUP barely helps.
+
+    Each core accumulates a local partial sum in registers (modelled as think
+    time) and performs only one update to the shared scalar at the end, so the
+    shared-data traffic is negligible under any scheme.
+    """
+
+    name = "scalar-reduction"
+    comm_op_label = "64b int add"
+
+    def __init__(
+        self,
+        items_per_core: int = 2000,
+        *,
+        seed: int = 42,
+        update_style: UpdateStyle = UpdateStyle.COMMUTATIVE,
+    ) -> None:
+        super().__init__(seed=seed, update_style=update_style)
+        self.items_per_core = items_per_core
+        self.op = CommutativeOp.ADD_I64
+
+    @property
+    def scalar_address(self) -> int:
+        return self.addresses.element("scalar", 0, 8)
+
+    def _input_address(self, core_id: int, index: int) -> int:
+        return self.addresses.element(f"scalar_input_{core_id}", index, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        for core_id in range(n_cores):
+            trace: Trace = [
+                MemoryAccess.load(self._input_address(core_id, i), think=4)
+                for i in range(self.items_per_core)
+            ]
+            trace.append(self.make_update(self.scalar_address, self.op, self.items_per_core, think=2))
+            per_core.append(trace)
+        return WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={"items_per_core": self.items_per_core},
+        )
+
+
+class ReadOnlyWorkload(Workload):
+    """All cores read a shared array; COUP must behave identically to MESI."""
+
+    name = "read-only"
+    comm_op_label = "none"
+
+    def __init__(
+        self,
+        n_elements: int = 256,
+        reads_per_core: int = 1000,
+        *,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(seed=seed, update_style=UpdateStyle.COMMUTATIVE)
+        self.n_elements = n_elements
+        self.reads_per_core = reads_per_core
+
+    def element_address(self, index: int) -> int:
+        return self.addresses.element("readonly_array", index, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        for core_id in range(n_cores):
+            rng = self._rng(core_id)
+            trace = [
+                MemoryAccess.load(
+                    self.element_address(int(rng.integers(0, self.n_elements))), think=3
+                )
+                for _ in range(self.reads_per_core)
+            ]
+            per_core.append(trace)
+        return WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={"n_elements": self.n_elements, "reads_per_core": self.reads_per_core},
+        )
+
+
+class InterleavedReadUpdateWorkload(Workload):
+    """Alternating runs of updates and reads to the same shared array.
+
+    ``updates_per_read`` controls how many commutative updates each core
+    performs between reads; sweeping it exposes the crossover the paper
+    discusses: COUP pays one mode switch per run, so even two updates per
+    update-only epoch are enough to win, while software privatization needs
+    many more to amortise its reduction phase.
+    """
+
+    name = "interleaved"
+    comm_op_label = "64b int add"
+
+    def __init__(
+        self,
+        n_elements: int = 16,
+        updates_per_read: int = 4,
+        rounds: int = 50,
+        *,
+        think: int = 5,
+        seed: int = 42,
+        update_style: UpdateStyle = UpdateStyle.COMMUTATIVE,
+    ) -> None:
+        super().__init__(seed=seed, update_style=update_style)
+        if updates_per_read < 0:
+            raise ValueError("updates_per_read must be non-negative")
+        self.n_elements = n_elements
+        self.updates_per_read = updates_per_read
+        self.rounds = rounds
+        self.think = think
+        self.op = CommutativeOp.ADD_I64
+
+    def element_address(self, index: int) -> int:
+        return self.addresses.element("interleaved_array", index, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        for core_id in range(n_cores):
+            rng = self._rng(core_id)
+            trace: Trace = []
+            for _round in range(self.rounds):
+                index = int(rng.integers(0, self.n_elements))
+                address = self.element_address(index)
+                for _ in range(self.updates_per_read):
+                    trace.append(self.make_update(address, self.op, 1, think=self.think))
+                trace.append(MemoryAccess.load(address, think=self.think))
+            per_core.append(trace)
+        return WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={
+                "n_elements": self.n_elements,
+                "updates_per_read": self.updates_per_read,
+                "rounds": self.rounds,
+            },
+        )
+
+
+class MixedOpWorkload(Workload):
+    """Commutative updates of different types to the same line.
+
+    COUP must serialise updates of different types (they do not commute with
+    each other), performing a full reduction on every type switch; this
+    workload exercises that path and the associated correctness invariants.
+    """
+
+    name = "mixed-ops"
+    comm_op_label = "64b int add + 64b OR"
+
+    def __init__(
+        self,
+        updates_per_core: int = 200,
+        switch_every: int = 10,
+        *,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(seed=seed, update_style=UpdateStyle.COMMUTATIVE)
+        if switch_every <= 0:
+            raise ValueError("switch_every must be positive")
+        self.updates_per_core = updates_per_core
+        self.switch_every = switch_every
+
+    @property
+    def add_address(self) -> int:
+        return self.addresses.element("mixed", 0, 8)
+
+    @property
+    def or_address(self) -> int:
+        return self.addresses.element("mixed", 1, 8)
+
+    def _build(self, n_cores: int) -> WorkloadTrace:
+        per_core: List[Trace] = []
+        for _core in range(n_cores):
+            trace: Trace = []
+            for i in range(self.updates_per_core):
+                use_add = (i // self.switch_every) % 2 == 0
+                if use_add:
+                    trace.append(
+                        MemoryAccess.commutative(self.add_address, CommutativeOp.ADD_I64, 1, think=4)
+                    )
+                else:
+                    trace.append(
+                        MemoryAccess.commutative(
+                            self.or_address, CommutativeOp.OR_64, 1 << (i % 64), think=4
+                        )
+                    )
+            per_core.append(trace)
+        return WorkloadTrace(
+            name=self.name,
+            per_core=per_core,
+            params={
+                "updates_per_core": self.updates_per_core,
+                "switch_every": self.switch_every,
+            },
+        )

@@ -1,0 +1,38 @@
+"""Shared pytest fixtures.
+
+Also prepends ``src/`` to ``sys.path`` so the test suite (and the benchmark
+suite, which reuses this conftest through rootdir discovery) works even when
+the package has not been pip-installed — useful in offline environments where
+editable installs are unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.sim.config import SystemConfig, small_test_config, table1_config  # noqa: E402
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A tiny 4-core machine with small caches (fast, exercises evictions)."""
+    return small_test_config(4)
+
+
+@pytest.fixture
+def chip_config() -> SystemConfig:
+    """A full-size 16-core single-chip machine (Table 1 geometry)."""
+    return table1_config(16)
+
+
+@pytest.fixture
+def multi_socket_config() -> SystemConfig:
+    """A 32-core, two-chip machine: exercises the off-chip paths."""
+    return table1_config(32)

@@ -1,0 +1,142 @@
+"""Unit tests for commutative operation specs and delta buffers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import (
+    ADDITIVE_OPS,
+    ALL_OPS,
+    BITWISE_OPS,
+    CommutativeOp,
+    DeltaBuffer,
+    commutes_with,
+    reduce_partial_updates,
+)
+
+
+class TestOperationSpecs:
+    def test_eight_operations_supported(self):
+        assert len(ALL_OPS) == 8
+
+    def test_additive_and_bitwise_partition(self):
+        assert set(ADDITIVE_OPS) | set(BITWISE_OPS) == set(ALL_OPS)
+        assert not set(ADDITIVE_OPS) & set(BITWISE_OPS)
+
+    @pytest.mark.parametrize("op", list(CommutativeOp))
+    def test_identity_element_is_neutral(self, op):
+        for value in (0, 1, 7, 12345, -3 if op.spec.signed else 3):
+            wrapped = op.apply(op.identity, value)
+            assert wrapped == op.apply(value, op.identity) == op.spec._wrap(value)
+
+    @pytest.mark.parametrize("op", list(CommutativeOp))
+    def test_commutativity(self, op):
+        a, b = 13, 911
+        assert op.apply(a, b) == op.apply(b, a)
+
+    @pytest.mark.parametrize("op", list(CommutativeOp))
+    def test_associativity(self, op):
+        a, b, c = 5, 17, 250
+        left = op.apply(op.apply(a, b), c)
+        right = op.apply(a, op.apply(b, c))
+        assert left == right
+
+    def test_int16_addition_wraps(self):
+        op = CommutativeOp.ADD_I16
+        assert op.apply(32767, 1) == -32768
+        assert op.apply(-32768, -1) == 32767
+
+    def test_int32_addition_wraps(self):
+        op = CommutativeOp.ADD_I32
+        assert op.apply(2**31 - 1, 1) == -(2**31)
+
+    def test_and_identity_is_all_ones(self):
+        op = CommutativeOp.AND_64
+        assert op.identity == (1 << 64) - 1
+        assert op.apply(op.identity, 0xDEAD) == 0xDEAD
+
+    def test_or_and_xor_identity_is_zero(self):
+        assert CommutativeOp.OR_64.identity == 0
+        assert CommutativeOp.XOR_64.identity == 0
+
+    def test_float_addition(self):
+        op = CommutativeOp.ADD_F64
+        assert op.apply(1.5, 2.25) == pytest.approx(3.75)
+        assert isinstance(op.apply(1, 2), float)
+
+    def test_reduce_matches_sequential_fold(self):
+        op = CommutativeOp.ADD_I64
+        deltas = [1, 2, 3, 4, 5]
+        assert op.reduce(deltas) == 15
+
+    def test_word_bytes(self):
+        assert CommutativeOp.ADD_I16.word_bytes == 2
+        assert CommutativeOp.ADD_I32.word_bytes == 4
+        assert CommutativeOp.ADD_I64.word_bytes == 8
+        assert CommutativeOp.ADD_F32.word_bytes == 4
+        assert CommutativeOp.OR_64.word_bytes == 8
+
+    def test_commutes_with_only_same_op(self):
+        assert commutes_with(CommutativeOp.ADD_I64, CommutativeOp.ADD_I64)
+        assert not commutes_with(CommutativeOp.ADD_I64, CommutativeOp.OR_64)
+        assert not commutes_with(CommutativeOp.AND_64, CommutativeOp.OR_64)
+
+
+class TestDeltaBuffer:
+    def test_starts_empty(self):
+        buffer = DeltaBuffer(CommutativeOp.ADD_I64)
+        assert buffer.is_empty()
+        assert buffer.delta(0x100) == 0
+
+    def test_accumulates_updates(self):
+        buffer = DeltaBuffer(CommutativeOp.ADD_I64)
+        buffer.update(0x100, 3)
+        buffer.update(0x100, 4)
+        buffer.update(0x108, 1)
+        assert buffer.delta(0x100) == 7
+        assert buffer.delta(0x108) == 1
+        assert buffer.touched_offsets() == [0x100, 0x108]
+
+    def test_or_buffer_accumulates_bits(self):
+        buffer = DeltaBuffer(CommutativeOp.OR_64)
+        buffer.update(0x0, 0b0001)
+        buffer.update(0x0, 0b1000)
+        assert buffer.delta(0x0) == 0b1001
+
+    def test_merge_into_applies_deltas_to_base(self):
+        buffer = DeltaBuffer(CommutativeOp.ADD_I64)
+        buffer.update(0x0, 5)
+        merged = buffer.merge_into({0x0: 10, 0x8: 2})
+        assert merged == {0x0: 15, 0x8: 2}
+
+    def test_clear(self):
+        buffer = DeltaBuffer(CommutativeOp.ADD_I64)
+        buffer.update(0x0, 5)
+        buffer.clear()
+        assert buffer.is_empty()
+
+
+class TestReducePartialUpdates:
+    def test_order_independent(self):
+        op = CommutativeOp.ADD_I64
+        buffers = []
+        for i in range(4):
+            buffer = DeltaBuffer(op)
+            buffer.update(0x0, i + 1)
+            buffers.append(buffer)
+        base = {0x0: 100}
+        forward = reduce_partial_updates(op, base, buffers)
+        backward = reduce_partial_updates(op, base, list(reversed(buffers)))
+        assert forward == backward == {0x0: 110}
+
+    def test_mismatched_op_rejected(self):
+        add_buffer = DeltaBuffer(CommutativeOp.ADD_I64)
+        with pytest.raises(ValueError):
+            reduce_partial_updates(CommutativeOp.OR_64, {}, [add_buffer])
+
+    def test_untouched_words_unchanged(self):
+        op = CommutativeOp.OR_64
+        buffer = DeltaBuffer(op)
+        buffer.update(0x8, 0b10)
+        result = reduce_partial_updates(op, {0x0: 7, 0x8: 1}, [buffer])
+        assert result == {0x0: 7, 0x8: 3}

@@ -1,0 +1,102 @@
+"""Unit tests for the coherence directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import CommutativeOp
+from repro.core.directory import Directory, DirectoryEntry
+from repro.core.states import LineMode
+
+
+class TestDirectoryEntry:
+    def test_initial_entry_is_uncached_and_consistent(self):
+        entry = DirectoryEntry(line_addr=0x40)
+        assert entry.mode is LineMode.UNCACHED
+        assert entry.is_consistent()
+
+    def test_exclusive_owner_helper(self):
+        entry = DirectoryEntry(line_addr=0, mode=LineMode.EXCLUSIVE, sharers={3})
+        assert entry.exclusive_owner() == 3
+        entry = DirectoryEntry(line_addr=0, mode=LineMode.READ_ONLY, sharers={1, 2})
+        assert entry.exclusive_owner() is None
+
+    def test_inconsistent_entries_detected(self):
+        bad = DirectoryEntry(line_addr=0, mode=LineMode.EXCLUSIVE, sharers={1, 2})
+        assert not bad.is_consistent()
+        bad = DirectoryEntry(line_addr=0, mode=LineMode.UPDATE_ONLY, sharers={1})
+        assert not bad.is_consistent()  # update-only requires an op
+
+
+class TestDirectoryTransitions:
+    def test_grant_exclusive(self):
+        directory = Directory()
+        entry = directory.grant_exclusive(0x10, cache_id=2)
+        assert entry.mode is LineMode.EXCLUSIVE
+        assert entry.sharers == {2}
+        directory.check_invariants()
+
+    def test_grant_shared_accumulates_readers(self):
+        directory = Directory()
+        directory.grant_shared(0x10, 0)
+        entry = directory.grant_shared(0x10, 1)
+        assert entry.mode is LineMode.READ_ONLY
+        assert entry.sharers == {0, 1}
+        directory.check_invariants()
+
+    def test_grant_shared_conflicts_with_exclusive(self):
+        directory = Directory()
+        directory.grant_exclusive(0x10, 0)
+        with pytest.raises(ValueError):
+            directory.grant_shared(0x10, 1)
+
+    def test_grant_update_only_accumulates_updaters(self):
+        directory = Directory()
+        directory.grant_update_only(0x10, 0, CommutativeOp.ADD_I64)
+        entry = directory.grant_update_only(0x10, 1, CommutativeOp.ADD_I64)
+        assert entry.mode is LineMode.UPDATE_ONLY
+        assert entry.sharers == {0, 1}
+        assert entry.op is CommutativeOp.ADD_I64
+        directory.check_invariants()
+
+    def test_update_only_rejects_mixed_op_types(self):
+        directory = Directory()
+        directory.grant_update_only(0x10, 0, CommutativeOp.ADD_I64)
+        with pytest.raises(ValueError):
+            directory.grant_update_only(0x10, 1, CommutativeOp.OR_64)
+
+    def test_update_only_rejects_while_other_readers_present(self):
+        directory = Directory()
+        directory.grant_shared(0x10, 0)
+        directory.grant_shared(0x10, 1)
+        with pytest.raises(ValueError):
+            directory.grant_update_only(0x10, 2, CommutativeOp.ADD_I64)
+
+    def test_remove_sharer_returns_to_uncached(self):
+        directory = Directory()
+        directory.grant_shared(0x10, 0)
+        directory.grant_shared(0x10, 1)
+        directory.remove_sharer(0x10, 0)
+        entry = directory.remove_sharer(0x10, 1)
+        assert entry.mode is LineMode.UNCACHED
+        directory.drop_if_uncached(0x10)
+        assert directory.peek(0x10) is None
+
+    def test_clear_all_sharers(self):
+        directory = Directory()
+        directory.grant_update_only(0x10, 0, CommutativeOp.ADD_I64)
+        directory.grant_update_only(0x10, 1, CommutativeOp.ADD_I64)
+        invalidated = directory.clear_all_sharers(0x10)
+        assert invalidated == {0, 1}
+        assert directory.entry(0x10).mode is LineMode.UNCACHED
+
+    def test_storage_overhead_matches_paper(self):
+        directory = Directory()
+        # 16 caches, 8 ops: sharer vector (16) + exclusive bit + 4-bit type.
+        assert directory.storage_bits_per_line(n_caches=16, n_ops=8) == 16 + 1 + 4
+
+    def test_len_counts_active_entries(self):
+        directory = Directory()
+        directory.grant_shared(0x10, 0)
+        directory.grant_exclusive(0x20, 1)
+        assert len(directory) == 2

@@ -1,0 +1,147 @@
+"""Unit tests for the MESI protocol engine (single accesses and small sequences)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import CommutativeOp
+from repro.core.mesi import MesiProtocol
+from repro.core.states import LineMode, StableState
+from repro.sim.access import MemoryAccess
+from repro.sim.config import small_test_config, table1_config
+
+
+@pytest.fixture
+def mesi():
+    return MesiProtocol(small_test_config(4))
+
+
+class TestReadPath:
+    def test_first_read_grants_exclusive(self, mesi):
+        outcome = mesi.access(0, MemoryAccess.load(0x100), now=0.0)
+        assert not outcome.private_hit
+        line = mesi.line_addr(0x100)
+        assert mesi.core_state(0, line) is StableState.EXCLUSIVE
+        assert mesi.directory.entry(line).mode is LineMode.EXCLUSIVE
+
+    def test_second_read_hits(self, mesi):
+        mesi.access(0, MemoryAccess.load(0x100), now=0.0)
+        outcome = mesi.access(0, MemoryAccess.load(0x100), now=10.0)
+        assert outcome.private_hit
+        assert outcome.total_latency == mesi.config.l1d.latency
+
+    def test_read_by_second_core_downgrades_owner(self, mesi):
+        mesi.access(0, MemoryAccess.store(0x100, 1), now=0.0)
+        outcome = mesi.access(1, MemoryAccess.load(0x100), now=10.0)
+        line = mesi.line_addr(0x100)
+        assert mesi.core_state(0, line) is StableState.SHARED
+        assert mesi.core_state(1, line) is StableState.SHARED
+        assert outcome.invalidations == 1
+        assert mesi.directory.entry(line).mode is LineMode.READ_ONLY
+
+    def test_reads_by_many_cores_share(self, mesi):
+        for core in range(4):
+            mesi.access(core, MemoryAccess.load(0x200), now=core * 10.0)
+        line = mesi.line_addr(0x200)
+        entry = mesi.directory.entry(line)
+        assert entry.mode is LineMode.READ_ONLY
+        assert entry.sharers == {0, 1, 2, 3}
+
+
+class TestWritePath:
+    def test_store_grants_modified(self, mesi):
+        mesi.access(0, MemoryAccess.store(0x100, 42), now=0.0)
+        line = mesi.line_addr(0x100)
+        assert mesi.core_state(0, line) is StableState.MODIFIED
+        assert mesi.read_word(0x100) == 42
+
+    def test_store_invalidates_readers(self, mesi):
+        for core in (0, 1, 2):
+            mesi.access(core, MemoryAccess.load(0x100), now=core * 5.0)
+        outcome = mesi.access(3, MemoryAccess.store(0x100, 9), now=100.0)
+        line = mesi.line_addr(0x100)
+        assert outcome.invalidations == 3
+        for core in (0, 1, 2):
+            assert mesi.core_state(core, line) is StableState.INVALID
+        assert mesi.core_state(3, line) is StableState.MODIFIED
+
+    def test_exclusive_upgrades_silently_on_store(self, mesi):
+        mesi.access(0, MemoryAccess.load(0x100), now=0.0)
+        outcome = mesi.access(0, MemoryAccess.store(0x100, 5), now=10.0)
+        assert outcome.private_hit
+        line = mesi.line_addr(0x100)
+        assert mesi.core_state(0, line) is StableState.MODIFIED
+
+    def test_write_ping_pong_transfers_ownership(self, mesi):
+        line = mesi.line_addr(0x300)
+        mesi.access(0, MemoryAccess.store(0x300, 1), now=0.0)
+        mesi.access(1, MemoryAccess.store(0x300, 2), now=100.0)
+        assert mesi.core_state(0, line) is StableState.INVALID
+        assert mesi.core_state(1, line) is StableState.MODIFIED
+        assert mesi.read_word(0x300) == 2
+
+
+class TestAtomicPath:
+    def test_commutative_update_treated_as_atomic(self, mesi):
+        outcome = mesi.access(
+            0, MemoryAccess.commutative(0x100, CommutativeOp.ADD_I64, 5), now=0.0
+        )
+        line = mesi.line_addr(0x100)
+        assert mesi.core_state(0, line) is StableState.MODIFIED
+        assert mesi.read_word(0x100) == 5
+        assert outcome.value == 5
+
+    def test_atomic_accumulates_across_cores(self, mesi):
+        for core in range(4):
+            mesi.access(
+                core, MemoryAccess.atomic(0x100, CommutativeOp.ADD_I64, 1), now=core * 50.0
+            )
+        assert mesi.read_word(0x100) == 4
+
+    def test_contended_atomics_serialize(self, mesi):
+        """Back-to-back atomics from different cores queue at the directory."""
+        mesi.access(0, MemoryAccess.atomic(0x100, CommutativeOp.ADD_I64, 1), now=0.0)
+        second = mesi.access(1, MemoryAccess.atomic(0x100, CommutativeOp.ADD_I64, 1), now=0.0)
+        third = mesi.access(2, MemoryAccess.atomic(0x100, CommutativeOp.ADD_I64, 1), now=0.0)
+        assert second.latency.serialization > 0
+        assert third.latency.serialization > second.latency.serialization
+
+
+class TestEvictions:
+    def test_capacity_eviction_notifies_directory(self):
+        mesi = MesiProtocol(small_test_config(1))
+        # Touch far more lines than the tiny L2 can hold.
+        for i in range(256):
+            mesi.access(0, MemoryAccess.store(i * 64, i), now=float(i))
+        resident = sum(
+            1 for line in range(256) if mesi.core_state(0, line) is not StableState.INVALID
+        )
+        l2_lines = mesi.config.l2.num_lines
+        assert resident <= l2_lines
+        mesi.directory.check_invariants()
+
+    def test_directory_invariants_hold_after_mixed_traffic(self, mesi):
+        for i in range(50):
+            core = i % 4
+            address = (i % 7) * 64
+            if i % 3 == 0:
+                mesi.access(core, MemoryAccess.load(address), now=float(i))
+            elif i % 3 == 1:
+                mesi.access(core, MemoryAccess.store(address, i), now=float(i))
+            else:
+                mesi.access(
+                    core, MemoryAccess.atomic(address, CommutativeOp.ADD_I64, 1), now=float(i)
+                )
+        mesi.directory.check_invariants()
+
+
+class TestTrafficAccounting:
+    def test_offchip_traffic_only_for_remote_lines(self):
+        config = table1_config(32)  # two chips
+        mesi = MesiProtocol(config)
+        # Core 0 (chip 0) writes, core 16 (chip 1) reads: cross-chip transfer.
+        mesi.access(0, MemoryAccess.store(0x1000, 1), now=0.0)
+        before = mesi.interconnect.traffic.off_chip_bytes
+        mesi.access(16, MemoryAccess.load(0x1000), now=100.0)
+        after = mesi.interconnect.traffic.off_chip_bytes
+        assert after > before

@@ -1,0 +1,166 @@
+"""Unit tests for the MEUSI (COUP) protocol engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import CommutativeOp
+from repro.core.meusi import MeusiProtocol
+from repro.core.mesi import MesiProtocol
+from repro.core.states import LineMode, StableState
+from repro.sim.access import MemoryAccess
+from repro.sim.config import small_test_config, table1_config
+
+
+@pytest.fixture
+def coup():
+    return MeusiProtocol(small_test_config(4))
+
+
+def add(address, value=1):
+    return MemoryAccess.commutative(address, CommutativeOp.ADD_I64, value)
+
+
+class TestUpdateOnlyState:
+    def test_unshared_update_granted_modified(self, coup):
+        """Like MESI's E optimisation, an unshared update gets M directly."""
+        coup.access(0, add(0x100), now=0.0)
+        line = coup.line_addr(0x100)
+        assert coup.core_state(0, line) is StableState.MODIFIED
+        assert coup.read_word(0x100) == 1
+
+    def test_two_updaters_share_update_only_permission(self, coup):
+        coup.access(0, add(0x100), now=0.0)
+        coup.access(1, add(0x100), now=10.0)
+        line = coup.line_addr(0x100)
+        entry = coup.directory.entry(line)
+        assert entry.mode is LineMode.UPDATE_ONLY
+        assert entry.sharers == {0, 1}
+        assert entry.op is CommutativeOp.ADD_I64
+        assert coup.core_state(0, line) is StableState.UPDATE
+        assert coup.core_state(1, line) is StableState.UPDATE
+
+    def test_updates_in_u_are_local_hits(self, coup):
+        coup.access(0, add(0x100), now=0.0)
+        coup.access(1, add(0x100), now=10.0)
+        outcome = coup.access(1, add(0x100), now=20.0)
+        assert outcome.private_hit
+        assert outcome.total_latency == coup.config.l1d.latency
+        assert coup.stat_local_updates >= 1
+
+    def test_no_invalidations_between_concurrent_updaters(self, coup):
+        coup.access(0, add(0x100), now=0.0)
+        invalidations_before = coup.stat_invalidations
+        for i in range(10):
+            coup.access(i % 4, add(0x100), now=20.0 + i)
+        # Entering U may downgrade the initial M copy, but updaters never
+        # invalidate each other.
+        assert coup.stat_invalidations == invalidations_before
+
+    def test_read_triggers_full_reduction_with_correct_value(self, coup):
+        for i in range(12):
+            coup.access(i % 4, add(0x100), now=float(i))
+        outcome = coup.access(2, MemoryAccess.load(0x100), now=100.0)
+        assert outcome.full_reduction
+        assert outcome.value == 12
+        line = coup.line_addr(0x100)
+        assert coup.directory.entry(line).mode is LineMode.READ_ONLY
+        assert coup.core_state(2, line) is StableState.SHARED
+
+    def test_write_after_updates_reduces_then_owns(self, coup):
+        for core in range(4):
+            coup.access(core, add(0x100), now=float(core))
+        coup.access(0, MemoryAccess.store(0x100, 100), now=50.0)
+        line = coup.line_addr(0x100)
+        assert coup.core_state(0, line) is StableState.MODIFIED
+        assert coup.read_word(0x100) == 100
+
+    def test_update_after_read_switches_back_to_update_mode(self, coup):
+        coup.access(0, add(0x100), now=0.0)
+        coup.access(1, add(0x100), now=5.0)
+        coup.access(2, MemoryAccess.load(0x100), now=10.0)
+        coup.access(3, add(0x100), now=20.0)
+        line = coup.line_addr(0x100)
+        entry = coup.directory.entry(line)
+        assert entry.mode is LineMode.UPDATE_ONLY
+        coup.finalize()
+        assert coup.read_word(0x100) == 3
+
+
+class TestTypeSwitches:
+    def test_different_op_types_serialise_via_reduction(self, coup):
+        # Two words on the same line, updated with different operations.
+        coup.access(0, MemoryAccess.commutative(0x100, CommutativeOp.ADD_I64, 1), now=0.0)
+        coup.access(1, MemoryAccess.commutative(0x100, CommutativeOp.ADD_I64, 1), now=5.0)
+        reductions_before = coup.stat_full_reductions
+        coup.access(2, MemoryAccess.commutative(0x108, CommutativeOp.OR_64, 0b1), now=10.0)
+        assert coup.stat_full_reductions == reductions_before + 1
+        line = coup.line_addr(0x100)
+        assert coup.directory.entry(line).op is CommutativeOp.OR_64
+        coup.finalize()
+        assert coup.read_word(0x100) == 2
+        assert coup.read_word(0x108) == 0b1
+
+    def test_same_type_never_reduces(self, coup):
+        for i in range(20):
+            coup.access(i % 4, add(0x100), now=float(i))
+        assert coup.stat_full_reductions == 0
+
+
+class TestEvictionsAndPartialReductions:
+    def test_capacity_eviction_performs_partial_reduction(self):
+        coup = MeusiProtocol(small_test_config(2))
+        # Two updaters so lines actually sit in U (not M).
+        for i in range(300):
+            address = (i % 150) * 64
+            coup.access(0, add(address), now=float(i))
+            coup.access(1, add(address), now=float(i) + 0.5)
+        assert coup.stat_partial_reductions > 0
+        coup.directory.check_invariants()
+        coup.finalize()
+        # Each of the 150 addresses is visited twice, with both cores adding 1
+        # per visit, so every word must end up at exactly 4 regardless of how
+        # many partial reductions interleaved with the updates.
+        for i in range(150):
+            assert coup.read_word(i * 64) == 4
+
+    def test_finalize_commits_outstanding_buffers(self, coup):
+        coup.access(0, add(0x100, 5), now=0.0)
+        coup.access(1, add(0x100, 7), now=1.0)
+        coup.finalize()
+        assert coup.read_word(0x100) == 12
+
+
+class TestEquivalenceWithMesiOnNonCommutativeTraffic:
+    def test_loads_and_stores_behave_identically(self):
+        config = small_test_config(4)
+        mesi = MesiProtocol(config)
+        coup = MeusiProtocol(small_test_config(4))
+        accesses = []
+        for i in range(40):
+            core = i % 4
+            address = (i % 5) * 64
+            if i % 2:
+                accesses.append((core, MemoryAccess.load(address)))
+            else:
+                accesses.append((core, MemoryAccess.store(address, i)))
+        for now, (core, access) in enumerate(accesses):
+            mesi_outcome = mesi.access(core, access, now=float(now * 10))
+            coup_outcome = coup.access(core, access, now=float(now * 10))
+            assert mesi_outcome.total_latency == coup_outcome.total_latency
+        assert mesi.memory_image == coup.memory_image
+
+
+class TestHierarchicalReductions:
+    def test_cross_chip_reduction_uses_l4_unit(self):
+        config = table1_config(32)  # cores 0-15 on chip 0, 16-31 on chip 1
+        coup = MeusiProtocol(config)
+        coup.access(0, add(0x100), now=0.0)
+        coup.access(16, add(0x100), now=10.0)
+        coup.access(1, add(0x100), now=20.0)
+        coup.access(17, add(0x100), now=30.0)
+        outcome = coup.access(5, MemoryAccess.load(0x100), now=100.0)
+        assert outcome.full_reduction
+        assert outcome.value == 4
+        l4_units_used = [unit for unit in coup.l4_reduction_units.values() if unit.reductions]
+        assert l4_units_used, "a cross-chip reduction must use an L4 reduction unit"

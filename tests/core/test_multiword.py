@@ -1,0 +1,110 @@
+"""Tests for the multi-word set-insertion extension (Sec. 7 future work)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiword import (
+    SetDeltaBuffer,
+    SetInsertOp,
+    reduce_set_deltas,
+    reduce_with_overflow,
+)
+
+
+class TestSetInsertOp:
+    def test_identity_is_empty_set(self):
+        op = SetInsertOp()
+        assert op.identity == frozenset()
+        assert op.apply(op.identity, [1, 2]) == frozenset({1, 2})
+
+    def test_idempotent_and_commutative(self):
+        op = SetInsertOp()
+        a = op.apply(frozenset({1}), [2, 2, 3])
+        b = op.apply(frozenset({2, 3}), [1])
+        assert a == b == frozenset({1, 2, 3})
+
+    def test_capacity_check(self):
+        op = SetInsertOp(capacity=2)
+        assert op.fits(frozenset({1, 2}))
+        assert not op.fits(frozenset({1, 2, 3}))
+
+
+class TestSetDeltaBuffer:
+    def test_buffers_insertions(self):
+        buffer = SetDeltaBuffer(SetInsertOp())
+        assert buffer.is_empty()
+        assert buffer.insert(5)
+        assert buffer.insert(5)  # idempotent re-insert always fits
+        assert buffer.inserted == frozenset({5})
+
+    def test_overflow_flagged(self):
+        buffer = SetDeltaBuffer(SetInsertOp(capacity=2))
+        assert buffer.insert(1)
+        assert buffer.insert(2)
+        assert not buffer.insert(3)
+        assert buffer.overflowed
+        buffer.clear()
+        assert not buffer.overflowed and buffer.is_empty()
+
+
+class TestSetReduction:
+    def test_reduction_is_union(self):
+        op = SetInsertOp()
+        buffers = []
+        for values in ([1, 2], [2, 3], [9]):
+            buffer = SetDeltaBuffer(op)
+            for value in values:
+                buffer.insert(value)
+            buffers.append(buffer)
+        result = reduce_set_deltas(op, frozenset({0}), buffers)
+        assert result == frozenset({0, 1, 2, 3, 9})
+
+    def test_reduction_order_independent(self):
+        op = SetInsertOp()
+        buffers = []
+        for seed in range(4):
+            buffer = SetDeltaBuffer(op)
+            for value in range(seed, seed + 3):
+                buffer.insert(value)
+            buffers.append(buffer)
+        shuffled = list(buffers)
+        random.Random(1).shuffle(shuffled)
+        assert reduce_set_deltas(op, frozenset(), buffers) == reduce_set_deltas(
+            op, frozenset(), shuffled
+        )
+
+    def test_overflow_propagates_to_outcome(self):
+        op = SetInsertOp(capacity=3)
+        big = SetDeltaBuffer(op)
+        for value in range(3):
+            big.insert(value)
+        other = SetDeltaBuffer(op)
+        other.insert(99)
+        outcome = reduce_with_overflow(op, frozenset(), [big, other])
+        assert outcome.value == frozenset({0, 1, 2, 99})
+        assert outcome.overflowed
+        assert outcome.n_partials == 2
+
+    @given(
+        partitions=st.lists(
+            st.lists(st.integers(min_value=0, max_value=30), max_size=6),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_reduction_equals_flat_union(self, partitions):
+        op = SetInsertOp(capacity=64)
+        buffers = []
+        for values in partitions:
+            buffer = SetDeltaBuffer(op)
+            for value in values:
+                buffer.insert(value)
+            buffers.append(buffer)
+        expected = frozenset().union(*[frozenset(p) for p in partitions]) if partitions else frozenset()
+        assert reduce_set_deltas(op, frozenset(), buffers) == expected

@@ -1,0 +1,84 @@
+"""Unit tests for the reduction unit model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import CommutativeOp, DeltaBuffer
+from repro.core.reduction import (
+    ReductionUnit,
+    flat_reduction_ops,
+    hierarchical_reduction_ops,
+)
+from repro.sim.config import ReductionUnitConfig
+
+
+class TestReductionTiming:
+    def test_zero_partials_is_free(self):
+        unit = ReductionUnit()
+        timing = unit.timing_for(0)
+        assert timing.latency == 0
+        assert timing.occupancy == 0
+
+    def test_pipelined_unit_latency(self):
+        unit = ReductionUnit(ReductionUnitConfig.fast())
+        timing = unit.timing_for(4)
+        # 3-cycle pipeline latency + one line every 2 cycles thereafter.
+        assert timing.latency == 3 + 3 * 2
+        assert timing.occupancy == 4 * 2
+
+    def test_unpipelined_unit_latency(self):
+        unit = ReductionUnit(ReductionUnitConfig.slow())
+        timing = unit.timing_for(4)
+        assert timing.latency == 4 * 16
+        assert timing.occupancy == 4 * 16
+
+    def test_slow_unit_is_slower(self):
+        fast = ReductionUnit(ReductionUnitConfig.fast()).timing_for(8)
+        slow = ReductionUnit(ReductionUnitConfig.slow()).timing_for(8)
+        assert slow.latency > fast.latency
+        assert slow.occupancy > fast.occupancy
+
+    def test_schedule_accounts_for_queueing(self):
+        unit = ReductionUnit(ReductionUnitConfig.fast())
+        first = unit.schedule(now=100.0, n_partials=4)
+        assert first.latency == unit.timing_for(4).latency
+        # A second reduction issued immediately must wait for the first.
+        second = unit.schedule(now=100.0, n_partials=1)
+        assert second.latency > unit.timing_for(1).latency
+
+    def test_schedule_after_idle_has_no_wait(self):
+        unit = ReductionUnit()
+        unit.schedule(now=0.0, n_partials=2)
+        later = unit.schedule(now=1000.0, n_partials=2)
+        assert later.latency == unit.timing_for(2).latency
+
+    def test_statistics_accumulate(self):
+        unit = ReductionUnit()
+        unit.schedule(0.0, 3)
+        unit.schedule(50.0, 2)
+        assert unit.reductions == 2
+        assert unit.lines_reduced == 5
+        unit.reset_statistics()
+        assert unit.reductions == 0
+
+
+class TestFunctionalReduction:
+    def test_reduce_values_folds_buffers(self):
+        op = CommutativeOp.ADD_I64
+        buffers = []
+        for delta in (1, 2, 3):
+            buffer = DeltaBuffer(op)
+            buffer.update(0x0, delta)
+            buffers.append(buffer)
+        result = ReductionUnit.reduce_values(op, {0x0: 10}, buffers)
+        assert result[0x0] == 16
+
+
+class TestHierarchicalReduction:
+    def test_paper_example(self):
+        # 128 cores, 8 sockets of 16: 8 + 16 = 24 ops on the critical path,
+        # far fewer than the 128 of a flat reduction (Sec. 3.2).
+        assert hierarchical_reduction_ops([8, 16]) == 24
+        assert flat_reduction_ops(128) == 128
+        assert hierarchical_reduction_ops([8, 16]) < flat_reduction_ops(128)

@@ -1,0 +1,71 @@
+"""Unit tests for the RMO (remote memory operation) baseline protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import CommutativeOp
+from repro.core.rmo import RmoProtocol
+from repro.core.states import StableState
+from repro.sim.access import MemoryAccess
+from repro.sim.config import small_test_config, table1_config
+
+
+@pytest.fixture
+def rmo():
+    return RmoProtocol(small_test_config(4))
+
+
+def add(address, value=1):
+    return MemoryAccess.commutative(address, CommutativeOp.ADD_I64, value)
+
+
+class TestRemoteUpdates:
+    def test_update_executes_at_home_without_caching(self, rmo):
+        rmo.access(0, add(0x100, 3), now=0.0)
+        line = rmo.line_addr(0x100)
+        assert rmo.core_state(0, line) is StableState.INVALID
+        assert rmo.read_word(0x100) == 3
+        assert rmo.stat_remote_updates == 1
+
+    def test_updates_accumulate_correctly(self, rmo):
+        for core in range(4):
+            for _ in range(5):
+                rmo.access(core, add(0x100), now=0.0)
+        assert rmo.read_word(0x100) == 20
+
+    def test_remote_alu_serializes_contended_updates(self, rmo):
+        first = rmo.access(0, add(0x100), now=0.0)
+        second = rmo.access(1, add(0x100), now=0.0)
+        third = rmo.access(2, add(0x100), now=0.0)
+        assert second.latency.serialization >= 0
+        assert third.latency.serialization > first.latency.serialization
+
+    def test_every_update_pays_network_latency(self, rmo):
+        """Unlike COUP, repeated updates never become private-cache hits."""
+        first = rmo.access(0, add(0x100), now=0.0)
+        repeat = rmo.access(0, add(0x100), now=1000.0)
+        assert not repeat.private_hit
+        assert repeat.total_latency >= rmo.config.l3.latency
+
+    def test_reads_and_ordinary_traffic_fall_back_to_mesi(self, rmo):
+        rmo.access(0, MemoryAccess.store(0x200, 7), now=0.0)
+        outcome = rmo.access(0, MemoryAccess.load(0x200), now=10.0)
+        assert outcome.private_hit
+        assert rmo.read_word(0x200) == 7
+
+    def test_update_invalidates_stale_private_copies(self, rmo):
+        rmo.access(1, MemoryAccess.load(0x100), now=0.0)
+        rmo.access(0, add(0x100), now=10.0)
+        line = rmo.line_addr(0x100)
+        assert rmo.core_state(1, line) is StableState.INVALID
+
+
+class TestRmoVsCoupTraffic:
+    def test_rmo_sends_every_update_across_chip_boundary(self):
+        config = table1_config(32)
+        rmo = RmoProtocol(config)
+        target = 0x40  # home L4 chip = line 1 % 2 = 1, requester on chip 0
+        for i in range(20):
+            rmo.access(0, add(target), now=float(i))
+        assert rmo.interconnect.traffic.off_chip_bytes > 0

@@ -1,0 +1,90 @@
+"""Unit tests for coherence state definitions and the N-state type field."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import CommutativeOp
+from repro.core.states import (
+    LineMode,
+    NonExclusiveType,
+    RequestType,
+    StableState,
+    decode_type_field,
+    encode_type_field,
+)
+
+
+class TestStableState:
+    def test_read_permissions(self):
+        assert StableState.SHARED.can_read
+        assert StableState.EXCLUSIVE.can_read
+        assert StableState.MODIFIED.can_read
+        assert not StableState.UPDATE.can_read
+        assert not StableState.INVALID.can_read
+
+    def test_write_permissions(self):
+        assert StableState.MODIFIED.can_write
+        assert StableState.EXCLUSIVE.can_write
+        assert not StableState.SHARED.can_write
+        assert not StableState.UPDATE.can_write
+        assert not StableState.INVALID.can_write
+
+    def test_update_permissions_in_owned_states(self):
+        for state in (StableState.MODIFIED, StableState.EXCLUSIVE):
+            assert state.can_update(CommutativeOp.ADD_I64, None)
+            assert state.can_update(CommutativeOp.OR_64, CommutativeOp.ADD_I64)
+
+    def test_update_permission_in_u_requires_matching_op(self):
+        state = StableState.UPDATE
+        assert state.can_update(CommutativeOp.ADD_I64, CommutativeOp.ADD_I64)
+        assert not state.can_update(CommutativeOp.ADD_I64, CommutativeOp.OR_64)
+        assert not state.can_update(None, CommutativeOp.ADD_I64)
+
+    def test_invalid_and_shared_cannot_update(self):
+        assert not StableState.INVALID.can_update(CommutativeOp.ADD_I64, None)
+        assert not StableState.SHARED.can_update(CommutativeOp.ADD_I64, None)
+
+    def test_request_types(self):
+        assert {r.value for r in RequestType} == {"R", "W", "C"}
+
+    def test_line_modes(self):
+        assert len(LineMode) == 4
+
+
+class TestNonExclusiveType:
+    def test_read_only_singleton(self):
+        assert NonExclusiveType.READ_ONLY.is_read_only
+        assert not NonExclusiveType.READ_ONLY.is_update
+
+    def test_update_type(self):
+        ne_type = NonExclusiveType(CommutativeOp.ADD_I32)
+        assert ne_type.is_update
+        assert ne_type.compatible_with_update(CommutativeOp.ADD_I32)
+        assert not ne_type.compatible_with_update(CommutativeOp.ADD_I64)
+        assert not ne_type.compatible_with_read()
+
+    def test_equality_and_hash(self):
+        a = NonExclusiveType(CommutativeOp.OR_64)
+        b = NonExclusiveType(CommutativeOp.OR_64)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != NonExclusiveType.READ_ONLY
+
+
+class TestTypeFieldEncoding:
+    def test_four_bits_suffice_for_eight_ops(self):
+        codes = {encode_type_field(NonExclusiveType(op)) for op in CommutativeOp}
+        codes.add(encode_type_field(NonExclusiveType.READ_ONLY))
+        assert len(codes) == 9
+        assert max(codes) < 16  # fits in the paper's 4-bit field
+
+    def test_round_trip(self):
+        for op in CommutativeOp:
+            field = encode_type_field(NonExclusiveType(op))
+            assert decode_type_field(field).op is op
+        assert decode_type_field(0).is_read_only
+
+    def test_invalid_field_rejected(self):
+        with pytest.raises(ValueError):
+            decode_type_field(42)

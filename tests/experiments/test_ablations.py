@@ -1,0 +1,53 @@
+"""Tests for the ablation experiments (beyond the paper's figures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_hierarchical_reduction, ablation_interleaving, settings
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(settings, "_scale", 0.1)
+    monkeypatch.setattr(settings, "_max_cores", 16)
+    yield
+
+
+class TestInterleavingAblation:
+    def test_coup_advantage_grows_with_update_run_length(self):
+        rows = ablation_interleaving.run(
+            updates_per_read_values=(0, 2, 8), n_cores=16, rounds=20
+        )
+        assert len(rows) == 3
+        advantages = [row["coup_over_mesi"] for row in rows]
+        # With no updates at all, COUP cannot help; with longer update runs,
+        # the advantage must grow.
+        assert advantages[0] == pytest.approx(1.0, rel=0.05)
+        assert advantages[-1] > advantages[0]
+
+    def test_two_updates_per_epoch_already_help(self):
+        """Sec. 4's claim: benefits with as little as two updates per epoch."""
+        rows = ablation_interleaving.run(updates_per_read_values=(2,), n_cores=16, rounds=30)
+        assert rows[0]["coup_over_mesi"] >= 1.0
+
+
+class TestHierarchicalReductionAblation:
+    def test_analytic_matches_paper_example(self):
+        rows = ablation_hierarchical_reduction.analytic_rows(
+            n_cores=128, socket_widths=(16,)
+        )
+        assert rows[0]["hierarchical_ops"] == 24
+        assert rows[0]["flat_ops"] == 128
+
+    def test_simulated_rows_have_reductions(self):
+        rows = ablation_hierarchical_reduction.simulated_rows(
+            n_cores=16, socket_widths=(4, 8, 16), n_counters=8, updates_per_core=60
+        )
+        assert len(rows) == 3
+        assert all(row["full_reductions"] >= 0 for row in rows)
+        assert all(row["run_cycles"] > 0 for row in rows)
+
+    def test_run_returns_both_halves(self):
+        results = ablation_hierarchical_reduction.run(n_cores=8)
+        assert set(results) == {"analytic", "simulated"}

@@ -1,0 +1,84 @@
+"""Tests for the experiment runner CLI, settings, and table helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENT_MODULES, settings
+from repro.experiments.runner import main as runner_main
+from repro.experiments.tables import format_table, format_value
+
+
+class TestSettings:
+    def test_scale_roundtrip(self):
+        original = settings.scale()
+        try:
+            settings.set_scale(0.5)
+            assert settings.scale() == 0.5
+            assert settings.scaled(100) == 50
+            assert settings.scaled(1, minimum=3) == 3
+        finally:
+            settings.set_scale(original)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            settings.set_scale(0)
+        with pytest.raises(ValueError):
+            settings.set_max_cores(-1)
+
+    def test_core_sweep_respects_cap(self):
+        original = settings.max_cores()
+        try:
+            settings.set_max_cores(32)
+            assert settings.core_sweep() == [1, 32]
+            settings.set_max_cores(128)
+            assert settings.core_sweep() == [1, 32, 64, 96, 128]
+            settings.set_max_cores(4)
+            assert settings.core_sweep() == [1, 4]
+        finally:
+            settings.set_max_cores(original)
+
+    def test_amat_core_points(self):
+        original = settings.max_cores()
+        try:
+            settings.set_max_cores(32)
+            assert settings.amat_core_points() == [8, 32]
+            settings.set_max_cores(128)
+            assert settings.amat_core_points() == [8, 32, 128]
+        finally:
+            settings.set_max_cores(original)
+
+
+class TestRunnerCli:
+    def test_list(self, capsys):
+        assert runner_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENT_MODULES:
+            assert experiment_id in out
+
+    def test_unknown_experiment(self, capsys):
+        assert runner_main(["not-an-experiment"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_run_single_cheap_experiment(self, capsys):
+        assert runner_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "completed in" in out
+
+
+class TestTableFormatting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(1234.5678) == "1,235"
+        assert format_value(0.123456) == "0.123"
+        assert format_value(123456) == "123,456"
+        assert format_value("x") == "x"
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in text and "a" not in text

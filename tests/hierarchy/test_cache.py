@@ -1,0 +1,94 @@
+"""Unit tests for the set-associative cache arrays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.cache import SetAssociativeCache
+from repro.sim.config import CacheConfig
+
+
+def make_cache(size=1024, ways=2, line=64) -> SetAssociativeCache:
+    return SetAssociativeCache(CacheConfig(size_bytes=size, ways=ways, latency=1, line_bytes=line))
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(size=1024, ways=2, line=64)
+        assert cache.config.num_lines == 16
+        assert cache.config.num_sets == 8
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0, ways=2, latency=1)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, ways=0, latency=1)
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3, latency=1, line_bytes=48)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.lookup(0x10) is None
+        cache.insert(0x10)
+        assert cache.lookup(0x10) is not None
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_peek_does_not_touch_stats(self):
+        cache = make_cache()
+        cache.insert(0x10)
+        cache.peek(0x10)
+        cache.peek(0x999)
+        assert cache.hits == 0
+        assert cache.misses == 0
+
+    def test_reinsert_refreshes_without_eviction(self):
+        cache = make_cache()
+        cache.insert(0x10, metadata={"a": 1})
+        victim = cache.insert(0x10, metadata={"b": 2})
+        assert victim is None
+        info = cache.peek(0x10)
+        assert info.metadata == {"a": 1, "b": 2}
+
+    def test_lru_eviction_within_set(self):
+        cache = make_cache(size=256, ways=2, line=64)  # 4 lines, 2 sets
+        # Addresses 0, 2, 4 map to set 0 (line_addr % num_sets with 2 sets).
+        cache.insert(0)
+        cache.insert(2)
+        cache.lookup(0)  # make 0 most recently used
+        victim = cache.insert(4)
+        assert victim is not None
+        assert victim.line_addr == 2
+        assert 0 in cache
+        assert 4 in cache
+
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(0x20)
+        removed = cache.invalidate(0x20)
+        assert removed is not None
+        assert 0x20 not in cache
+        assert cache.invalidate(0x20) is None
+
+    def test_occupancy_and_len(self):
+        cache = make_cache(size=256, ways=2, line=64)
+        assert len(cache) == 0
+        cache.insert(1)
+        cache.insert(2)
+        assert len(cache) == 2
+        assert cache.occupancy() == pytest.approx(0.5)
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        cache.insert(1)
+        cache.lookup(1)
+        cache.lookup(2)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        cache = make_cache()
+        cache.lookup(1)
+        cache.reset_statistics()
+        assert cache.misses == 0

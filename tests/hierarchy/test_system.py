@@ -1,0 +1,93 @@
+"""Unit tests for the cache hierarchy assembly and the memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hierarchy.memory import MainMemoryModel
+from repro.hierarchy.system import CacheHierarchy
+from repro.sim.config import small_test_config, table1_config
+
+
+class TestCacheHierarchy:
+    def test_machine_assembly_matches_config(self):
+        config = table1_config(32)
+        hierarchy = CacheHierarchy(config)
+        assert len(hierarchy.l1) == 32
+        assert len(hierarchy.l2) == 32
+        assert len(hierarchy.l3) == config.n_chips == 2
+        assert len(hierarchy.l4) == config.n_l4_chips == 2
+
+    def test_private_fill_then_lookup_hits_l1(self):
+        hierarchy = CacheHierarchy(small_test_config(2))
+        hierarchy.private_fill(0, 0x100)
+        result = hierarchy.private_lookup(0, 0x100)
+        assert result.is_hit
+        assert result.level == "L1"
+
+    def test_lookup_miss(self):
+        hierarchy = CacheHierarchy(small_test_config(2))
+        assert not hierarchy.private_lookup(0, 0x100).is_hit
+
+    def test_l2_hit_refills_l1(self):
+        hierarchy = CacheHierarchy(small_test_config(2))
+        hierarchy.private_fill(0, 0x100)
+        hierarchy.l1[0].invalidate(0x100)
+        result = hierarchy.private_lookup(0, 0x100)
+        assert result.level == "L2"
+        assert hierarchy.l1[0].peek(0x100) is not None
+
+    def test_capacity_evictions_reported_from_l2(self):
+        config = small_test_config(1)
+        hierarchy = CacheHierarchy(config)
+        notices = []
+        # Fill well past the tiny L2 capacity (4 KiB / 64 B = 64 lines).
+        for i in range(200):
+            notices.extend(hierarchy.private_fill(0, i))
+        assert notices, "filling past capacity must evict lines"
+        evicted = {notice.line_addr for notice in notices}
+        # Evicted lines are gone from both private levels (inclusion).
+        for line in evicted:
+            assert hierarchy.l1[0].peek(line) is None
+            assert hierarchy.l2[0].peek(line) is None
+
+    def test_private_invalidate_clears_both_levels(self):
+        hierarchy = CacheHierarchy(small_test_config(2))
+        hierarchy.private_fill(1, 0x40)
+        hierarchy.private_invalidate(1, 0x40)
+        assert not hierarchy.private_present(1, 0x40)
+
+    def test_cache_summary_reports_rates(self):
+        hierarchy = CacheHierarchy(small_test_config(2))
+        hierarchy.private_fill(0, 0x1)
+        hierarchy.private_lookup(0, 0x1)
+        summary = hierarchy.cache_summary()
+        assert 0.0 <= summary["l1_hit_rate"] <= 1.0
+
+    def test_l4_home_chip_is_interleaved(self):
+        config = table1_config(128)
+        homes = {config.l4_home_chip(line) for line in range(64)}
+        assert homes == set(range(config.n_l4_chips))
+
+
+class TestMainMemory:
+    def test_latency_includes_configured_minimum(self):
+        config = table1_config(16)
+        memory = MainMemoryModel(config)
+        timing = memory.access(l4_chip=0, now=0.0, line_bytes=64)
+        assert timing.latency >= config.memory.latency
+
+    def test_bandwidth_queueing(self):
+        config = table1_config(16)
+        memory = MainMemoryModel(config)
+        # Saturate all channels at the same instant; later accesses queue.
+        latencies = [memory.access(0, 0.0, 64).latency for _ in range(32)]
+        assert latencies[-1] > latencies[0]
+        assert memory.accesses == 32
+
+    def test_reset(self):
+        memory = MainMemoryModel(table1_config(16))
+        memory.access(0, 0.0, 64)
+        memory.reset()
+        assert memory.accesses == 0
+        assert memory.bytes_transferred == 0

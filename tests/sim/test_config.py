@@ -1,0 +1,84 @@
+"""Tests for the Table 1 machine configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import (
+    CacheConfig,
+    ReductionUnitConfig,
+    SystemConfig,
+    small_test_config,
+    table1_config,
+)
+
+
+class TestTable1Config:
+    """Check the reproduced machine against the paper's Table 1."""
+
+    def test_cache_sizes_and_latencies(self):
+        config = table1_config(128)
+        assert config.l1d.size_bytes == 32 * 1024
+        assert config.l1d.ways == 8
+        assert config.l1d.latency == 4
+        assert config.l2.size_bytes == 256 * 1024
+        assert config.l2.latency == 7
+        assert config.l3.size_bytes == 32 * 1024 * 1024
+        assert config.l3.banks == 8
+        assert config.l3.latency == 27
+        assert config.l4.size_bytes == 128 * 1024 * 1024
+        assert config.l4.latency == 35
+        assert config.line_bytes == 64
+
+    def test_offchip_link_latency(self):
+        assert table1_config(128).network.offchip_link_latency == 40
+
+    def test_chip_scaling_with_core_count(self):
+        # The paper scales processor and L4 chips with the core count.
+        assert table1_config(1).n_chips == 1
+        assert table1_config(16).n_chips == 1
+        assert table1_config(32).n_chips == 2
+        assert table1_config(96).n_chips == 6
+        assert table1_config(128).n_chips == 8
+        assert table1_config(128).n_l4_chips == 8
+
+    def test_cores_per_chip(self):
+        config = table1_config(128)
+        assert config.cores_per_chip == 16
+        assert config.chip_of_core(0) == 0
+        assert config.chip_of_core(17) == 1
+        assert config.chip_of_core(127) == 7
+        assert list(config.cores_on_chip(7)) == list(range(112, 128))
+
+    def test_reduction_unit_default_and_slow_variant(self):
+        fast = ReductionUnitConfig.fast()
+        slow = ReductionUnitConfig.slow()
+        assert fast.lane_bits == 256 and fast.cycles_per_line == 2
+        assert slow.lane_bits == 64 and slow.cycles_per_line == 16
+        config = table1_config(64, reduction_unit=slow)
+        assert config.reduction_unit == slow
+
+    def test_line_address_mapping(self):
+        config = table1_config(16)
+        assert config.line_address(0) == 0
+        assert config.line_address(63) == 0
+        assert config.line_address(64) == 1
+
+    def test_with_cores_copies(self):
+        config = table1_config(16)
+        bigger = config.with_cores(64)
+        assert bigger.n_cores == 64
+        assert config.n_cores == 16
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            table1_config(16).chip_of_core(16)
+
+
+class TestSmallTestConfig:
+    def test_small_config_is_small(self):
+        config = small_test_config(4)
+        assert config.n_cores == 4
+        assert config.l1d.size_bytes < table1_config(4).l1d.size_bytes

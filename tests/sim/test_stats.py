@@ -1,0 +1,109 @@
+"""Tests for statistics structures (AMAT breakdowns, speedups, summaries)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.stats import (
+    AMAT_COMPONENTS,
+    CoreStats,
+    LatencyBreakdown,
+    SimulationResult,
+    speedup_curve,
+)
+
+
+def make_result(run_cycles: float, protocol: str = "MESI", latency=None) -> SimulationResult:
+    stats = CoreStats(core_id=0, accesses=10, finish_time=run_cycles)
+    if latency is not None:
+        stats.latency = latency
+    return SimulationResult(
+        protocol=protocol,
+        workload="w",
+        n_cores=1,
+        core_stats=[stats],
+        run_cycles=run_cycles,
+        offchip_bytes=100,
+        onchip_bytes=200,
+    )
+
+
+class TestLatencyBreakdown:
+    def test_total_sums_components(self):
+        breakdown = LatencyBreakdown(l1=1, l2=2, l3=3, offchip_network=4, l4=5, l4_invalidations=6, main_memory=7, serialization=8)
+        assert breakdown.total == 36
+
+    def test_add_and_scale(self):
+        a = LatencyBreakdown(l2=2.0, l3=4.0)
+        b = LatencyBreakdown(l2=1.0, main_memory=3.0)
+        a.add(b)
+        assert a.l2 == 3.0
+        scaled = a.scaled(0.5)
+        assert scaled.l2 == 1.5
+        assert a.l2 == 3.0  # original untouched
+
+    def test_as_dict_folds_serialization_into_invalidations(self):
+        breakdown = LatencyBreakdown(l4_invalidations=5.0, serialization=2.5)
+        as_dict = breakdown.as_dict()
+        assert as_dict["l4_invalidations"] == 7.5
+        assert set(as_dict) == set(AMAT_COMPONENTS)
+
+
+class TestSimulationResult:
+    def test_speedup_over(self):
+        fast = make_result(100.0, "COUP")
+        slow = make_result(250.0, "MESI")
+        assert fast.speedup_over(slow) == pytest.approx(2.5)
+        assert slow.speedup_over(fast) == pytest.approx(0.4)
+
+    def test_amat_and_breakdown(self):
+        latency = LatencyBreakdown(l2=20.0, main_memory=30.0)
+        result = make_result(100.0, latency=latency)
+        assert result.amat == pytest.approx(5.0)
+        breakdown = result.amat_breakdown()
+        assert breakdown["l2"] == pytest.approx(2.0)
+        assert breakdown["main_memory"] == pytest.approx(3.0)
+
+    def test_empty_result_amat_zero(self):
+        result = SimulationResult(
+            protocol="MESI",
+            workload="w",
+            n_cores=1,
+            core_stats=[CoreStats(core_id=0)],
+            run_cycles=0.0,
+            offchip_bytes=0,
+            onchip_bytes=0,
+        )
+        assert result.amat == 0.0
+        assert all(v == 0.0 for v in result.amat_breakdown().values())
+
+    def test_speedup_curve(self):
+        baseline = make_result(1000.0)
+        runs = [make_result(1000.0), make_result(200.0, "COUP")]
+        rows = speedup_curve(baseline, runs)
+        assert rows[0]["speedup"] == pytest.approx(1.0)
+        assert rows[1]["speedup"] == pytest.approx(5.0)
+
+    def test_zero_duration_speedup_rejected(self):
+        broken = make_result(0.0)
+        with pytest.raises(ValueError):
+            broken.speedup_over(make_result(10.0))
+
+
+class TestCoreModel:
+    def test_core_timing_model(self):
+        from repro.core.commutative import CommutativeOp
+        from repro.sim.access import MemoryAccess
+        from repro.sim.config import CoreConfig
+        from repro.sim.core_model import CoreTimingModel
+
+        model = CoreTimingModel(CoreConfig())
+        load = MemoryAccess.load(0x0, think=10)
+        atomic = MemoryAccess.atomic(0x0, CommutativeOp.ADD_I64, 1)
+        commutative = MemoryAccess.commutative(0x0, CommutativeOp.ADD_I64, 1)
+        assert model.think_cycles(load) == 5.0
+        assert model.issue_overhead(load) == 0.0
+        assert model.issue_overhead(atomic) == 12.0
+        assert model.issue_overhead(commutative) == 4.0
+        assert model.issue_overhead(atomic) > model.issue_overhead(commutative)
+        assert model.cycles_for(load, memory_latency=40.0) == 45.0

@@ -1,0 +1,170 @@
+"""Tests for the software baseline models: privatization, delegation, SNZI, Refcache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commutative import CommutativeOp
+from repro.sim.access import AccessType
+from repro.software.delegation import DelegationBuilder
+from repro.software.privatization import (
+    PrivatizationLevel,
+    PrivatizedReductionBuilder,
+    PrivatizedReductionPlan,
+    socket_of_core,
+)
+from repro.software.refcache import RefcacheConfig, RefcacheThreadCache
+from repro.software.snzi import SnziTree
+from repro.workloads.base import AddressMap
+
+
+class TestPrivatization:
+    def _plan(self, level, n_replicas):
+        return PrivatizedReductionPlan(
+            n_elements=8,
+            element_bytes=8,
+            op=CommutativeOp.ADD_I64,
+            level=level,
+            n_replicas=n_replicas,
+        )
+
+    def test_footprint_scales_with_replicas(self):
+        core_plan = self._plan(PrivatizationLevel.CORE, 16)
+        socket_plan = self._plan(PrivatizationLevel.SOCKET, 2)
+        assert core_plan.footprint_bytes == 8 * 8 * 16
+        assert core_plan.footprint_bytes > socket_plan.footprint_bytes
+
+    def test_core_level_update_phase_uses_plain_accesses(self):
+        plan = self._plan(PrivatizationLevel.CORE, 2)
+        builder = PrivatizedReductionBuilder(plan, AddressMap())
+        trace = builder.update_phase(0, [(1, 1, 5), (2, 1, 5)])
+        assert {a.access_type for a in trace} == {AccessType.LOAD, AccessType.STORE}
+
+    def test_socket_level_update_phase_uses_atomics(self):
+        plan = self._plan(PrivatizationLevel.SOCKET, 2)
+        builder = PrivatizedReductionBuilder(
+            plan, AddressMap(), replica_of_core=socket_of_core(2)
+        )
+        trace = builder.update_phase(0, [(1, 1, 5)])
+        assert {a.access_type for a in trace} == {AccessType.ATOMIC_RMW}
+
+    def test_replicas_have_disjoint_addresses(self):
+        plan = self._plan(PrivatizationLevel.CORE, 2)
+        builder = PrivatizedReductionBuilder(plan, AddressMap())
+        core0 = {a.address for a in builder.update_phase(0, [(i, 1, 0) for i in range(8)])}
+        core1 = {a.address for a in builder.update_phase(1, [(i, 1, 0) for i in range(8)])}
+        assert not core0 & core1
+
+    def test_reduction_phase_reads_every_replica(self):
+        plan = self._plan(PrivatizationLevel.CORE, 4)
+        builder = PrivatizedReductionBuilder(plan, AddressMap())
+        trace = builder.reduction_phase(0, n_cores=4)
+        loads = [a for a in trace if a.access_type is AccessType.LOAD]
+        stores = [a for a in trace if a.access_type is AccessType.STORE]
+        # Core 0 owns 2 of the 8 elements: 2 * 4 replica reads + 2 stores.
+        assert len(loads) == 8
+        assert len(stores) == 2
+
+    def test_socket_of_core(self):
+        socket = socket_of_core(16)
+        assert socket(0) == 0
+        assert socket(15) == 0
+        assert socket(16) == 1
+
+
+class TestDelegation:
+    def test_local_updates_bypass_queues(self):
+        addresses = AddressMap()
+        builder = DelegationBuilder(
+            addresses,
+            n_cores=2,
+            owner_of_element=lambda e: e % 2,
+            element_address=lambda e: addresses.element("data", e, 8),
+        )
+        trace = builder.build([[(0, 1, 2)], []])  # element 0 owned by core 0
+        assert trace.total_accesses == 2  # load + store, no queue traffic
+
+    def test_remote_updates_enqueue_and_drain(self):
+        addresses = AddressMap()
+        builder = DelegationBuilder(
+            addresses,
+            n_cores=2,
+            owner_of_element=lambda e: e % 2,
+            element_address=lambda e: addresses.element("data", e, 8),
+        )
+        trace = builder.build([[(1, 1, 2)], []])  # element 1 owned by core 1
+        assert trace.phase_boundaries is not None
+        # Producer: 2 stores; owner: entry load + element load + store.
+        assert len(trace.per_core[0]) == 2
+        assert len(trace.per_core[1]) == 3
+
+    def test_requires_one_stream_per_core(self):
+        addresses = AddressMap()
+        builder = DelegationBuilder(
+            addresses,
+            n_cores=2,
+            owner_of_element=lambda e: 0,
+            element_address=lambda e: e * 8,
+        )
+        with pytest.raises(ValueError):
+            builder.build([[]])
+
+
+class TestSnzi:
+    def test_arrive_depart_track_surplus(self):
+        tree = SnziTree(AddressMap(), object_id=0, n_threads=4)
+        first = tree.arrive(0)
+        assert len(first) >= 2  # leaf plus propagation to ancestors
+        second = tree.arrive(0)
+        assert len(second) == 1  # surplus already positive, no propagation
+        depart = tree.depart(0)
+        assert len(depart) == 1
+        last = tree.depart(0)
+        assert len(last) >= 2  # surplus hits zero, propagates upward
+
+    def test_query_reads_root_only(self):
+        tree = SnziTree(AddressMap(), object_id=0, n_threads=8)
+        query = tree.query(3)
+        assert len(query) == 1
+        assert query[0].access_type is AccessType.LOAD
+
+    def test_threads_use_distinct_leaves(self):
+        tree = SnziTree(AddressMap(), object_id=0, n_threads=4)
+        leaf0 = tree.arrive(0)[0].address
+        leaf1 = tree.arrive(1)[0].address
+        assert leaf0 != leaf1
+
+    def test_footprint_grows_with_threads(self):
+        small = SnziTree(AddressMap(), 0, n_threads=2)
+        large = SnziTree(AddressMap(), 0, n_threads=16)
+        assert large.footprint_bytes > small.footprint_bytes
+
+
+class TestRefcache:
+    def test_update_probes_hash_slot(self):
+        cache = RefcacheThreadCache(AddressMap(), thread_id=0)
+        trace = cache.update(counter_id=7, delta=1)
+        assert [a.access_type for a in trace] == [AccessType.LOAD, AccessType.STORE]
+        assert cache.deltas[7] == 1
+
+    def test_updates_coalesce_in_cache(self):
+        cache = RefcacheThreadCache(AddressMap(), thread_id=0)
+        cache.update(7, 1)
+        cache.update(7, 1)
+        cache.update(7, -1)
+        assert cache.deltas[7] == 1
+
+    def test_flush_applies_deltas_with_atomics_and_clears(self):
+        addresses = AddressMap()
+        cache = RefcacheThreadCache(addresses, thread_id=0)
+        cache.update(1, 1)
+        cache.update(2, -1)
+        flush = cache.flush(lambda c: addresses.element("counters", c, 8))
+        atomics = [a for a in flush if a.access_type is AccessType.ATOMIC_RMW]
+        assert len(atomics) == 2
+        assert {a.value for a in atomics} == {1, -1}
+        assert not cache.deltas
+
+    def test_footprint(self):
+        cache = RefcacheThreadCache(AddressMap(), 0, RefcacheConfig(n_slots=128, slot_bytes=16))
+        assert cache.footprint_bytes == 2048

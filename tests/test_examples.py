@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs end to end at a small scale."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "8", "100")
+        assert result.returncode == 0, result.stderr
+        assert "COUP" in result.stdout
+        assert "expected final value: 800" in result.stdout
+
+    def test_histogram_study(self):
+        result = run_example("histogram_study.py", "8")
+        assert result.returncode == 0, result.stderr
+        assert "Histogram on 8 cores" in result.stdout
+
+    def test_graph_analytics(self):
+        result = run_example("graph_analytics.py", "8")
+        assert result.returncode == 0, result.stderr
+        assert "pgrank" in result.stdout and "bfs" in result.stdout
+
+    def test_reference_counting(self):
+        result = run_example("reference_counting.py", "8")
+        assert result.returncode == 0, result.stderr
+        assert "Immediate deallocation" in result.stdout
+
+    def test_verify_protocol(self):
+        result = run_example("verify_protocol.py", "2", "1")
+        assert result.returncode == 0, result.stderr
+        assert "MEUSI" in result.stdout

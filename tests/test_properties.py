@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+These cover the algebraic and protocol-level properties the paper's argument
+rests on:
+
+* commutative operations form a commutative monoid (identity, commutativity,
+  associativity) for every supported op and word width;
+* delta buffers and reductions are order-independent and lossless;
+* the MEUSI protocol engine produces the same final memory values as MESI for
+  arbitrary interleavings of commutative updates (coherence is preserved);
+* LRU cache arrays never exceed their capacity and never lose a just-inserted
+  line.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commutative import ALL_OPS, CommutativeOp, DeltaBuffer, reduce_partial_updates
+from repro.core.mesi import MesiProtocol
+from repro.core.meusi import MeusiProtocol
+from repro.hierarchy.cache import SetAssociativeCache
+from repro.sim.access import MemoryAccess
+from repro.sim.config import CacheConfig, small_test_config
+
+
+ops_strategy = st.sampled_from(list(ALL_OPS))
+int_values = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+def _domain_values(op: CommutativeOp, values):
+    """Clamp generated integers into a sensible domain for the op."""
+    if op in (CommutativeOp.ADD_F32, CommutativeOp.ADD_F64):
+        return [float(v) for v in values]
+    if op is CommutativeOp.ADD_I16:
+        return [v % (1 << 16) for v in values]
+    return [abs(v) for v in values]
+
+
+class TestAlgebraicProperties:
+    @given(op=ops_strategy, a=int_values, b=int_values)
+    @settings(max_examples=200, deadline=None)
+    def test_commutativity(self, op, a, b):
+        a, b = _domain_values(op, [a, b])
+        assert op.apply(a, b) == op.apply(b, a)
+
+    @given(op=ops_strategy, a=int_values, b=int_values, c=int_values)
+    @settings(max_examples=200, deadline=None)
+    def test_associativity(self, op, a, b, c):
+        a, b, c = _domain_values(op, [a, b, c])
+        assert op.apply(op.apply(a, b), c) == op.apply(a, op.apply(b, c))
+
+    @given(op=ops_strategy, a=int_values)
+    @settings(max_examples=200, deadline=None)
+    def test_identity(self, op, a):
+        (a,) = _domain_values(op, [a])
+        assert op.apply(a, op.identity) == op.spec._wrap(a)
+        assert op.apply(op.identity, a) == op.spec._wrap(a)
+
+    @given(op=ops_strategy, values=st.lists(int_values, min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_reduce_is_permutation_invariant(self, op, values):
+        values = _domain_values(op, values)
+        shuffled = list(values)
+        random.Random(0).shuffle(shuffled)
+        assert op.reduce(values) == op.reduce(shuffled)
+
+
+class TestDeltaBufferProperties:
+    @given(
+        op=st.sampled_from([CommutativeOp.ADD_I64, CommutativeOp.OR_64, CommutativeOp.XOR_64]),
+        updates=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=255)),
+            min_size=1,
+            max_size=40,
+        ),
+        n_buffers=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_split_buffers_reduce_to_sequential_result(self, op, updates, n_buffers):
+        """Partitioning updates across caches never changes the reduced value."""
+        # Sequential reference: apply every update to a single value image.
+        reference = {}
+        for offset, value in updates:
+            reference[offset] = op.apply(reference.get(offset, op.identity), value)
+
+        buffers = [DeltaBuffer(op) for _ in range(n_buffers)]
+        for index, (offset, value) in enumerate(updates):
+            buffers[index % n_buffers].update(offset, value)
+        reduced = reduce_partial_updates(op, {}, buffers)
+        assert reduced == reference
+
+    @given(
+        updates=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=50)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_buffer_total_equals_sum(self, updates):
+        buffer = DeltaBuffer(CommutativeOp.ADD_I64)
+        for value in updates:
+            buffer.update(0, value)
+        assert buffer.delta(0) == sum(updates)
+
+
+class TestProtocolEquivalenceProperties:
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # core
+                st.integers(min_value=0, max_value=5),   # counter index
+                st.integers(min_value=1, max_value=9),   # value
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_meusi_and_mesi_agree_on_final_values(self, schedule):
+        """Any interleaving of commutative adds yields identical final memory."""
+        mesi = MesiProtocol(small_test_config(4))
+        coup = MeusiProtocol(small_test_config(4))
+        for step, (core, index, value) in enumerate(schedule):
+            access = MemoryAccess.commutative(index * 64, CommutativeOp.ADD_I64, value)
+            mesi.access(core, access, now=float(step * 10))
+            coup.access(core, access, now=float(step * 10))
+        mesi.finalize()
+        coup.finalize()
+        touched = {index * 64 for _core, index, _value in schedule}
+        for address in touched:
+            assert coup.read_word(address) == mesi.read_word(address)
+
+    @given(
+        schedule=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+                st.sampled_from(["load", "add", "store"]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_directory_invariants_under_random_traffic(self, schedule):
+        coup = MeusiProtocol(small_test_config(4))
+        for step, (core, index, kind) in enumerate(schedule):
+            address = index * 64
+            if kind == "load":
+                access = MemoryAccess.load(address)
+            elif kind == "add":
+                access = MemoryAccess.commutative(address, CommutativeOp.ADD_I64, 1)
+            else:
+                access = MemoryAccess.store(address, step)
+            coup.access(core, access, now=float(step * 10))
+            coup.directory.check_invariants()
+
+
+class TestCacheProperties:
+    @given(
+        addresses=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_capacity_never_exceeded_and_inserted_line_resident(self, addresses):
+        cache = SetAssociativeCache(
+            CacheConfig(size_bytes=1024, ways=2, latency=1, line_bytes=64)
+        )
+        for address in addresses:
+            cache.insert(address)
+            assert address in cache
+            assert len(cache) <= cache.config.num_lines
+            for cache_set in cache._sets:
+                assert len(cache_set) <= cache.config.ways

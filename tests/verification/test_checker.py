@@ -1,0 +1,110 @@
+"""Tests for the explicit-state model checker and the Fig. 7 inventories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verification import (
+    INVENTORIES,
+    TWO_LEVEL_MESI,
+    TWO_LEVEL_MEUSI,
+    directory_type_field_bits,
+    extra_states_over_mesi,
+    verify_protocol,
+)
+from repro.verification.checker import ModelChecker
+from repro.verification.model import ModelConfig
+
+
+class TestExhaustiveVerification:
+    """Small-configuration exhaustive runs (kept fast for CI)."""
+
+    def test_single_core_mesi_verifies(self):
+        result = verify_protocol("MESI", n_cores=1, n_ops=1)
+        assert result.verified
+        assert result.n_states > 10
+
+    def test_single_core_meusi_verifies(self):
+        result = verify_protocol("MEUSI", n_cores=1, n_ops=1)
+        assert result.verified
+
+    def test_two_core_mesi_verifies(self):
+        result = verify_protocol("MESI", n_cores=2, n_ops=1)
+        assert result.verified
+        assert result.deadlocks == 0
+
+    def test_two_core_meusi_verifies(self):
+        result = verify_protocol("MEUSI", n_cores=2, n_ops=1)
+        assert result.verified
+        assert result.deadlocks == 0
+
+    def test_meusi_explores_more_states_than_mesi(self):
+        mesi = verify_protocol("MESI", n_cores=2, n_ops=1)
+        meusi = verify_protocol("MEUSI", n_cores=2, n_ops=1)
+        assert meusi.n_states > mesi.n_states
+
+    def test_states_grow_with_cores(self):
+        one = verify_protocol("MEUSI", n_cores=1, n_ops=1)
+        two = verify_protocol("MEUSI", n_cores=2, n_ops=1)
+        assert two.n_states > one.n_states
+
+    def test_states_grow_mildly_with_ops(self):
+        """Fig. 8's key observation: op count matters far less than core count."""
+        one_op = verify_protocol("MEUSI", n_cores=2, n_ops=1)
+        two_ops = verify_protocol("MEUSI", n_cores=2, n_ops=2)
+        one_core_growth = (
+            verify_protocol("MEUSI", n_cores=2, n_ops=1).n_states
+            / verify_protocol("MEUSI", n_cores=1, n_ops=1).n_states
+        )
+        ops_growth = two_ops.n_states / one_op.n_states
+        assert two_ops.n_states > one_op.n_states
+        assert ops_growth < one_core_growth
+
+    def test_state_budget_marks_incomplete(self):
+        checker = ModelChecker(ModelConfig(n_cores=2, n_ops=1), max_states=50)
+        result = checker.run()
+        assert not result.completed
+        assert result.n_states >= 50
+
+    def test_summary_fields(self):
+        result = verify_protocol("MESI", n_cores=1)
+        summary = result.summary()
+        assert summary["protocol"] == "MESI"
+        assert summary["states"] == result.n_states
+        assert summary["verified"] is True
+
+
+class TestInventories:
+    def test_two_level_mesi_state_counts_match_paper(self):
+        l1 = TWO_LEVEL_MESI.controller("L1")
+        l2 = TWO_LEVEL_MESI.controller("L2")
+        assert l1.n_stable == 4 and l1.n_transient == 8 and l1.n_total == 12
+        assert l2.n_total == 6
+
+    def test_two_level_meusi_adds_one_l1_transient(self):
+        l1 = TWO_LEVEL_MEUSI.controller("L1")
+        assert l1.n_total == 13
+        assert "NN" in l1.transient_states
+        extra = extra_states_over_mesi(levels=2)
+        assert extra["L1"] == 1
+        assert extra["L2"] == 0
+
+    def test_three_level_counts_match_paper(self):
+        mesi_l1 = INVENTORIES[("MESI", 3)].controller("L1")
+        meusi_l1 = INVENTORIES[("MEUSI", 3)].controller("L1")
+        meusi_l2 = INVENTORIES[("MEUSI", 3)].controller("L2")
+        assert mesi_l1.n_total == 14
+        assert meusi_l1.n_total == 15
+        assert meusi_l2.n_total == 43
+        extra = extra_states_over_mesi(levels=3)
+        assert extra["L1"] == 1
+        assert extra["L2"] == 5
+        assert extra["L3"] == 0
+
+    def test_type_field_bits(self):
+        assert directory_type_field_bits(8) == 4  # the paper's 4 bits per line
+        assert directory_type_field_bits(1) == 1
+        assert directory_type_field_bits(15) == 4
+        assert directory_type_field_bits(16) == 5
+        with pytest.raises(ValueError):
+            directory_type_field_bits(-1)

@@ -1,0 +1,124 @@
+"""Tests for the protocol verification model and its building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verification.model import (
+    CacheLine,
+    CacheState,
+    CoherenceModel,
+    DirState,
+    DirectoryLine,
+    GlobalState,
+    ModelConfig,
+    MsgType,
+)
+
+
+class TestModelConfig:
+    def test_defaults(self):
+        config = ModelConfig()
+        assert config.supports_update_state
+
+    def test_mesi_disables_update_state(self):
+        assert not ModelConfig(protocol="MESI").supports_update_state
+        assert ModelConfig(protocol="MUSI").supports_update_state
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModelConfig(n_cores=0)
+        with pytest.raises(ValueError):
+            ModelConfig(n_ops=0)
+        with pytest.raises(ValueError):
+            ModelConfig(protocol="MOESI")
+        with pytest.raises(ValueError):
+            ModelConfig(value_base=1)
+
+
+class TestGlobalState:
+    def test_initial_state(self):
+        model = CoherenceModel(ModelConfig(n_cores=3))
+        state = model.initial_state()
+        assert len(state.caches) == 3
+        assert all(cache.state is CacheState.I for cache in state.caches)
+        assert state.directory.state is DirState.UNCACHED
+        assert state.network == ()
+        assert state.ghost_value == 0
+
+    def test_state_key_is_hashable_and_stable(self):
+        model = CoherenceModel(ModelConfig(n_cores=2))
+        a = model.initial_state()
+        b = model.initial_state()
+        assert a.key() == b.key()
+        assert hash(a.key()) == hash(b.key())
+
+    def test_directory_replace(self):
+        line = DirectoryLine()
+        busy = line.replace(state=DirState.BUSY_INV, acks_needed=2)
+        assert busy.state is DirState.BUSY_INV
+        assert busy.acks_needed == 2
+        assert line.state is DirState.UNCACHED  # original unchanged
+
+
+class TestTransitions:
+    def test_initial_state_offers_requests_per_core(self):
+        model = CoherenceModel(ModelConfig(n_cores=2, n_ops=2, protocol="MEUSI"))
+        rules = [rule for rule, _ in model.successors(model.initial_state())]
+        # Each idle core can issue a read, a write, and one GetU per op type.
+        assert sum(1 for r in rules if "core0." in r) == 4
+        assert sum(1 for r in rules if "core1." in r) == 4
+
+    def test_mesi_initial_state_has_no_update_requests(self):
+        model = CoherenceModel(ModelConfig(n_cores=2, n_ops=4, protocol="MESI"))
+        rules = [rule for rule, _ in model.successors(model.initial_state())]
+        assert not any("update" in rule for rule in rules)
+
+    def test_read_miss_round_trip(self):
+        """Follow a single GetS through the network to a stable S/E state."""
+        model = CoherenceModel(ModelConfig(n_cores=1, protocol="MESI"))
+        state = model.initial_state()
+        # Core 0 issues the read miss.
+        state = dict(model.successors(state))["core0.read_miss"]
+        assert state.caches[0].state is CacheState.IS_D
+        # Directory receives GetS and responds with exclusive data.
+        state = dict(model.successors(state))["dir.GetS.from0"]
+        assert state.directory.state is DirState.EXCLUSIVE
+        # Cache receives the data and becomes E; it sends an Unblock.
+        successors = dict(model.successors(state))
+        state = successors["core0.recv_Data"]
+        assert state.caches[0].state is CacheState.E
+        # Directory receives the unblock and is ready for new requests.
+        state = dict(model.successors(state))["dir.Unblock.from0"]
+        assert state.directory.unblocks_pending == 0
+
+    def test_update_miss_grants_exclusive_when_unshared(self):
+        model = CoherenceModel(ModelConfig(n_cores=1, n_ops=1, protocol="MEUSI"))
+        state = model.initial_state()
+        state = dict(model.successors(state))["core0.update_miss_op0"]
+        state = dict(model.successors(state))["dir.GetU.from0"]
+        assert state.directory.state is DirState.EXCLUSIVE
+        state = dict(model.successors(state))["core0.recv_Data"]
+        assert state.caches[0].state is CacheState.M
+        assert state.ghost_value == 1
+
+    def test_two_updaters_reach_u_state(self):
+        """Drive two cores into U and check the directory tracks both."""
+        model = CoherenceModel(
+            ModelConfig(n_cores=2, n_ops=1, protocol="MEUSI", value_base=4)
+        )
+        state = model.initial_state()
+        state = dict(model.successors(state))["core0.update_miss_op0"]
+        state = dict(model.successors(state))["dir.GetU.from0"]
+        state = dict(model.successors(state))["core0.recv_Data"]
+        state = dict(model.successors(state))["dir.Unblock.from0"]
+        # Second core requests update permission: the owner is downgraded.
+        state = dict(model.successors(state))["core1.update_miss_op0"]
+        state = dict(model.successors(state))["dir.GetU.from1"]
+        assert state.directory.state is DirState.BUSY_WB
+        state = dict(model.successors(state))["core0.recv_Inv"]
+        state = dict(model.successors(state))["dir.DataWb.from0"]
+        assert state.directory.state is DirState.UPDATE
+        state = dict(model.successors(state))["core1.recv_GrantU"]
+        assert state.caches[1].state is CacheState.U
+        assert state.ghost_value == 2  # one update in M, one buffered in U
