@@ -10,6 +10,8 @@ verification state counts, and the Sec. 5.5 sensitivity numbers.
 
 from __future__ import annotations
 
+import argparse
+import glob
 import json
 import os
 import sys
@@ -32,7 +34,49 @@ from repro.experiments import (  # noqa: E402
 from repro.workloads import CountMode  # noqa: E402
 
 
-def main() -> None:
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def collect_runner_records(results_dir: str, *, scale: float, max_cores: int) -> dict:
+    """Merge the runner's per-experiment JSON records into one dict.
+
+    Only well-formed records produced at the same scale/max_cores as this
+    summary are folded in: records from a sweep at a different scale are not
+    comparable, and a truncated or foreign JSON file (e.g. a worker killed
+    mid-write) must not abort summary collection.
+    """
+    records = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping unreadable runner record {path}: {exc}", file=sys.stderr)
+            continue
+        if not isinstance(record, dict) or "experiment_id" not in record:
+            continue  # foreign JSON in the directory; not a runner record
+        if record.get("scale") != scale or record.get("max_cores") != max_cores:
+            continue  # produced by a sweep at a different scale
+        record.pop("output", None)  # keep summary.json compact
+        records[record["experiment_id"]] = record
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--runner-results-dir",
+        # cwd-relative, matching the runner's default, so running both tools
+        # from the same directory always lines the records up.
+        default=os.path.join("results", "experiments"),
+        help=(
+            "directory holding per-experiment JSON records written by "
+            "`python -m repro.experiments.runner --jobs N`; records matching "
+            "this summary's scale/max_cores are folded into summary.json"
+        ),
+    )
+    args = parser.parse_args(argv)
+
     scale = float(os.environ.get("REPRO_SCALE", 0.35))
     max_cores = int(os.environ.get("REPRO_MAX_CORES", 32))
     settings.set_scale(scale)
@@ -40,6 +84,15 @@ def main() -> None:
 
     summary = {"scale": scale, "max_cores": max_cores}
     timings = {}
+
+    runner_records = collect_runner_records(
+        args.runner_results_dir, scale=scale, max_cores=max_cores
+    )
+    if runner_records:
+        summary["runner_experiments"] = runner_records
+        failed = [r["experiment_id"] for r in runner_records.values() if r.get("status") != "ok"]
+        if failed:
+            print(f"runner records report failures: {', '.join(failed)}", file=sys.stderr)
 
     def timed(name, fn, *args, **kwargs):
         start = time.perf_counter()
@@ -91,7 +144,8 @@ def main() -> None:
     with open(output, "w") as handle:
         json.dump(summary, handle, indent=2, default=str)
     print(f"wrote {output}", flush=True)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

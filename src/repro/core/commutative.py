@@ -102,16 +102,25 @@ class OperationSpec:
     def word_bits(self) -> int:
         return self.word_bytes * 8
 
+    def __post_init__(self) -> None:
+        # Precompute the wrapping constants once; ``apply`` runs per
+        # functionally-tracked update, so recomputing the mask there is
+        # measurable.  object.__setattr__ because the dataclass is frozen.
+        bits = self.word_bytes * 8
+        object.__setattr__(self, "_mask", (1 << bits) - 1)
+        object.__setattr__(self, "_sign_bit", 1 << (bits - 1))
+        object.__setattr__(self, "_modulus", 1 << bits)
+        object.__setattr__(
+            self, "_wrap_signed", self.signed and self.kind is OpKind.INT_ADD
+        )
+
     def _wrap(self, value):
         """Wrap an integer result to the word width (two's complement)."""
         if self.kind is OpKind.FP_ADD:
             return float(value)
-        mask = (1 << self.word_bits) - 1
-        value &= mask
-        if self.signed and self.kind is OpKind.INT_ADD:
-            sign_bit = 1 << (self.word_bits - 1)
-            if value & sign_bit:
-                value -= 1 << self.word_bits
+        value &= self._mask
+        if self._wrap_signed and value & self._sign_bit:
+            value -= self._modulus
         return value
 
     def apply(self, current, value):

@@ -16,7 +16,7 @@ from repro.core.commutative import CommutativeOp
 from repro.core.states import LineMode
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for a single cache line.
 

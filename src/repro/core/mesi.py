@@ -42,6 +42,8 @@ class MesiProtocol(CoherenceProtocol):
     """Full-map directory MESI with the Table 1 four-level hierarchy."""
 
     name = "MESI"
+    SUPPORTS_INLINE_FAST_PATH = True
+    HOT_COMMUTATIVE = "atomic"
 
     #: Per-sharer serialization when the home must invalidate several caches.
     PER_SHARER_INVAL_CYCLES = 2.0
@@ -66,13 +68,14 @@ class MesiProtocol(CoherenceProtocol):
         else:
             self.core_states[core_id][line_addr] = state
 
-    def _private_hit_latency(self, level: str) -> LatencyBreakdown:
-        if level == "L1":
-            return LatencyBreakdown(l1=self.config.l1d.latency)
-        return LatencyBreakdown(l1=self.config.l1d.latency, l2=self.config.l2.latency)
+    def _private_hit_latency(self, level) -> LatencyBreakdown:
+        """Latency breakdown of a private hit (level 1/"L1" or 2/"L2")."""
+        if level == "L1" or level == 1:
+            return LatencyBreakdown(l1=self._l1_latency)
+        return LatencyBreakdown(l1=self._l1_latency, l2=self._l2_latency)
 
     def _chip(self, core_id: int) -> int:
-        return self.config.chip_of_core(core_id)
+        return self._chip_of_core[core_id]
 
     # -------------------------------------------------------- eviction handling
 
@@ -92,12 +95,13 @@ class MesiProtocol(CoherenceProtocol):
         self.directory.remove_sharer(line_addr, core_id)
         self.directory.drop_if_uncached(line_addr)
         # Keep the line resident in the chip's L3 (inclusive hierarchy).
-        self.hierarchy.l3_fill(chip, line_addr)
+        self._l3_caches[chip].insert(line_addr)
 
     def _fill_private(self, core_id: int, line_addr: int) -> None:
         """Install a line in the core's private caches, handling victims."""
-        for notice in self.hierarchy.private_fill(core_id, line_addr):
-            self._handle_private_eviction(notice.core_id, notice.line_addr)
+        victim = self.hierarchy.private_fill_victim(core_id, line_addr)
+        if victim is not None:
+            self._handle_private_eviction(core_id, victim)
 
     # ----------------------------------------------------- shared-level lookups
 
@@ -109,22 +113,22 @@ class MesiProtocol(CoherenceProtocol):
         misses, main memory supplies the data.  Fill the touched levels so
         subsequent accesses from this chip hit closer to the core.
         """
-        breakdown.l3 += self.interconnect.onchip_hop_latency() + self.config.l3.latency
-        if self.hierarchy.l3_lookup(requester_chip, line_addr):
+        breakdown.l3 += self._onchip_hop + self._l3_latency
+        if self._l3_caches[requester_chip].lookup(line_addr) is not None:
             return
         # Off-chip to the home L4 chip.
-        home_l4 = self.home_l4_chip(line_addr)
-        breakdown.offchip_network += self.interconnect.offchip_round_trip()
-        breakdown.l4 += self.config.l4.latency
+        home_l4 = line_addr % self._n_l4_chips
+        breakdown.offchip_network += self._offchip_round_trip
+        breakdown.l4 += self._l4_latency
         self.interconnect.record_one(MessageType.GET_SHARED, LinkScope.OFF_CHIP)
         self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.OFF_CHIP)
-        if not self.hierarchy.l4_lookup(home_l4, line_addr):
-            timing = self.hierarchy.memory.access(
+        if self._l4_caches[home_l4].lookup(line_addr) is None:
+            timing = self._memory.access(
                 home_l4, self.current_time, self.config.line_bytes
             )
             breakdown.main_memory += timing.latency
-            self.hierarchy.l4_fill(home_l4, line_addr)
-        self.hierarchy.l3_fill(requester_chip, line_addr)
+            self._l4_caches[home_l4].insert(line_addr)
+        self._l3_caches[requester_chip].insert(line_addr)
 
     # ------------------------------------------------- sharer invalidation cost
 
@@ -156,11 +160,11 @@ class MesiProtocol(CoherenceProtocol):
 
         inval_latency = 0.0
         if offchip_chips:
-            inval_latency += self.interconnect.offchip_round_trip()
-            inval_latency += self.interconnect.onchip_hop_latency() * 2
+            inval_latency += self._offchip_round_trip
+            inval_latency += self._onchip_hop * 2
         else:
-            inval_latency += self.interconnect.onchip_hop_latency() * 2
-        inval_latency += self.config.l2.latency
+            inval_latency += self._onchip_hop * 2
+        inval_latency += self._l2_latency
         inval_latency += self.PER_SHARER_INVAL_CYCLES * (len(victims) - 1)
         breakdown.l4_invalidations += inval_latency
 
@@ -189,10 +193,16 @@ class MesiProtocol(CoherenceProtocol):
     # ------------------------------------------------------------- transactions
 
     def _serialize_at_home(
-        self, line_addr: int, now: float, breakdown: LatencyBreakdown, occupancy: float
+        self,
+        line_addr: int,
+        now: float,
+        breakdown: LatencyBreakdown,
+        occupancy: float,
+        entry=None,
     ) -> None:
         """Queue behind any in-flight transaction for this line."""
-        entry = self.directory.entry(line_addr)
+        if entry is None:
+            entry = self.directory.entry(line_addr)
         start = max(now, entry.busy_until)
         wait = start - now
         if wait > 0:
@@ -205,8 +215,8 @@ class MesiProtocol(CoherenceProtocol):
         """GetS: obtain read permission (S, or E if unshared)."""
         outcome = AccessOutcome()
         breakdown = outcome.latency
-        breakdown.l1 += self.config.l1d.latency
-        breakdown.l2 += self.config.l2.latency
+        breakdown.l1 += self._l1_latency
+        breakdown.l2 += self._l2_latency
         chip = self._chip(core_id)
         entry = self.directory.entry(line_addr)
         self.interconnect.record_one(MessageType.GET_SHARED, LinkScope.ON_CHIP)
@@ -216,7 +226,7 @@ class MesiProtocol(CoherenceProtocol):
             occupancy = self._downgrade_owner_for_read(
                 core_id, owner, line_addr, breakdown
             )
-            self._serialize_at_home(line_addr, now, breakdown, occupancy)
+            self._serialize_at_home(line_addr, now, breakdown, occupancy, entry)
             self.directory.clear_all_sharers(line_addr)
             self.directory.grant_shared(line_addr, owner)
             self._set_state(owner, line_addr, StableState.SHARED)
@@ -224,7 +234,7 @@ class MesiProtocol(CoherenceProtocol):
             outcome.invalidations += 1
         else:
             self._ensure_shared_levels(chip, line_addr, breakdown)
-            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY)
+            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY, entry)
             if entry.mode is LineMode.UNCACHED:
                 # Unshared: grant Exclusive (the E optimisation of MESI).
                 self.directory.grant_exclusive(line_addr, core_id)
@@ -247,12 +257,12 @@ class MesiProtocol(CoherenceProtocol):
         """Fetch data from the current exclusive owner, downgrading it to S."""
         requester_chip = self._chip(requester)
         owner_chip = self._chip(owner)
-        breakdown.l3 += self.interconnect.onchip_hop_latency() + self.config.l3.latency
-        latency = self.config.l2.latency + 2 * self.interconnect.onchip_hop_latency()
+        breakdown.l3 += self._onchip_hop + self._l3_latency
+        latency = self._l2_latency + 2 * self._onchip_hop
         if owner_chip != requester_chip:
-            latency += self.interconnect.offchip_round_trip()
-            breakdown.offchip_network += self.interconnect.offchip_round_trip()
-            breakdown.l4 += self.config.l4.latency
+            latency += self._offchip_round_trip
+            breakdown.offchip_network += self._offchip_round_trip
+            breakdown.l4 += self._l4_latency
             scope = LinkScope.OFF_CHIP
         else:
             scope = LinkScope.ON_CHIP
@@ -260,7 +270,7 @@ class MesiProtocol(CoherenceProtocol):
         self.interconnect.record_one(MessageType.DOWNGRADE, scope)
         self.interconnect.record_one(MessageType.DATA_WRITEBACK, scope)
         self.stat_downgrades += 1
-        self.hierarchy.l3_fill(requester_chip, line_addr)
+        self._l3_caches[requester_chip].insert(line_addr)
         return latency
 
     def _write_transaction(
@@ -274,13 +284,13 @@ class MesiProtocol(CoherenceProtocol):
         """GetX/Upgrade: obtain exclusive (M) permission."""
         outcome = AccessOutcome()
         breakdown = outcome.latency
-        breakdown.l1 += self.config.l1d.latency
-        breakdown.l2 += self.config.l2.latency
+        breakdown.l1 += self._l1_latency
+        breakdown.l2 += self._l2_latency
         chip = self._chip(core_id)
         entry = self.directory.entry(line_addr)
         self.interconnect.record_one(MessageType.GET_EXCLUSIVE, LinkScope.ON_CHIP)
 
-        sharers = set(entry.sharers)
+        sharers = entry.sharers
         occupancy = self.LIGHT_OCCUPANCY
 
         if entry.mode is LineMode.EXCLUSIVE and entry.exclusive_owner() != core_id:
@@ -290,9 +300,11 @@ class MesiProtocol(CoherenceProtocol):
             self._set_state(owner, line_addr, StableState.INVALID)
             self.stat_invalidations += 1
             outcome.invalidations += 1
-        elif entry.mode in (LineMode.READ_ONLY, LineMode.UPDATE_ONLY) and sharers - {core_id}:
+        elif (entry.mode is LineMode.READ_ONLY or entry.mode is LineMode.UPDATE_ONLY) and (
+            len(sharers) > 1 or (sharers and core_id not in sharers)
+        ):
             self._ensure_shared_levels(chip, line_addr, breakdown)
-            count = self._invalidate_sharers(core_id, line_addr, sharers, breakdown)
+            count = self._invalidate_sharers(core_id, line_addr, set(sharers), breakdown)
             outcome.invalidations += count
             occupancy = breakdown.l4_invalidations + self.LIGHT_OCCUPANCY
         else:
@@ -300,7 +312,7 @@ class MesiProtocol(CoherenceProtocol):
                 self._ensure_shared_levels(chip, line_addr, breakdown)
             occupancy = max(self.LIGHT_OCCUPANCY, breakdown.offchip_network + breakdown.l4)
 
-        self._serialize_at_home(line_addr, now, breakdown, occupancy)
+        self._serialize_at_home(line_addr, now, breakdown, occupancy, entry)
         self.directory.clear_all_sharers(line_addr)
         self.directory.grant_exclusive(line_addr, core_id)
         self._set_state(core_id, line_addr, StableState.MODIFIED)
@@ -333,53 +345,107 @@ class MesiProtocol(CoherenceProtocol):
     # --------------------------------------------------------------- main entry
 
     def access(self, core_id: int, access: MemoryAccess, now: float) -> AccessOutcome:
-        self.current_time = now
-        line_addr = self.line_addr(access.address)
+        result = self.access_hot(core_id, access, now)
+        if result.__class__ is int:
+            outcome = AccessOutcome(private_hit=True)
+            outcome.latency = self._private_hit_latency(result)
+            outcome.value = self._hit_value(access)
+            return outcome
+        return result
+
+    def access_hot(self, core_id: int, access: MemoryAccess, now: float):
+        """Resolve one access; private hits return just the hit level (1/2).
+
+        This is the simulator's per-access entry point.  The private-hit fast
+        path performs the same lookups, LRU refreshes, state transitions, and
+        functional updates as the transaction path's hit handling used to,
+        but skips every allocation (no outcome, no breakdown): the caller
+        charges the fixed L1/L2 hit latency itself.
+        """
+        line_addr = access.address >> self._line_shift
         access_type = access.access_type
         # MESI has no update-only support: commutative and remote updates are
         # executed as conventional atomic read-modify-writes.
-        if access_type in (AccessType.COMMUTATIVE_UPDATE, AccessType.REMOTE_UPDATE):
+        if (
+            access_type is AccessType.COMMUTATIVE_UPDATE
+            or access_type is AccessType.REMOTE_UPDATE
+        ):
             access_type = AccessType.ATOMIC_RMW
 
-        state = self.core_state(core_id, line_addr)
-        lookup = self.hierarchy.private_lookup(core_id, line_addr)
-        present = lookup.is_hit and state is not StableState.INVALID
+        states = self.core_states[core_id]
+        state = states.get(line_addr)
+        level = self._private_level(core_id, line_addr)
 
+        if level and state is not None:
+            if access_type is AccessType.LOAD:
+                if state is not StableState.UPDATE:  # S/E/M can satisfy a load
+                    return level
+            elif (
+                state is StableState.MODIFIED or state is StableState.EXCLUSIVE
+            ):  # store or atomic with write permission
+                states[line_addr] = StableState.MODIFIED
+                if access_type is AccessType.STORE:
+                    if self.track_values and access.value is not None:
+                        self.memory_image[access.address] = access.value
+                else:
+                    self._functional_update(access)
+                return level
+
+        return self.resolve_slow(core_id, access, line_addr, state, level, now)
+
+    def resolve_slow(
+        self,
+        core_id: int,
+        access: MemoryAccess,
+        line_addr: int,
+        state: Optional[StableState],
+        level,
+        now: float,
+    ) -> AccessOutcome:
+        if level is None:
+            self._private_level(core_id, line_addr)
+        access_type = access.access_type
+        if (
+            access_type is AccessType.COMMUTATIVE_UPDATE
+            or access_type is AccessType.REMOTE_UPDATE
+        ):
+            access_type = AccessType.ATOMIC_RMW
+        self.current_time = now
+        return self._access_slow(core_id, access, access_type, line_addr, state, now)
+
+    def _access_slow(
+        self,
+        core_id: int,
+        access: MemoryAccess,
+        access_type: AccessType,
+        line_addr: int,
+        state: Optional[StableState],
+        now: float,
+    ) -> AccessOutcome:
+        """Directory/transaction path for accesses the fast path rejected."""
         if access_type is AccessType.LOAD:
-            if present and state.can_read:
-                outcome = AccessOutcome(private_hit=True)
-                outcome.latency = self._private_hit_latency(lookup.level)
-                outcome.value = self._functional_load(access)
-                return outcome
             outcome = self._read_transaction(core_id, line_addr, now)
             outcome.value = self._functional_load(access)
             return outcome
 
         if access_type is AccessType.STORE:
-            if present and state.can_write:
-                outcome = AccessOutcome(private_hit=True)
-                outcome.latency = self._private_hit_latency(lookup.level)
-                self._set_state(core_id, line_addr, StableState.MODIFIED)
-                self._functional_store(access)
-                return outcome
             outcome = self._write_transaction(
-                core_id, line_addr, now, needs_data=state is StableState.INVALID
+                core_id, line_addr, now, needs_data=state is None
             )
             self._functional_store(access)
             return outcome
 
         # Atomic read-modify-write: requires M just like a store, plus the
         # core-side atomic sequence overhead charged by the core model.
-        if present and state.can_write:
-            outcome = AccessOutcome(private_hit=True)
-            outcome.latency = self._private_hit_latency(lookup.level)
-            self._set_state(core_id, line_addr, StableState.MODIFIED)
-            self._functional_update(access)
-            outcome.value = self._functional_load(access)
-            return outcome
         outcome = self._write_transaction(
-            core_id, line_addr, now, needs_data=state is StableState.INVALID
+            core_id, line_addr, now, needs_data=state is None
         )
         self._functional_update(access)
         outcome.value = self._functional_load(access)
         return outcome
+
+    def _hit_value(self, access: MemoryAccess):
+        """Value a private hit returns through the full :meth:`access` API."""
+        if access.access_type is AccessType.STORE:
+            return None
+        return self._functional_load(access)

@@ -37,6 +37,7 @@ class MeusiProtocol(MesiProtocol):
     """COUP: MESI extended with update-only permission and reductions."""
 
     name = "COUP"
+    HOT_COMMUTATIVE = "local"
 
     def __init__(self, config: SystemConfig, track_values: bool = True) -> None:
         super().__init__(config, track_values=track_values)
@@ -96,7 +97,7 @@ class MeusiProtocol(MesiProtocol):
             self._set_state(core_id, line_addr, StableState.INVALID)
             self.directory.remove_sharer(line_addr, core_id)
             self.directory.drop_if_uncached(line_addr)
-            self.hierarchy.l3_fill(chip, line_addr)
+            self._l3_caches[chip].insert(line_addr)
             self.stat_partial_reductions += 1
             return
         super()._handle_private_eviction(core_id, line_addr)
@@ -137,8 +138,8 @@ class MeusiProtocol(MesiProtocol):
         for chip, cores in chips.items():
             # Invalidation fan-out within the chip plus local gather.
             local_latency = (
-                2 * self.interconnect.onchip_hop_latency()
-                + self.config.l2.latency
+                2 * self._onchip_hop
+                + self._l2_latency
                 + self.PER_SHARER_INVAL_CYCLES * max(0, len(cores) - 1)
             )
             unit = self.reduction_unit_for_l3(chip, line_addr)
@@ -155,14 +156,14 @@ class MeusiProtocol(MesiProtocol):
             if chip != requester_chip:
                 # The chip's single aggregated partial update crosses off-chip.
                 self.interconnect.record_one(MessageType.PARTIAL_UPDATE, LinkScope.OFF_CHIP)
-                local_latency += self.interconnect.offchip_round_trip()
+                local_latency += self._offchip_round_trip
             critical_path = max(critical_path, local_latency)
 
         if len(chips) > 1 or (chips and requester_chip not in chips):
             # Cross-chip gather at the home L4 bank's reduction unit.
             l4_unit = self.reduction_unit_for_l4(line_addr)
             timing = l4_unit.schedule(self.current_time, max(1, len(chips)))
-            critical_path += timing.latency + self.config.l4.latency
+            critical_path += timing.latency + self._l4_latency
 
         breakdown.l4_invalidations += critical_path
         self.directory.clear_all_sharers(line_addr)
@@ -178,8 +179,8 @@ class MeusiProtocol(MesiProtocol):
         """Obtain update-only (or exclusive, if unshared) permission."""
         outcome = AccessOutcome()
         breakdown = outcome.latency
-        breakdown.l1 += self.config.l1d.latency
-        breakdown.l2 += self.config.l2.latency
+        breakdown.l1 += self._l1_latency
+        breakdown.l2 += self._l2_latency
         chip = self._chip(core_id)
         entry = self.directory.entry(line_addr)
         self.interconnect.record_one(MessageType.GET_UPDATE, LinkScope.ON_CHIP)
@@ -188,7 +189,7 @@ class MeusiProtocol(MesiProtocol):
         if entry.mode is LineMode.UNCACHED:
             # Unshared: grant M directly (the E-like optimisation of Fig. 6).
             self._ensure_shared_levels(chip, line_addr, breakdown)
-            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY)
+            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY, entry)
             self.directory.grant_exclusive(line_addr, core_id)
             self._set_state(core_id, line_addr, StableState.MODIFIED)
             self._fill_private(core_id, line_addr)
@@ -204,11 +205,11 @@ class MeusiProtocol(MesiProtocol):
             # Downgrade the owner from M to U; both caches become updaters.
             owner_chip = self._chip(owner)
             scope = LinkScope.OFF_CHIP if owner_chip != chip else LinkScope.ON_CHIP
-            latency = self.config.l2.latency + 2 * self.interconnect.onchip_hop_latency()
+            latency = self._l2_latency + 2 * self._onchip_hop
             if owner_chip != chip:
-                latency += self.interconnect.offchip_round_trip()
-                breakdown.offchip_network += self.interconnect.offchip_round_trip()
-                breakdown.l4 += self.config.l4.latency
+                latency += self._offchip_round_trip
+                breakdown.offchip_network += self._offchip_round_trip
+                breakdown.l4 += self._l4_latency
             breakdown.l4_invalidations += latency
             self.interconnect.record_one(MessageType.DOWNGRADE, scope)
             self.interconnect.record_one(MessageType.DATA_WRITEBACK, scope)
@@ -216,7 +217,7 @@ class MeusiProtocol(MesiProtocol):
             self.stat_downgrades += 1
             # The owner's data is written back to the shared cache; the owner
             # keeps an update-only copy initialised to the identity element.
-            self.hierarchy.l3_fill(owner_chip, line_addr)
+            self._l3_caches[owner_chip].insert(line_addr)
             self.directory.clear_all_sharers(line_addr)
             self.directory.grant_update_only(line_addr, owner, op)
             self.directory.grant_update_only(line_addr, core_id, op)
@@ -233,7 +234,7 @@ class MeusiProtocol(MesiProtocol):
             count = self._invalidate_sharers(core_id, line_addr, set(entry.sharers), breakdown)
             outcome.invalidations += count
             occupancy = breakdown.l4_invalidations + self.LIGHT_OCCUPANCY
-            self._serialize_at_home(line_addr, now, breakdown, occupancy)
+            self._serialize_at_home(line_addr, now, breakdown, occupancy, entry)
             self.directory.clear_all_sharers(line_addr)
             self.directory.grant_update_only(line_addr, core_id, op)
             self._set_state(core_id, line_addr, StableState.UPDATE)
@@ -251,7 +252,7 @@ class MeusiProtocol(MesiProtocol):
             self._serialize_at_home(line_addr, now, breakdown, latency + self.LIGHT_OCCUPANCY)
         else:
             self._ensure_shared_levels(chip, line_addr, breakdown)
-            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY)
+            self._serialize_at_home(line_addr, now, breakdown, self.LIGHT_OCCUPANCY, entry)
         self.directory.grant_update_only(line_addr, core_id, op)
         self._set_state(core_id, line_addr, StableState.UPDATE)
         self._fill_private(core_id, line_addr)
@@ -260,46 +261,109 @@ class MeusiProtocol(MesiProtocol):
 
     # ------------------------------------------------------------- main entry
 
-    def access(self, core_id: int, access: MemoryAccess, now: float) -> AccessOutcome:
-        self.current_time = now
-        line_addr = self.line_addr(access.address)
+    def access_hot(self, core_id: int, access: MemoryAccess, now: float):
+        """MEUSI hot path: local commutative updates return just the hit level.
+
+        See :meth:`MesiProtocol.access_hot` for the return convention.  The
+        public :meth:`access` API (inherited from the base class) wraps the
+        integer form back into a full :class:`AccessOutcome`.
+        """
+        line_addr = access.address >> self._line_shift
         access_type = access.access_type
         if access_type is AccessType.REMOTE_UPDATE:
             # A COUP machine executes remote updates as commutative updates.
             access_type = AccessType.COMMUTATIVE_UPDATE
 
-        state = self.core_state(core_id, line_addr)
-        entry = self.directory.peek(line_addr)
-        line_in_update_mode = entry is not None and entry.mode is LineMode.UPDATE_ONLY
-
         if access_type is AccessType.COMMUTATIVE_UPDATE:
-            lookup = self.hierarchy.private_lookup(core_id, line_addr)
-            present = lookup.is_hit and state is not StableState.INVALID
-            line_op = entry.op if entry is not None else None
-            if present and state.can_update(access.op, line_op):
-                outcome = AccessOutcome(private_hit=True)
-                outcome.latency = self._private_hit_latency(lookup.level)
-                if state in (StableState.EXCLUSIVE, StableState.MODIFIED):
-                    self._set_state(core_id, line_addr, StableState.MODIFIED)
+            states = self.core_states[core_id]
+            state = states.get(line_addr)
+            entry = self.directory.peek(line_addr)
+            level = self._private_level(core_id, line_addr)
+            if level and state is not None:
+                if state is StableState.MODIFIED or state is StableState.EXCLUSIVE:
+                    # Our own M/E copy can absorb any commutative update.
+                    states[line_addr] = StableState.MODIFIED
                     self._functional_update(access)
-                else:
+                    self.stat_local_updates += 1
+                    return level
+                if (
+                    state is StableState.UPDATE
+                    and access.op is not None
+                    and entry is not None
+                    and entry.op is access.op
+                ):
+                    # U-state line of the same update type: buffer locally.
                     self._apply_local_update(core_id, access)
-                self.stat_local_updates += 1
-                return outcome
+                    self.stat_local_updates += 1
+                    return level
+            return self.resolve_slow(core_id, access, line_addr, state, level, now)
+
+        return self.resolve_slow(core_id, access, line_addr, None, None, now)
+
+    def resolve_slow(
+        self,
+        core_id: int,
+        access: MemoryAccess,
+        line_addr: int,
+        state,
+        level,
+        now: float,
+    ) -> AccessOutcome:
+        access_type = access.access_type
+        if (
+            access_type is AccessType.COMMUTATIVE_UPDATE
+            or access_type is AccessType.REMOTE_UPDATE
+        ):
+            if level is None:
+                self._private_level(core_id, line_addr)
+            self.current_time = now
             outcome = self._update_transaction(core_id, line_addr, access.op, now)
-            new_state = self.core_state(core_id, line_addr)
-            if new_state in (StableState.EXCLUSIVE, StableState.MODIFIED):
+            new_state = self.core_states[core_id].get(line_addr)
+            if new_state is StableState.EXCLUSIVE or new_state is StableState.MODIFIED:
                 self._functional_update(access)
             else:
                 self._apply_local_update(core_id, access)
             return outcome
 
-        if access_type is AccessType.LOAD and line_in_update_mode:
+        entry = self.directory.peek(line_addr)
+        if entry is not None and entry.mode is LineMode.UPDATE_ONLY:
+            self.current_time = now
+            return self._demand_on_update_mode_line(
+                core_id, access, access_type, line_addr, now
+            )
+
+        # A core's own U-state line cannot satisfy loads/stores; drop to I
+        # first so the base-class transaction logic treats it as a miss.
+        # This can only happen if the directory entry lost update mode,
+        # which the full-reduction path above prevents; keep as safety net.
+        if self.core_states[core_id].get(line_addr) is StableState.UPDATE:
+            self.current_time = now
+            self._commit_buffer(core_id, line_addr)
+            self._set_state(core_id, line_addr, StableState.INVALID)
+            self.directory.remove_sharer(line_addr, core_id)
+
+        if level is None:
+            # The private caches have not been probed yet (update-mode and
+            # safety-net cases above, or the compatibility path): run the
+            # full base-class resolution, which probes exactly once.
+            return MesiProtocol.access_hot(self, core_id, access, now)
+        return MesiProtocol.resolve_slow(self, core_id, access, line_addr, state, level, now)
+
+    def _demand_on_update_mode_line(
+        self,
+        core_id: int,
+        access: MemoryAccess,
+        access_type: AccessType,
+        line_addr: int,
+        now: float,
+    ) -> AccessOutcome:
+        """Read or write request to a line currently in update-only mode."""
+        if access_type is AccessType.LOAD:
             # Reads of a line in update-only mode trigger a full reduction.
             outcome = AccessOutcome()
             breakdown = outcome.latency
-            breakdown.l1 += self.config.l1d.latency
-            breakdown.l2 += self.config.l2.latency
+            breakdown.l1 += self._l1_latency
+            breakdown.l2 += self._l2_latency
             self.interconnect.record_one(MessageType.GET_SHARED, LinkScope.ON_CHIP)
             chip = self._chip(core_id)
             self._ensure_shared_levels(chip, line_addr, breakdown)
@@ -314,45 +378,34 @@ class MeusiProtocol(MesiProtocol):
             outcome.value = self._functional_load(access)
             return outcome
 
-        if access_type in (AccessType.STORE, AccessType.ATOMIC_RMW) and line_in_update_mode:
-            # Writes need M: reduce first, then take exclusive ownership.
-            outcome = AccessOutcome()
-            breakdown = outcome.latency
-            breakdown.l1 += self.config.l1d.latency
-            breakdown.l2 += self.config.l2.latency
-            self.interconnect.record_one(MessageType.GET_EXCLUSIVE, LinkScope.ON_CHIP)
-            chip = self._chip(core_id)
-            self._ensure_shared_levels(chip, line_addr, breakdown)
-            partials, latency = self._full_reduction(core_id, line_addr, breakdown)
-            outcome.invalidations += partials
-            outcome.full_reduction = True
-            self._serialize_at_home(line_addr, now, breakdown, latency + self.LIGHT_OCCUPANCY)
-            self.directory.clear_all_sharers(line_addr)
-            self.directory.grant_exclusive(line_addr, core_id)
-            self._set_state(core_id, line_addr, StableState.MODIFIED)
-            self._fill_private(core_id, line_addr)
-            self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
-            if access_type is AccessType.STORE:
-                self._functional_store(access)
-            else:
-                self._functional_update(access)
-                outcome.value = self._functional_load(access)
-            return outcome
+        # Writes need M: reduce first, then take exclusive ownership.
+        outcome = AccessOutcome()
+        breakdown = outcome.latency
+        breakdown.l1 += self._l1_latency
+        breakdown.l2 += self._l2_latency
+        self.interconnect.record_one(MessageType.GET_EXCLUSIVE, LinkScope.ON_CHIP)
+        chip = self._chip(core_id)
+        self._ensure_shared_levels(chip, line_addr, breakdown)
+        partials, latency = self._full_reduction(core_id, line_addr, breakdown)
+        outcome.invalidations += partials
+        outcome.full_reduction = True
+        self._serialize_at_home(line_addr, now, breakdown, latency + self.LIGHT_OCCUPANCY)
+        self.directory.clear_all_sharers(line_addr)
+        self.directory.grant_exclusive(line_addr, core_id)
+        self._set_state(core_id, line_addr, StableState.MODIFIED)
+        self._fill_private(core_id, line_addr)
+        self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.ON_CHIP)
+        if access_type is AccessType.STORE:
+            self._functional_store(access)
+        else:
+            self._functional_update(access)
+            outcome.value = self._functional_load(access)
+        return outcome
 
-        # A core's own U-state line cannot satisfy loads/stores; drop to I
-        # first so the base-class transaction logic treats it as a miss.
-        if state is StableState.UPDATE and access_type in (
-            AccessType.LOAD,
-            AccessType.STORE,
-            AccessType.ATOMIC_RMW,
-        ):
-            # This can only happen if the directory entry lost update mode,
-            # which the full-reduction paths above prevent; keep as safety net.
-            self._commit_buffer(core_id, line_addr)
-            self._set_state(core_id, line_addr, StableState.INVALID)
-            self.directory.remove_sharer(line_addr, core_id)
-
-        return super().access(core_id, access, now)
+    def _hit_value(self, access: MemoryAccess):
+        if access.access_type.is_commutative:
+            return None  # Commutative hits buffer a delta; nothing is returned.
+        return super()._hit_value(access)
 
     # ---------------------------------------------------------------- finalize
 

@@ -28,7 +28,7 @@ from repro.sim.config import SystemConfig
 from repro.sim.stats import LatencyBreakdown
 
 
-@dataclass
+@dataclass(slots=True)
 class AccessOutcome:
     """Result of resolving one memory access against the protocol."""
 
@@ -53,12 +53,44 @@ class CoherenceProtocol(abc.ABC):
     #: Human-readable protocol name used in results and experiment tables.
     name: str = "abstract"
 
+    #: Whether the timing simulator may resolve private hits against this
+    #: engine's tables inline (see :meth:`resolve_slow` for the contract).
+    SUPPORTS_INLINE_FAST_PATH: bool = False
+
+    #: How the hot path treats commutative/remote updates: ``"atomic"`` folds
+    #: them into atomic read-modify-writes (MESI), ``"local"`` applies COUP's
+    #: update-only rules (MEUSI), ``"never"`` forces the slow path (RMO).
+    HOT_COMMUTATIVE: str = "atomic"
+
     def __init__(self, config: SystemConfig, track_values: bool = True) -> None:
         self.config = config
         self.track_values = track_values
         self.hierarchy = CacheHierarchy(config)
         self.directory = Directory()
         self.interconnect: InterconnectModel = self.hierarchy.interconnect
+        # -- hot-path tables, computed once per run ---------------------------
+        # The per-access resolution path must not recompute config-derived
+        # quantities; everything it needs is hoisted here.
+        if config.line_bytes & (config.line_bytes - 1):
+            raise ValueError("line_bytes must be a power of two")
+        #: ``addr >> _line_shift`` == ``config.line_address(addr)``.
+        self._line_shift = config.line_bytes.bit_length() - 1
+        #: Chip hosting each core, as a flat table (no bounds check, no division).
+        self._chip_of_core = [
+            core // config.cores_per_chip for core in range(config.n_cores)
+        ]
+        self._onchip_hop = self.interconnect.onchip_hop_latency()
+        self._offchip_round_trip = self.interconnect.offchip_round_trip()
+        self._l1_latency = config.l1d.latency
+        self._l2_latency = config.l2.latency
+        self._l3_latency = config.l3.latency
+        self._l4_latency = config.l4.latency
+        self._l1_caches = self.hierarchy.l1
+        self._l2_caches = self.hierarchy.l2
+        self._l3_caches = self.hierarchy.l3
+        self._l4_caches = self.hierarchy.l4
+        self._memory = self.hierarchy.memory
+        self._n_l4_chips = config.n_l4_chips
         #: One reduction unit per L3 bank per chip plus one per L4 bank.
         self.l3_reduction_units = {
             (chip, bank): ReductionUnit(config.reduction_unit, name=f"rdu.l3.{chip}.{bank}")
@@ -110,6 +142,42 @@ class CoherenceProtocol(abc.ABC):
     def access(self, core_id: int, access: MemoryAccess, now: float) -> AccessOutcome:
         """Resolve one access issued by ``core_id`` at simulator time ``now``."""
 
+    def access_hot(self, core_id: int, access: MemoryAccess, now: float):
+        """Hot-path form of :meth:`access`.
+
+        Returns ``1`` (L1 private hit) or ``2`` (L2 private hit) when the
+        access was satisfied entirely within the core's private hierarchy —
+        all protocol state, functional values, and cache statistics already
+        updated — so the caller can charge the fixed private-hit latency
+        without any :class:`AccessOutcome` allocation.  Any access that needs
+        directory or transaction machinery returns the full outcome instead.
+        """
+        return self.access(core_id, access, now)
+
+    def resolve_slow(
+        self,
+        core_id: int,
+        access: MemoryAccess,
+        line_addr: int,
+        state,
+        level,
+        now: float,
+    ) -> AccessOutcome:
+        """Resolve an access the simulator's inline fast path rejected.
+
+        When :attr:`SUPPORTS_INLINE_FAST_PATH` is true, the timing simulator
+        replicates the private-hit rules against this engine's tables
+        (``core_states``, the private cache arrays, and for MEUSI the
+        directory's update-only entries) and only calls this method for
+        accesses that need transaction machinery.  ``state`` is the core's
+        stable state for the line (``None`` if untracked) and ``level`` is
+        the private-lookup result if the simulator already probed the
+        caches — or ``None`` if it did not, in which case the probe must
+        happen here so lookup statistics and LRU state advance exactly once
+        per access.
+        """
+        raise NotImplementedError
+
     def finalize(self) -> None:
         """Flush protocol state at the end of a run.
 
@@ -117,13 +185,49 @@ class CoherenceProtocol(abc.ABC):
         that the functional memory image reflects all buffered deltas.
         """
 
+    def _private_level(self, core_id: int, line_addr: int) -> int:
+        """Private L1/L2 lookup with the L1 probe inlined (hot path).
+
+        Behaviourally identical to
+        :meth:`repro.hierarchy.system.CacheHierarchy.private_lookup_level`
+        (same hit/miss counters, same LRU refresh, same L1 refill on an L2
+        hit) but with the overwhelmingly common L1 hit resolved without any
+        intermediate calls.  Returns 1 (L1 hit), 2 (L2 hit), or 0 (miss).
+
+        WARNING: this probe is intentionally hand-duplicated in THREE places
+        for speed — here, ``CacheHierarchy.private_lookup_level``, and the
+        inline block in ``MulticoreSimulator.run``.  Any change to probe
+        semantics must be applied to all three; the golden-equivalence suite
+        (tests/sim/test_golden_equivalence.py) catches divergence.
+        """
+        l1 = self._l1_caches[core_id]
+        cache_set = l1._sets.get(line_addr % l1._num_sets)
+        info = cache_set.get(line_addr) if cache_set is not None else None
+        if info is not None:
+            l1.hits += 1
+            l1._tick = tick = l1._tick + 1
+            info.last_use = tick
+            return 1
+        l1.misses += 1
+        l2 = self._l2_caches[core_id]
+        cache_set = l2._sets.get(line_addr % l2._num_sets)
+        info = cache_set.get(line_addr) if cache_set is not None else None
+        if info is not None:
+            l2.hits += 1
+            l2._tick = tick = l2._tick + 1
+            info.last_use = tick
+            l1.insert(line_addr)
+            return 2
+        l2.misses += 1
+        return 0
+
     # -- shared latency helpers -------------------------------------------------
 
     def line_addr(self, byte_addr: int) -> int:
         return self.config.line_address(byte_addr)
 
     def home_l4_chip(self, line_addr: int) -> int:
-        return self.config.l4_home_chip(line_addr)
+        return line_addr % self._n_l4_chips
 
     def reduction_unit_for_l3(self, chip: int, line_addr: int) -> ReductionUnit:
         return self.l3_reduction_units[(chip, self.config.l3_home_bank(line_addr))]

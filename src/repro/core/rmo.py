@@ -29,6 +29,7 @@ class RmoProtocol(MesiProtocol):
     """MESI plus remote update operations executed at the home L3/L4 bank."""
 
     name = "RMO"
+    HOT_COMMUTATIVE = "never"
 
     #: Cycles the home bank ALU is occupied per remote update.
     REMOTE_ALU_CYCLES = 4.0
@@ -64,10 +65,10 @@ class RmoProtocol(MesiProtocol):
             self._invalidate_requester_copy(core_id, line_addr)
 
         # Travel to the home bank.
-        breakdown.l3 += self.interconnect.onchip_hop_latency() + self.config.l3.latency
+        breakdown.l3 += self._onchip_hop + self._l3_latency
         if home_chip != requester_chip:
-            breakdown.offchip_network += self.interconnect.offchip_round_trip()
-            breakdown.l4 += self.config.l4.latency
+            breakdown.offchip_network += self._offchip_round_trip
+            breakdown.l4 += self._l4_latency
             scope = LinkScope.OFF_CHIP
         else:
             scope = LinkScope.ON_CHIP
@@ -96,8 +97,32 @@ class RmoProtocol(MesiProtocol):
             self.directory.remove_sharer(line_addr, core_id)
             self.directory.drop_if_uncached(line_addr)
 
-    def access(self, core_id: int, access: MemoryAccess, now: float) -> AccessOutcome:
-        self.current_time = now
-        if access.access_type in (AccessType.REMOTE_UPDATE, AccessType.COMMUTATIVE_UPDATE):
+    def access_hot(self, core_id: int, access: MemoryAccess, now: float):
+        """RMO hot path: updates always travel to the home bank (never hit)."""
+        access_type = access.access_type
+        if (
+            access_type is AccessType.REMOTE_UPDATE
+            or access_type is AccessType.COMMUTATIVE_UPDATE
+        ):
+            self.current_time = now
             return self._remote_update(core_id, access, now)
-        return super().access(core_id, access, now)
+        return MesiProtocol.access_hot(self, core_id, access, now)
+
+    def resolve_slow(
+        self,
+        core_id: int,
+        access: MemoryAccess,
+        line_addr: int,
+        state,
+        level,
+        now: float,
+    ):
+        access_type = access.access_type
+        if (
+            access_type is AccessType.REMOTE_UPDATE
+            or access_type is AccessType.COMMUTATIVE_UPDATE
+        ):
+            # Remote updates bypass the private hierarchy entirely; no probe.
+            self.current_time = now
+            return self._remote_update(core_id, access, now)
+        return MesiProtocol.resolve_slow(self, core_id, access, line_addr, state, level, now)

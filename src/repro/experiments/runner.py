@@ -2,33 +2,205 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # run everything
-    python -m repro.experiments.runner figure10   # run a single experiment
-    python -m repro.experiments.runner --list     # list experiment ids
+    python -m repro.experiments.runner                 # run everything
+    python -m repro.experiments.runner figure10        # run a single experiment
+    python -m repro.experiments.runner --list          # list experiment ids
+    python -m repro.experiments.runner --jobs 4        # run experiments in parallel
+
+Experiments are independent of each other, so ``--jobs N`` runs them in
+worker processes.  Each experiment is seeded deterministically from
+``--seed`` and its own id, so results do not depend on the execution order
+or the degree of parallelism; each worker's stdout is captured and replayed
+in submission order so the combined output matches a serial run.
+
+With ``--results-dir`` (implied by ``--jobs``), every experiment writes a
+structured JSON record (id, status, elapsed seconds, captured output) that
+``scripts/collect_results.py`` and CI can consume.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib
+import io
+import json
+import os
+import random
 import sys
 import time
-from typing import List
+import traceback
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Tuple
 
-from repro.experiments import EXPERIMENT_MODULES
+from repro.experiments import EXPERIMENT_MODULES, settings
+
+#: Default directory for per-experiment JSON records.
+DEFAULT_RESULTS_DIR = os.path.join("results", "experiments")
 
 
-def run_experiment(experiment_id: str) -> None:
-    """Import and run one experiment's ``main()``."""
+@dataclass
+class ExperimentOutcome:
+    """Result of running one experiment."""
+
+    experiment_id: str
+    status: str  # "ok" or "error"
+    elapsed_s: float
+    seed: int
+    scale: float
+    max_cores: int
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _experiment_seed(base_seed: int, experiment_id: str) -> int:
+    """Deterministic per-experiment seed, independent of execution order."""
+    return random.Random(f"{base_seed}:{experiment_id}").getrandbits(32)
+
+
+def _seed_everything(seed: int) -> None:
+    """Seed the global RNGs an experiment might consult.
+
+    The workloads construct their own :func:`numpy.random.default_rng`
+    instances from fixed seeds, so this is belt-and-braces: it guarantees
+    that any stray use of the global generators is also reproducible.
+    """
+    random.seed(seed)
+    try:
+        import numpy as np
+
+        np.random.seed(seed % (2**32))
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+
+
+def run_experiment(experiment_id: str, base_seed: int = 0) -> ExperimentOutcome:
+    """Import and run one experiment's ``main()``; never raises.
+
+    A failure is reported in the returned outcome (and by :func:`main` as a
+    nonzero exit code) instead of being swallowed or aborting sibling
+    experiments.
+    """
+    seed = _experiment_seed(base_seed, experiment_id)
+    _seed_everything(seed)
     module_path = EXPERIMENT_MODULES[experiment_id]
-    module = importlib.import_module(module_path)
     start = time.perf_counter()
-    module.main()
+    try:
+        module = importlib.import_module(module_path)
+        module.main()
+    except Exception:
+        elapsed = time.perf_counter() - start
+        print(f"[{experiment_id}] FAILED after {elapsed:.1f}s", file=sys.stderr)
+        traceback.print_exc()
+        return ExperimentOutcome(
+            experiment_id=experiment_id,
+            status="error",
+            elapsed_s=elapsed,
+            seed=seed,
+            scale=settings.scale(),
+            max_cores=settings.max_cores(),
+            error=traceback.format_exc(),
+        )
     elapsed = time.perf_counter() - start
     print(f"[{experiment_id}] completed in {elapsed:.1f}s\n")
+    return ExperimentOutcome(
+        experiment_id=experiment_id,
+        status="ok",
+        elapsed_s=elapsed,
+        seed=seed,
+        scale=settings.scale(),
+        max_cores=settings.max_cores(),
+    )
 
 
-def main(argv: List[str] = None) -> int:
+def _run_captured(args: Tuple[str, int, float, int]) -> Tuple[ExperimentOutcome, str, str]:
+    """Worker entry point: run one experiment with stdout/stderr captured.
+
+    The parent's scale/max_cores settings travel in ``args`` and are applied
+    here: with the ``spawn`` start method a worker re-imports
+    :mod:`repro.experiments.settings` from scratch, so anything the parent
+    configured via ``set_scale``/``set_max_cores`` would otherwise be lost.
+    """
+    experiment_id, base_seed, scale, max_cores = args
+    settings.set_scale(scale)
+    settings.set_max_cores(max_cores)
+    out = io.StringIO()
+    err = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        outcome = run_experiment(experiment_id, base_seed)
+    return outcome, out.getvalue(), err.getvalue()
+
+
+def _write_record(results_dir: str, outcome: ExperimentOutcome, output: str) -> str:
+    """Write one experiment's structured JSON record; returns the path."""
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{outcome.experiment_id}.json")
+    record = asdict(outcome)
+    record["output"] = output
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+    return path
+
+
+def run_parallel(
+    experiment_ids: List[str],
+    jobs: int,
+    *,
+    base_seed: int = 0,
+    results_dir: Optional[str] = None,
+) -> List[ExperimentOutcome]:
+    """Run experiments in ``jobs`` worker processes, preserving output order."""
+    import multiprocessing
+
+    outcomes: List[ExperimentOutcome] = []
+    scale = settings.scale()
+    max_cores = settings.max_cores()
+    work = [
+        (experiment_id, base_seed, scale, max_cores)
+        for experiment_id in experiment_ids
+    ]
+    # fork (where available) keeps already-imported modules warm in workers.
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    with context.Pool(processes=jobs) as pool:
+        for outcome, out, err in pool.imap(_run_captured, work):
+            sys.stdout.write(out)
+            if err:
+                sys.stderr.write(err)
+            if results_dir:
+                _write_record(results_dir, outcome, out)
+            outcomes.append(outcome)
+    return outcomes
+
+
+def run_serial(
+    experiment_ids: List[str],
+    *,
+    base_seed: int = 0,
+    results_dir: Optional[str] = None,
+) -> List[ExperimentOutcome]:
+    """Run experiments one after another in this process."""
+    outcomes: List[ExperimentOutcome] = []
+    for experiment_id in experiment_ids:
+        if results_dir:
+            outcome, out, err = _run_captured(
+                (experiment_id, base_seed, settings.scale(), settings.max_cores())
+            )
+            sys.stdout.write(out)
+            if err:
+                sys.stderr.write(err)
+            _write_record(results_dir, outcome, out)
+        else:
+            outcome = run_experiment(experiment_id, base_seed)
+        outcomes.append(outcome)
+    return outcomes
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "experiments",
@@ -36,12 +208,38 @@ def main(argv: List[str] = None) -> int:
         help="experiment ids to run (default: all)",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids and exit")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed; each experiment derives its own deterministic seed",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write one JSON record per experiment into DIR "
+            f"(default with --jobs: {DEFAULT_RESULTS_DIR})"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for experiment_id in EXPERIMENT_MODULES:
             print(experiment_id)
         return 0
+
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
 
     selected = args.experiments or list(EXPERIMENT_MODULES)
     unknown = [e for e in selected if e not in EXPERIMENT_MODULES]
@@ -50,8 +248,22 @@ def main(argv: List[str] = None) -> int:
         print(f"available: {', '.join(EXPERIMENT_MODULES)}", file=sys.stderr)
         return 2
 
-    for experiment_id in selected:
-        run_experiment(experiment_id)
+    results_dir = args.results_dir
+    if results_dir is None and args.jobs > 1:
+        results_dir = DEFAULT_RESULTS_DIR
+
+    if args.jobs > 1:
+        outcomes = run_parallel(
+            selected, args.jobs, base_seed=args.seed, results_dir=results_dir
+        )
+    else:
+        outcomes = run_serial(selected, base_seed=args.seed, results_dir=results_dir)
+
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        failed = ", ".join(outcome.experiment_id for outcome in failures)
+        print(f"{len(failures)} experiment(s) failed: {failed}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -4,23 +4,41 @@ These arrays track only *presence* and per-line metadata; data values live in
 the protocol engines (which need them for functional checking of commutative
 reductions).  Both private caches (L1/L2) and shared banked caches (L3/L4)
 are built from :class:`SetAssociativeCache`.
+
+The arrays sit on the simulator's per-access critical path, so they are
+written for speed: sets are materialised lazily (constructing a 32 MB L3
+allocates nothing until lines arrive), geometry is precomputed once, and the
+per-line records are slotted plain objects rather than dataclasses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, Optional
 
 from repro.sim.config import CacheConfig
 
 
-@dataclass
 class CacheLineInfo:
-    """Metadata attached to a resident cache line."""
+    """Metadata attached to a resident cache line.
 
-    line_addr: int
-    metadata: dict = field(default_factory=dict)
-    last_use: int = 0
+    ``metadata`` is ``None`` until a caller attaches something, so the common
+    case (no metadata) allocates no dict.
+    """
+
+    __slots__ = ("line_addr", "metadata", "last_use")
+
+    def __init__(
+        self, line_addr: int, metadata: Optional[dict] = None, last_use: int = 0
+    ) -> None:
+        self.line_addr = line_addr
+        self.metadata = metadata
+        self.last_use = last_use
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLineInfo(line_addr={self.line_addr:#x}, "
+            f"metadata={self.metadata}, last_use={self.last_use})"
+        )
 
 
 class SetAssociativeCache:
@@ -31,45 +49,64 @@ class SetAssociativeCache:
     returned so callers can perform writebacks or partial reductions.
     """
 
+    __slots__ = (
+        "config",
+        "name",
+        "_sets",
+        "_num_sets",
+        "_ways",
+        "_tick",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
     def __init__(self, config: CacheConfig, name: str = "cache") -> None:
         self.config = config
         self.name = name
-        self._sets: List[Dict[int, CacheLineInfo]] = [
-            {} for _ in range(config.num_sets)
-        ]
+        self._num_sets = config.num_sets
+        self._ways = config.ways
+        #: Lazily materialised sets: set index -> {line_addr: CacheLineInfo}.
+        self._sets: Dict[int, Dict[int, CacheLineInfo]] = {}
         self._tick = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __contains__(self, line_addr: int) -> bool:
-        return line_addr in self._sets[self._set_index(line_addr)]
+        cache_set = self._sets.get(line_addr % self._num_sets)
+        return cache_set is not None and line_addr in cache_set
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._sets)
+        return sum(len(s) for s in self._sets.values())
 
     def _set_index(self, line_addr: int) -> int:
-        return line_addr % self.config.num_sets
+        return line_addr % self._num_sets
 
-    def _next_tick(self) -> int:
-        self._tick += 1
-        return self._tick
+    def _set_for(self, line_addr: int) -> Dict[int, CacheLineInfo]:
+        index = line_addr % self._num_sets
+        cache_set = self._sets.get(index)
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
+        return cache_set
 
     def lookup(self, line_addr: int, *, touch: bool = True) -> Optional[CacheLineInfo]:
         """Return the line's info if resident; update LRU and hit statistics."""
-        cache_set = self._sets[self._set_index(line_addr)]
-        info = cache_set.get(line_addr)
+        cache_set = self._sets.get(line_addr % self._num_sets)
+        info = cache_set.get(line_addr) if cache_set is not None else None
         if info is None:
             self.misses += 1
             return None
         self.hits += 1
         if touch:
-            info.last_use = self._next_tick()
+            self._tick = tick = self._tick + 1
+            info.last_use = tick
         return info
 
     def peek(self, line_addr: int) -> Optional[CacheLineInfo]:
         """Return the line's info without touching LRU or statistics."""
-        return self._sets[self._set_index(line_addr)].get(line_addr)
+        cache_set = self._sets.get(line_addr % self._num_sets)
+        return cache_set.get(line_addr) if cache_set is not None else None
 
     def insert(self, line_addr: int, metadata: Optional[dict] = None) -> Optional[CacheLineInfo]:
         """Insert a line, returning the victim's info if an eviction occurred.
@@ -77,36 +114,48 @@ class SetAssociativeCache:
         Inserting a line that is already resident refreshes its LRU position
         and merges the provided metadata.
         """
-        set_index = self._set_index(line_addr)
-        cache_set = self._sets[set_index]
+        cache_set = self._set_for(line_addr)
         existing = cache_set.get(line_addr)
         if existing is not None:
-            existing.last_use = self._next_tick()
+            self._tick = tick = self._tick + 1
+            existing.last_use = tick
             if metadata:
-                existing.metadata.update(metadata)
+                if existing.metadata is None:
+                    existing.metadata = dict(metadata)
+                else:
+                    existing.metadata.update(metadata)
             return None
 
         victim: Optional[CacheLineInfo] = None
-        if len(cache_set) >= self.config.ways:
-            victim_addr = min(cache_set, key=lambda addr: cache_set[addr].last_use)
+        if len(cache_set) >= self._ways:
+            # True-LRU victim: first line with the smallest last_use (a plain
+            # loop; a min() with a key lambda costs a call per resident line).
+            victim_addr = -1
+            best_use = None
+            for addr, info in cache_set.items():
+                last_use = info.last_use
+                if best_use is None or last_use < best_use:
+                    best_use = last_use
+                    victim_addr = addr
             victim = cache_set.pop(victim_addr)
             self.evictions += 1
 
+        self._tick = tick = self._tick + 1
         cache_set[line_addr] = CacheLineInfo(
-            line_addr=line_addr,
-            metadata=dict(metadata or {}),
-            last_use=self._next_tick(),
+            line_addr, dict(metadata) if metadata else None, tick
         )
         return victim
 
     def invalidate(self, line_addr: int) -> Optional[CacheLineInfo]:
         """Remove a line (coherence invalidation); return its info if present."""
-        cache_set = self._sets[self._set_index(line_addr)]
+        cache_set = self._sets.get(line_addr % self._num_sets)
+        if cache_set is None:
+            return None
         return cache_set.pop(line_addr, None)
 
     def resident_lines(self) -> Iterator[CacheLineInfo]:
         """Iterate over all resident lines (order unspecified)."""
-        for cache_set in self._sets:
+        for cache_set in self._sets.values():
             yield from cache_set.values()
 
     def occupancy(self) -> float:

@@ -15,7 +15,7 @@ from typing import Dict, List
 from repro.sim.config import MemoryConfig, SystemConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryAccessTiming:
     """Timing outcome of one main-memory access."""
 
@@ -43,9 +43,16 @@ class MainMemoryModel:
     def access(self, l4_chip: int, now: float, line_bytes: int) -> MemoryAccessTiming:
         """Account one line fill/writeback at ``l4_chip`` starting at ``now``."""
         channels = self._channels(l4_chip)
-        # Pick the channel that frees up first (FR-FCFS approximation).
-        channel_index = min(range(len(channels)), key=lambda i: channels[i])
-        start = max(now, channels[channel_index])
+        # Pick the channel that frees up first (FR-FCFS approximation); a
+        # plain loop over the handful of channels beats min() with a key.
+        channel_index = 0
+        best = channels[0]
+        for index in range(1, len(channels)):
+            busy_until = channels[index]
+            if busy_until < best:
+                best = busy_until
+                channel_index = index
+        start = max(now, best)
         queue_delay = start - now
         transfer = line_bytes / self.mem.channel_bandwidth_bytes_per_cycle
         channels[channel_index] = start + transfer

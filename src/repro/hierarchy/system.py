@@ -64,37 +64,63 @@ class CacheHierarchy:
 
     # -- private caches -------------------------------------------------------
 
-    def private_lookup(self, core_id: int, line_addr: int) -> PrivateLookupResult:
+    def private_lookup_level(self, core_id: int, line_addr: int) -> int:
         """Check the core's L1 then L2; refresh LRU on a hit.
+
+        Returns 1 for an L1 hit, 2 for an L2 hit, 0 for a private miss.  This
+        is the hot-path form used by the protocol engines: it performs exactly
+        the same lookups, statistics updates, and L1 refills as
+        :meth:`private_lookup` but avoids allocating a result object.
+
+        WARNING: faster hand-inlined twins of this probe live in
+        ``CoherenceProtocol._private_level`` and the inline block in
+        ``MulticoreSimulator.run``; any semantic change here must be applied
+        to all three (the golden-equivalence suite catches divergence).
 
         An L2 hit also fills the L1 (possibly evicting an L1 victim, which is
         harmless here because the L2 is inclusive of the L1).
         """
         if self.l1[core_id].lookup(line_addr) is not None:
-            return PrivateLookupResult("L1")
+            return 1
         if self.l2[core_id].lookup(line_addr) is not None:
             self.l1[core_id].insert(line_addr)
+            return 2
+        return 0
+
+    def private_lookup(self, core_id: int, line_addr: int) -> PrivateLookupResult:
+        """Allocating wrapper around :meth:`private_lookup_level`."""
+        level = self.private_lookup_level(core_id, line_addr)
+        if level == 1:
+            return PrivateLookupResult("L1")
+        if level == 2:
             return PrivateLookupResult("L2")
         return PrivateLookupResult(None)
 
-    def private_fill(self, core_id: int, line_addr: int) -> List[EvictionNotice]:
-        """Install a line into the core's L1 and L2; report L2 victims.
+    def private_fill_victim(self, core_id: int, line_addr: int) -> Optional[int]:
+        """Install a line into the core's L1 and L2; return the L2 victim.
 
         Only L2 victims matter for coherence: the L2 is inclusive of the L1,
         so an L2 eviction implies the line is gone from the private hierarchy
         and the directory must be told (triggering writebacks or partial
-        reductions).  L1 victims remain resident in the L2.
+        reductions).  L1 victims remain resident in the L2.  At most one line
+        can be displaced per fill, so the victim is returned directly (or
+        ``None``); this is the hot-path form used by the protocol engines.
         """
-        notices: List[EvictionNotice] = []
+        victim_addr: Optional[int] = None
         l2_victim = self.l2[core_id].insert(line_addr)
         if l2_victim is not None:
             # Maintain inclusion: drop the victim from the L1 as well.
-            self.l1[core_id].invalidate(l2_victim.line_addr)
-            notices.append(
-                EvictionNotice(core_id=core_id, line_addr=l2_victim.line_addr, from_level="L2")
-            )
+            victim_addr = l2_victim.line_addr
+            self.l1[core_id].invalidate(victim_addr)
         self.l1[core_id].insert(line_addr)
-        return notices
+        return victim_addr
+
+    def private_fill(self, core_id: int, line_addr: int) -> List[EvictionNotice]:
+        """Allocating wrapper around :meth:`private_fill_victim`."""
+        victim_addr = self.private_fill_victim(core_id, line_addr)
+        if victim_addr is None:
+            return []
+        return [EvictionNotice(core_id=core_id, line_addr=victim_addr, from_level="L2")]
 
     def private_invalidate(self, core_id: int, line_addr: int) -> None:
         """Remove a line from the core's private caches (coherence action)."""

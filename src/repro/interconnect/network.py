@@ -62,6 +62,13 @@ class InterconnectModel:
         self.config = config
         self.network: NetworkConfig = config.network
         self.traffic = TrafficCounters()
+        #: Message size by type label, precomputed once (hot-path table).
+        #: Keyed by the label string rather than the enum member because
+        #: string hashes are cached while enum hashing re-hashes the name.
+        self._size_of = {
+            msg_type.label: msg_type.size_bytes(config.network)
+            for msg_type in MessageType
+        }
 
     # -- latency helpers ------------------------------------------------------
 
@@ -103,8 +110,22 @@ class InterconnectModel:
     def record_one(
         self, msg_type: MessageType, scope: LinkScope, count: int = 1
     ) -> int:
-        """Account ``count`` messages of one type over one scope."""
-        return self.record([MessageEvent(msg_type, scope, count)])
+        """Account ``count`` messages of one type over one scope.
+
+        Equivalent to ``record([MessageEvent(msg_type, scope, count)])`` but
+        without allocating an event; protocol engines call this per coherence
+        action, so it is on the hot path.
+        """
+        label = msg_type.label
+        size = self._size_of[label] * count
+        traffic = self.traffic
+        if scope is LinkScope.OFF_CHIP:
+            traffic.off_chip_bytes += size
+        else:
+            traffic.on_chip_bytes += size
+        traffic.messages_by_type[label] += count
+        traffic.bytes_by_type[label] += size
+        return size
 
     def reset(self) -> None:
         self.traffic = TrafficCounters()

@@ -38,9 +38,12 @@ class AccessType(enum.Enum):
         return self in (AccessType.COMMUTATIVE_UPDATE, AccessType.REMOTE_UPDATE)
 
 
-@dataclass
 class MemoryAccess:
     """One memory instruction in a core's trace.
+
+    A hand-written slotted class rather than a dataclass: trace generation
+    constructs millions of these, so construction must stay a single call
+    with inline validation.
 
     Attributes
     ----------
@@ -59,20 +62,58 @@ class MemoryAccess:
         Access width in bytes.
     """
 
-    access_type: AccessType
-    address: int
-    op: Optional[CommutativeOp] = None
-    value: object = None
-    think_instructions: int = 0
-    size_bytes: int = 8
+    __slots__ = (
+        "access_type",
+        "address",
+        "op",
+        "value",
+        "think_instructions",
+        "size_bytes",
+    )
 
-    def __post_init__(self) -> None:
-        if self.address < 0:
+    def __init__(
+        self,
+        access_type: AccessType,
+        address: int,
+        op: Optional[CommutativeOp] = None,
+        value: object = None,
+        think_instructions: int = 0,
+        size_bytes: int = 8,
+    ) -> None:
+        if address < 0:
             raise ValueError("address must be non-negative")
-        if self.think_instructions < 0:
+        if think_instructions < 0:
             raise ValueError("think_instructions must be non-negative")
-        if self.access_type.is_commutative and self.op is None:
+        if op is None and (
+            access_type is AccessType.COMMUTATIVE_UPDATE
+            or access_type is AccessType.REMOTE_UPDATE
+        ):
             raise ValueError("commutative updates require an operation type")
+        self.access_type = access_type
+        self.address = address
+        self.op = op
+        self.value = value
+        self.think_instructions = think_instructions
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryAccess(access_type={self.access_type!r}, address={self.address:#x}, "
+            f"op={self.op!r}, value={self.value!r}, "
+            f"think_instructions={self.think_instructions}, size_bytes={self.size_bytes})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryAccess):
+            return NotImplemented
+        return (
+            self.access_type is other.access_type
+            and self.address == other.address
+            and self.op is other.op
+            and self.value == other.value
+            and self.think_instructions == other.think_instructions
+            and self.size_bytes == other.size_bytes
+        )
 
     @classmethod
     def load(cls, address: int, *, think: int = 0, size: int = 8) -> "MemoryAccess":

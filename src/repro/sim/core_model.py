@@ -22,6 +22,13 @@ class CoreTimingModel:
 
     config: CoreConfig
 
+    def __post_init__(self) -> None:
+        # Hot-path constants: the simulator inlines the per-access timing
+        # arithmetic, so the per-type overheads are exposed as plain floats.
+        self.cycles_per_instruction = self.config.cycles_per_instruction
+        self.atomic_overhead = float(self.config.atomic_uop_overhead)
+        self.commutative_overhead = float(self.config.commutative_uop_overhead)
+
     def think_cycles(self, access: MemoryAccess) -> float:
         """Cycles spent on the instructions preceding this access."""
         return access.think_instructions * self.config.cycles_per_instruction

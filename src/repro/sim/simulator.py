@@ -23,6 +23,7 @@ from repro.core.mesi import MesiProtocol
 from repro.core.meusi import MeusiProtocol
 from repro.core.protocol import CoherenceProtocol
 from repro.core.rmo import RmoProtocol
+from repro.core.states import StableState
 from repro.sim.access import AccessType, MemoryAccess, WorkloadTrace
 from repro.sim.config import SystemConfig
 from repro.sim.core_model import CoreTimingModel
@@ -51,7 +52,7 @@ def make_protocol(
     return protocol_cls(config, track_values=track_values)
 
 
-@dataclass
+@dataclass(slots=True)
 class _CoreCursor:
     """Per-core simulation cursor."""
 
@@ -92,6 +93,50 @@ class MulticoreSimulator:
         phase_boundaries = workload.phase_boundaries or []
         n_phases = len(phase_boundaries)
 
+        # -- hot-loop constants, hoisted out of the per-access path -----------
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        protocol = self.protocol
+        traces = workload.per_core
+        trace_lens = [len(trace) for trace in traces]
+        cpi = self.core_model.cycles_per_instruction
+        atomic_overhead = self.core_model.atomic_overhead
+        commutative_overhead = self.core_model.commutative_overhead
+        # Private-hit latencies, as the same float sums the transaction path
+        # would produce (L1, and L1+L2) so results stay bit-identical.
+        l1_latency = self.config.l1d.latency
+        l2_latency = self.config.l2.latency
+        l1_hit_total = l1_latency + 0.0
+        l2_hit_total = l1_latency + l2_latency + 0.0
+        load_t = AccessType.LOAD
+        store_t = AccessType.STORE
+        atomic_t = AccessType.ATOMIC_RMW
+        commutative_t = AccessType.COMMUTATIVE_UPDATE
+        # (REMOTE_UPDATE is the dispatch's final else: no constant needed.)
+
+        # Inline private-hit fast path (see CoherenceProtocol.resolve_slow):
+        # for the MESI-family engines the loop resolves hits against the
+        # protocol's own tables without a single protocol call, and everything
+        # else drops into resolve_slow.  Engines without fast-path support
+        # fall back to access_hot per access.
+        inline = protocol.SUPPORTS_INLINE_FAST_PATH
+        if inline:
+            resolve_slow = protocol.resolve_slow
+            core_states = protocol.core_states
+            l1_caches = protocol._l1_caches
+            l2_caches = protocol._l2_caches
+            line_shift = protocol._line_shift
+            track_values = protocol.track_values
+            memory_image = protocol.memory_image
+            directory_entries = protocol.directory._entries
+            comm_local = protocol.HOT_COMMUTATIVE == "local"
+            comm_never = protocol.HOT_COMMUTATIVE == "never"
+            exclusive_s = StableState.EXCLUSIVE
+            modified_s = StableState.MODIFIED
+            update_s = StableState.UPDATE
+        else:
+            access_hot = protocol.access_hot
+
         # Min-heap of (clock, core_id) for cores that still have work to do.
         heap: List[tuple] = [(0.0, i) for i in range(n_cores)]
         heapq.heapify(heap)
@@ -103,55 +148,167 @@ class MulticoreSimulator:
                 self._release_barrier(cursors, barrier_waiters, heap)
                 continue
 
-            clock, core_id = heapq.heappop(heap)
+            clock, core_id = heappop(heap)
             cursor = cursors[core_id]
-            cursor.clock = clock
-            trace = workload.per_core[core_id]
+            index = cursor.next_index
 
-            if cursor.next_index >= len(trace):
+            if index >= trace_lens[core_id]:
                 # This core is done; it still participates in barriers so that
-                # phases end only when every core has arrived.
+                # phases end only when every core has arrived.  The clock is
+                # normally carried in the heap tuples; record it on the
+                # cursor only when the core leaves the heap.
+                cursor.clock = clock
                 if cursor.phase < n_phases:
                     barrier_waiters.append(core_id)
                 continue
 
             # Check whether the core has reached its next phase boundary.
             if cursor.phase < n_phases:
-                boundary = phase_boundaries[cursor.phase][core_id]
-                if cursor.next_index >= boundary:
+                if index >= phase_boundaries[cursor.phase][core_id]:
+                    cursor.clock = clock
                     barrier_waiters.append(core_id)
                     continue
 
-            access = trace[cursor.next_index]
-            cursor.next_index += 1
-
-            think = self.core_model.think_cycles(access)
-            issue_time = cursor.clock + think
-            outcome = self.protocol.access(core_id, access, issue_time)
-            overhead = self.core_model.issue_overhead(access)
-            latency = outcome.total_latency
-            cursor.clock = issue_time + overhead + latency
-
+            access = traces[core_id][index]
+            cursor.next_index = index + 1
             stats = core_stats[core_id]
+
+            # One fused dispatch on the access type: issue overhead and the
+            # per-type instruction counters.
+            access_type = access.access_type
+            is_comm = False
+            if access_type is load_t:
+                overhead = 0.0
+                stats.loads += 1
+            elif access_type is store_t:
+                overhead = 0.0
+                stats.stores += 1
+            elif access_type is atomic_t:
+                overhead = atomic_overhead
+                stats.atomics += 1
+            elif access_type is commutative_t:
+                overhead = commutative_overhead
+                stats.commutative_updates += 1
+                is_comm = True
+            else:
+                overhead = commutative_overhead
+                stats.remote_updates += 1
+                is_comm = True
+
+            think = access.think_instructions * cpi
+            issue_time = clock + think
+
+            hit_level = 0
+            result = None
+            if inline:
+                address = access.address
+                line_addr = address >> line_shift
+                states = core_states[core_id]
+                state = states.get(line_addr)
+                level = None
+                # Probe the private caches only when a hit is possible under
+                # this engine's rules; any access the original transaction
+                # path would probe but this loop does not is probed inside
+                # resolve_slow instead, so the lookup happens exactly once.
+                if state is not None and (
+                    (not comm_never) if is_comm else (state is not update_s)
+                ):
+                    # Same side effects as CacheHierarchy.private_lookup_level
+                    # and CoherenceProtocol._private_level — the probe is
+                    # intentionally hand-duplicated in those three places for
+                    # speed; change all three together (the golden-equivalence
+                    # suite catches divergence).
+                    l1 = l1_caches[core_id]
+                    cache_set = l1._sets.get(line_addr % l1._num_sets)
+                    info = cache_set.get(line_addr) if cache_set is not None else None
+                    if info is not None:
+                        l1.hits += 1
+                        l1._tick = tick = l1._tick + 1
+                        info.last_use = tick
+                        level = 1
+                    else:
+                        l1.misses += 1
+                        l2 = l2_caches[core_id]
+                        cache_set = l2._sets.get(line_addr % l2._num_sets)
+                        info = cache_set.get(line_addr) if cache_set is not None else None
+                        if info is not None:
+                            l2.hits += 1
+                            l2._tick = tick = l2._tick + 1
+                            info.last_use = tick
+                            l1.insert(line_addr)
+                            level = 2
+                        else:
+                            l2.misses += 1
+                            level = 0
+                    if level:
+                        if access_type is load_t:
+                            if state is not update_s:  # S/E/M satisfy loads
+                                hit_level = level
+                        elif state is modified_s or state is exclusive_s:
+                            # Store, atomic, or (folded/local) commutative
+                            # update against our own M/E copy.
+                            states[line_addr] = modified_s
+                            if track_values:
+                                if access_type is store_t:
+                                    if access.value is not None:
+                                        memory_image[address] = access.value
+                                else:
+                                    protocol._functional_update(access)
+                            if is_comm and comm_local:
+                                protocol.stat_local_updates += 1
+                            hit_level = level
+                        elif state is update_s and is_comm and comm_local:
+                            # U-state line: buffer same-type updates locally.
+                            entry = directory_entries.get(line_addr)
+                            op = access.op
+                            if op is not None and entry is not None and entry.op is op:
+                                if track_values:
+                                    protocol._apply_local_update(core_id, access)
+                                protocol.stat_local_updates += 1
+                                hit_level = level
+                if not hit_level:
+                    result = resolve_slow(
+                        core_id, access, line_addr, state, level, issue_time
+                    )
+            else:
+                result = access_hot(core_id, access, issue_time)
+                if result.__class__ is int:
+                    hit_level = result
+                    result = None
+
+            if hit_level:
+                # Private hit: charge the fixed L1/L2 latency without having
+                # built an AccessOutcome.  The component adds mirror what
+                # LatencyBreakdown.add would have accumulated.
+                latency_record = stats.latency
+                latency_record.l1 += l1_latency
+                if hit_level == 1:
+                    latency = l1_hit_total
+                else:
+                    latency_record.l2 += l2_latency
+                    latency = l2_hit_total
+                stats.l1_hits += 1
+            else:
+                latency = result.total_latency
+                stats.latency.add(result.latency)
+                if result.private_hit:
+                    stats.l1_hits += 1
+
             stats.accesses += 1
             stats.compute_cycles += think + overhead
             stats.memory_cycles += latency
-            stats.latency.add(outcome.latency)
-            if outcome.private_hit:
-                stats.l1_hits += 1
-            if access.access_type is AccessType.LOAD:
-                stats.loads += 1
-            elif access.access_type is AccessType.STORE:
-                stats.stores += 1
-            elif access.access_type is AccessType.ATOMIC_RMW:
-                stats.atomics += 1
-            elif access.access_type is AccessType.COMMUTATIVE_UPDATE:
-                stats.commutative_updates += 1
-            elif access.access_type is AccessType.REMOTE_UPDATE:
-                stats.remote_updates += 1
 
-            heapq.heappush(heap, (cursor.clock, core_id))
+            heappush(heap, (issue_time + overhead + latency, core_id))
 
+        return self._finish(workload, cursors, core_stats)
+
+    def _finish(
+        self,
+        workload: WorkloadTrace,
+        cursors: Sequence[_CoreCursor],
+        core_stats: List[CoreStats],
+    ) -> SimulationResult:
+        """Finalize the protocol and assemble the result structure."""
         self.protocol.finalize()
 
         for cursor, stats in zip(cursors, core_stats):
@@ -159,14 +316,13 @@ class MulticoreSimulator:
 
         run_cycles = max((stats.finish_time for stats in core_stats), default=0.0)
         traffic = self.protocol.interconnect.traffic
-        meusi_stats = getattr(self.protocol, "reduction_statistics", None)
         reductions = self.protocol.stat_full_reductions
         partials = self.protocol.stat_partial_reductions
 
         return SimulationResult(
             protocol=self.protocol.name,
             workload=workload.name,
-            n_cores=n_cores,
+            n_cores=len(core_stats),
             core_stats=core_stats,
             run_cycles=run_cycles,
             offchip_bytes=traffic.off_chip_bytes,

@@ -24,7 +24,7 @@ AMAT_COMPONENTS = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyBreakdown:
     """Critical-path latency of one access (or an accumulated average).
 
@@ -97,7 +97,7 @@ class LatencyBreakdown:
         return result
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
     """Per-core execution statistics."""
 

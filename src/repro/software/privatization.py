@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Sequence, Tuple
 
 from repro.core.commutative import CommutativeOp
-from repro.sim.access import MemoryAccess, Trace
+from repro.sim.access import AccessType, MemoryAccess, Trace
 from repro.workloads.base import AddressMap
 
 
@@ -94,15 +94,25 @@ class PrivatizedReductionBuilder:
         self.addresses = addresses
         self.array_name = array_name
         self.replica_of_core = replica_of_core or (lambda core: core)
+        #: Region base address per replica, resolved once (the trace builders
+        #: compute replica addresses in O(n_replicas * n_elements) loops).
+        self._replica_bases: dict = {}
+        self._shared_base: int = None
+
+    def _replica_base(self, replica: int) -> int:
+        base = self._replica_bases.get(replica)
+        if base is None:
+            base = self.addresses.region(f"{self.array_name}_replica_{replica}")
+            self._replica_bases[replica] = base
+        return base
 
     def _replica_address(self, replica: int, element: int) -> int:
-        name = f"{self.array_name}_replica_{replica}"
-        return self.addresses.element(name, element, self.plan.element_bytes)
+        return self._replica_base(replica) + element * self.plan.element_bytes
 
     def _shared_address(self, element: int) -> int:
-        return self.addresses.element(
-            f"{self.array_name}_shared", element, self.plan.element_bytes
-        )
+        if self._shared_base is None:
+            self._shared_base = self.addresses.region(f"{self.array_name}_shared")
+        return self._shared_base + element * self.plan.element_bytes
 
     # -- update phase -----------------------------------------------------------
 
@@ -112,16 +122,33 @@ class PrivatizedReductionBuilder:
         """Trace of one core's updates applied to its replica."""
         replica = self.replica_of_core(core_id)
         trace: Trace = []
+        if not updates:
+            # Keep region allocation lazy: a core with no updates must not
+            # allocate its replica region (address layout is order-sensitive).
+            return trace
+        append = trace.append
         private_replica = self.plan.level is PrivatizationLevel.CORE
+        base = self._replica_base(replica)
+        element_bytes = self.plan.element_bytes
+        op = self.plan.op
         for element, value, think in updates:
-            address = self._replica_address(replica, element)
+            address = base + element * element_bytes
             if private_replica:
                 # Thread-private replica: read-modify-write with plain accesses.
-                trace.append(MemoryAccess.load(address, think=think))
-                trace.append(MemoryAccess.store(address, None, think=1))
+                append(MemoryAccess(AccessType.LOAD, address, think_instructions=think))
+                append(MemoryAccess(AccessType.STORE, address, think_instructions=1))
             else:
                 # Socket-shared replica: atomics are still required.
-                trace.append(MemoryAccess.atomic(address, self.plan.op, value, think=think))
+                append(
+                    MemoryAccess(
+                        AccessType.ATOMIC_RMW,
+                        address,
+                        op=op,
+                        value=value,
+                        think_instructions=think,
+                        size_bytes=op.word_bytes,
+                    )
+                )
         return trace
 
     # -- reduction phase ---------------------------------------------------------
@@ -135,18 +162,47 @@ class PrivatizedReductionBuilder:
         elements and replicas, and which COUP eliminates.
         """
         trace: Trace = []
+        append = trace.append
         n_elements = self.plan.n_elements
         bounds = [
             (n_elements * i) // n_cores for i in range(n_cores + 1)
         ]
+        if bounds[core_id] == bounds[core_id + 1]:
+            # No elements for this core: allocate nothing (see update_phase).
+            return trace
+        element_bytes = self.plan.element_bytes
+        replica_bases = [
+            self._replica_base(replica) for replica in range(self.plan.n_replicas)
+        ]
+        if self._shared_base is None:
+            self._shared_base = self.addresses.region(f"{self.array_name}_shared")
+        shared_base = self._shared_base
+        load_t = AccessType.LOAD
+        store_t = AccessType.STORE
+        # This loop emits n_replicas * n_elements records — the largest trace
+        # in the repository — so records are filled in via __new__ plus slot
+        # stores, skipping constructor-call overhead (the addresses are
+        # derived from validated bases, so the __init__ checks cannot fire).
+        new = MemoryAccess.__new__
         for element in range(bounds[core_id], bounds[core_id + 1]):
-            for replica in range(self.plan.n_replicas):
-                trace.append(
-                    MemoryAccess.load(self._replica_address(replica, element), think=1)
-                )
-            trace.append(
-                MemoryAccess.store(self._shared_address(element), None, think=1)
-            )
+            offset = element * element_bytes
+            for base in replica_bases:
+                record = new(MemoryAccess)
+                record.access_type = load_t
+                record.address = base + offset
+                record.op = None
+                record.value = None
+                record.think_instructions = 1
+                record.size_bytes = 8
+                append(record)
+            record = new(MemoryAccess)
+            record.access_type = store_t
+            record.address = shared_base + offset
+            record.op = None
+            record.value = None
+            record.think_instructions = 1
+            record.size_bytes = 8
+            append(record)
         return trace
 
 

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.access import AccessType, MemoryAccess, Trace, WorkloadTrace
 
 
 class UpdateStyle(enum.Enum):
@@ -138,6 +138,22 @@ class Workload(abc.ABC):
         if self.update_style is UpdateStyle.REMOTE:
             return MemoryAccess.remote_update(address, op, value, think=think)
         return MemoryAccess.store(address, value, think=think)
+
+    def _update_shape(self, op=None):
+        """(access_type, op, size_bytes) triple :meth:`make_update` would use.
+
+        Trace builders with large inner loops resolve the update shape once
+        via this helper and construct :class:`MemoryAccess` records directly,
+        instead of re-dispatching on the update style per element.
+        """
+        op = op if op is not None else getattr(self, "op", None)
+        if self.update_style is UpdateStyle.ATOMIC:
+            return AccessType.ATOMIC_RMW, op, op.word_bytes
+        if self.update_style is UpdateStyle.COMMUTATIVE:
+            return AccessType.COMMUTATIVE_UPDATE, op, op.word_bytes
+        if self.update_style is UpdateStyle.REMOTE:
+            return AccessType.REMOTE_UPDATE, op, op.word_bytes
+        return AccessType.STORE, None, 8
 
     @staticmethod
     def split_work(n_items: int, n_cores: int) -> List[range]:

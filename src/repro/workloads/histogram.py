@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.commutative import CommutativeOp
-from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.access import AccessType, MemoryAccess, Trace, WorkloadTrace
 from repro.software.privatization import (
     PrivatizationLevel,
     PrivatizedReductionBuilder,
@@ -84,15 +84,37 @@ class HistogramWorkload(Workload):
     def _build(self, n_cores: int) -> WorkloadTrace:
         bins = self._input_bins()
         partitions = self.split_work(self.n_items, n_cores)
+        # Hoisted out of the per-item loop: region bases (touched in the same
+        # first-use order as the loop would) and the update-access shape that
+        # ``make_update`` would resolve per item.
+        input_base = self.addresses.region("hist_input")
+        bin_base = self.addresses.region("hist_bins")
+        load_t = AccessType.LOAD
+        update_t, update_op, update_size = self._update_shape()
+        think_per_item = self.THINK_PER_ITEM
+        bin_bytes = self.bin_bytes
         per_core: List[Trace] = []
         for core_id in range(n_cores):
             trace: Trace = []
+            append = trace.append
             for item in partitions[core_id]:
-                trace.append(
-                    MemoryAccess.load(self._input_address(item), think=self.THINK_PER_ITEM, size=4)
+                append(
+                    MemoryAccess(
+                        load_t,
+                        input_base + item * 4,
+                        think_instructions=think_per_item,
+                        size_bytes=4,
+                    )
                 )
-                trace.append(
-                    self.make_update(self._bin_address(bins[item]), self.op, 1, think=2)
+                append(
+                    MemoryAccess(
+                        update_t,
+                        bin_base + int(bins[item]) * bin_bytes,
+                        op=update_op,
+                        value=1,
+                        think_instructions=2,
+                        size_bytes=update_size,
+                    )
                 )
             per_core.append(trace)
         return WorkloadTrace(
@@ -145,6 +167,9 @@ class HistogramWorkload(Workload):
             plan, self.addresses, array_name="hist_priv", replica_of_core=replica_of_core
         )
 
+        input_base = self.addresses.region("hist_input")
+        load_t = AccessType.LOAD
+        think_per_item = self.THINK_PER_ITEM
         per_core: List[Trace] = []
         update_counts: List[int] = []
         for core_id in range(n_cores):
@@ -152,7 +177,12 @@ class HistogramWorkload(Workload):
             trace: Trace = []
             for item in partitions[core_id]:
                 trace.append(
-                    MemoryAccess.load(self._input_address(item), think=self.THINK_PER_ITEM, size=4)
+                    MemoryAccess(
+                        load_t,
+                        input_base + item * 4,
+                        think_instructions=think_per_item,
+                        size_bytes=4,
+                    )
                 )
                 updates.append((int(bins[item]), 1, 2))
             trace.extend(builder.update_phase(core_id, updates))

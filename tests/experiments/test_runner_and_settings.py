@@ -66,6 +66,63 @@ class TestRunnerCli:
         assert "Table 1" in out
         assert "completed in" in out
 
+    def test_main_accepts_no_argv(self, monkeypatch, capsys):
+        # main's argv parameter is Optional: None must fall back to sys.argv.
+        monkeypatch.setattr("sys.argv", ["runner", "--list"])
+        assert runner_main() == 0
+        assert capsys.readouterr().out
+
+    def test_failing_experiment_propagates_nonzero_exit(self, monkeypatch, capsys):
+        import repro.experiments.runner as runner_module
+
+        monkeypatch.setitem(
+            runner_module.EXPERIMENT_MODULES, "boom", "repro.experiments.does_not_exist"
+        )
+        assert runner_main(["boom"]) == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "boom" in err
+
+    def test_failure_does_not_abort_siblings(self, monkeypatch, capsys):
+        import repro.experiments.runner as runner_module
+
+        monkeypatch.setitem(
+            runner_module.EXPERIMENT_MODULES, "boom", "repro.experiments.does_not_exist"
+        )
+        assert runner_main(["boom", "table1"]) == 1
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out  # the healthy sibling still ran
+
+    def test_results_dir_records(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "records")
+        assert runner_main(["table1", "--results-dir", results_dir]) == 0
+        record_path = tmp_path / "records" / "table1.json"
+        assert record_path.exists()
+        import json
+
+        record = json.loads(record_path.read_text())
+        assert record["experiment_id"] == "table1"
+        assert record["status"] == "ok"
+        assert "Table 1" in record["output"]
+
+    def test_parallel_jobs_run_and_record(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "records")
+        assert (
+            runner_main(["table1", "table2", "--jobs", "2", "--results-dir", results_dir])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert (tmp_path / "records" / "table1.json").exists()
+        assert (tmp_path / "records" / "table2.json").exists()
+
+    def test_seed_is_deterministic_per_experiment(self):
+        from repro.experiments.runner import _experiment_seed
+
+        assert _experiment_seed(0, "figure10") == _experiment_seed(0, "figure10")
+        assert _experiment_seed(0, "figure10") != _experiment_seed(0, "figure12")
+        assert _experiment_seed(0, "figure10") != _experiment_seed(1, "figure10")
+
 
 class TestTableFormatting:
     def test_format_value(self):

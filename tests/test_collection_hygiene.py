@@ -1,0 +1,72 @@
+"""Meta-test: pytest must collect the whole repository without errors.
+
+The seed repository shipped two test modules named ``test_ablations.py`` —
+one under ``tests/experiments`` and one under ``benchmarks`` — which made
+``pytest`` fail at *collection* with an import-file mismatch (rootdir-wide
+runs import both under the module name ``test_ablations``).  This guard runs
+``pytest --collect-only`` over ``tests/`` and ``benchmarks/`` together in a
+subprocess and asserts zero collection errors, so a future basename
+collision (or an import-time crash in any test module) fails fast with a
+clear message instead of breaking tier-1 verification.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_collect_only_reports_no_errors():
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "--collect-only",
+            "-q",
+            "tests",
+            "benchmarks",
+            "-p",
+            "no:cacheprovider",
+            "--deselect",
+            "tests/test_collection_hygiene.py",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    output = result.stdout + result.stderr
+    # Collection errors appear as "ERROR <path>" lines and a nonzero exit;
+    # don't substring-match "error" so a test *named* ...error... stays legal.
+    error_lines = [
+        line for line in output.splitlines() if line.startswith(("ERROR", "ERRORS"))
+    ]
+    assert not error_lines, output
+    assert result.returncode == 0, output
+
+
+def test_no_duplicate_test_basenames_without_packages():
+    """No two test modules may share a basename unless packages disambiguate."""
+    seen = {}
+    for top in ("tests", "benchmarks"):
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(REPO_ROOT, top)):
+            has_init = "__init__.py" in filenames
+            for filename in filenames:
+                if not (filename.startswith("test_") and filename.endswith(".py")):
+                    continue
+                path = os.path.join(dirpath, filename)
+                if filename in seen and not has_init:
+                    previous = seen[filename]
+                    raise AssertionError(
+                        f"duplicate test basename {filename!r}: {previous} and "
+                        f"{path} — rename one, or add __init__.py packages"
+                    )
+                seen.setdefault(filename, path)

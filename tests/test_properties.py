@@ -170,5 +170,5 @@ class TestCacheProperties:
             cache.insert(address)
             assert address in cache
             assert len(cache) <= cache.config.num_lines
-            for cache_set in cache._sets:
+            for cache_set in cache._sets.values():
                 assert len(cache_set) <= cache.config.ways
