@@ -1,0 +1,86 @@
+"""Benchmark: multi-protocol sweep wall-clock with trace reuse on and off.
+
+The sweep engine materializes each workload trace once and shares it across
+protocols; this benchmark times an (MESI, COUP, RMO) sweep over the ``hist``
+benchmark both ways and records the wall-clock trajectory into
+``benchmarks/BENCH_sweep.json`` so the trace-reuse win is tracked across
+revisions.  Results are asserted bit-identical between the two modes — the
+speedup must never come at the cost of fidelity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+
+from conftest import run_once
+
+from repro.experiments import settings
+from repro.experiments.paper_workloads import make_hist
+from repro.sim.config import table1_config
+from repro.sim.simulator import compare_protocols
+from repro.workloads import UpdateStyle
+
+#: Trajectory file recording one entry per benchmark run.
+TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_sweep.json")
+#: Keep the trajectory bounded; old entries age out.
+MAX_TRAJECTORY_ENTRIES = 200
+
+PROTOCOLS = ("MESI", "COUP", "RMO")
+
+
+def _sweep(share_trace: bool):
+    """One multi-protocol sweep over the hist benchmark."""
+    n_cores = min(16, settings.max_cores())
+
+    def factory(n):
+        return make_hist(UpdateStyle.COMMUTATIVE).generate(n)
+
+    return compare_protocols(
+        factory, table1_config(n_cores), protocols=PROTOCOLS, share_trace=share_trace
+    )
+
+
+def _append_trajectory(entry: dict) -> None:
+    trajectory = []
+    if os.path.exists(TRAJECTORY_PATH):
+        try:
+            with open(TRAJECTORY_PATH) as handle:
+                trajectory = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            trajectory = []  # a corrupt trajectory restarts rather than aborts
+    if not isinstance(trajectory, list):
+        trajectory = []
+    trajectory.append(entry)
+    trajectory = trajectory[-MAX_TRAJECTORY_ENTRIES:]
+    with open(TRAJECTORY_PATH, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+
+def test_sweep_trace_reuse(benchmark):
+    """Time the shared-trace sweep; record both modes' wall-clock."""
+    start = time.perf_counter()
+    regenerated = _sweep(share_trace=False)
+    regenerated_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    shared = run_once(benchmark, _sweep, share_trace=True)
+    shared_s = time.perf_counter() - start
+
+    # Sharing must be invisible in the results.
+    assert shared == regenerated
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": settings.scale(),
+        "max_cores": settings.max_cores(),
+        "protocols": list(PROTOCOLS),
+        "shared_trace_s": round(shared_s, 4),
+        "regenerated_trace_s": round(regenerated_s, 4),
+        "trace_reuse_speedup": round(regenerated_s / shared_s, 3) if shared_s > 0 else None,
+    }
+    _append_trajectory(entry)
+    benchmark.extra_info["trace_reuse"] = entry

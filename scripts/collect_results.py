@@ -62,6 +62,50 @@ def collect_runner_records(results_dir: str, *, scale: float, max_cores: int) ->
     return records
 
 
+def collect_point_records(results_dir: str, *, scale: float, max_cores: int) -> dict:
+    """Fold the runner's per-sweep-point JSON records into one dict.
+
+    Point-granularity sweeps (``runner --jobs N``) write one record per
+    (benchmark x core count x protocol) sweep point under
+    ``<results_dir>/points/<experiment>/``.  This folds them into a compact
+    per-experiment digest — point count, failures, cache hits, aggregate
+    simulation time — applying the same guards as
+    :func:`collect_runner_records`: malformed files and records from a
+    different scale/max_cores sweep are skipped.
+    """
+    folded = {}
+    pattern = os.path.join(results_dir, "points", "*", "*.json")
+    for path in sorted(glob.glob(pattern)):
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"skipping unreadable point record {path}: {exc}", file=sys.stderr)
+            continue
+        if not isinstance(record, dict) or "experiment_id" not in record or "point" not in record:
+            continue  # foreign JSON in the directory; not a point record
+        if record.get("scale") != scale or record.get("max_cores") != max_cores:
+            continue  # produced by a sweep at a different scale
+        digest = folded.setdefault(
+            record["experiment_id"],
+            {"n_points": 0, "n_cached": 0, "n_failed": 0, "elapsed_s": 0.0, "points": []},
+        )
+        digest["n_points"] += 1
+        digest["n_cached"] += int(bool(record.get("cached")))
+        digest["n_failed"] += int(record.get("status") != "ok")
+        digest["elapsed_s"] = round(digest["elapsed_s"] + float(record.get("elapsed_s", 0.0)), 3)
+        point = {
+            "point": record["point"],
+            "status": record.get("status"),
+            "cached": bool(record.get("cached")),
+            "elapsed_s": record.get("elapsed_s"),
+        }
+        if "summary" in record:
+            point["summary"] = record["summary"]
+        digest["points"].append(point)
+    return folded
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -93,6 +137,12 @@ def main(argv=None) -> int:
         failed = [r["experiment_id"] for r in runner_records.values() if r.get("status") != "ok"]
         if failed:
             print(f"runner records report failures: {', '.join(failed)}", file=sys.stderr)
+
+    point_records = collect_point_records(
+        args.runner_results_dir, scale=scale, max_cores=max_cores
+    )
+    if point_records:
+        summary["sweep_points"] = point_records
 
     def timed(name, fn, *args, **kwargs):
         start = time.perf_counter()

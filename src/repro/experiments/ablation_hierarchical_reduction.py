@@ -16,13 +16,14 @@ effect in two ways:
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.reduction import flat_reduction_ops, hierarchical_reduction_ops
 from repro.experiments import settings
+from repro.experiments.sweep import FuncPoint, SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.workloads import MultiCounterWorkload, UpdateStyle
 
 
@@ -42,6 +43,59 @@ def analytic_rows(n_cores: int = 128, socket_widths: Sequence[int] = (4, 8, 16, 
     return rows
 
 
+def simulated_sweep_spec(
+    n_cores: Optional[int] = None,
+    socket_widths: Sequence[int] = (4, 8, 16),
+    *,
+    n_counters: int = 16,
+    updates_per_core: Optional[int] = None,
+) -> SweepSpec:
+    """The empirical grid: the same COUP workload per socket width."""
+    n_cores = n_cores if n_cores is not None else min(32, settings.max_cores())
+    updates_per_core = (
+        updates_per_core if updates_per_core is not None else settings.scaled(300)
+    )
+    widths = [width for width in socket_widths if width <= n_cores]
+    # The trace is identical for every socket width (only the machine
+    # changes), so every point shares one materialized trace.
+    workload = WorkloadSpec.plain(
+        partial(
+            MultiCounterWorkload,
+            n_counters=n_counters,
+            updates_per_core=updates_per_core,
+            hot_fraction=0.3,
+            update_style=UpdateStyle.COMMUTATIVE,
+        )
+    )
+    configs = {
+        width: dataclasses.replace(table1_config(n_cores), cores_per_chip=width)
+        for width in widths
+    }
+    # Duplicate socket widths yield duplicate rows but a single point each.
+    points = [
+        SimPoint(f"width{width}", workload, "COUP", n_cores, configs[width])
+        for width in dict.fromkeys(widths)
+    ]
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        rows: List[dict] = []
+        for width in widths:
+            result = results[f"width{width}"]
+            rows.append(
+                {
+                    "n_cores": n_cores,
+                    "cores_per_socket": width,
+                    "n_sockets": configs[width].n_chips,
+                    "run_cycles": result.run_cycles,
+                    "amat": result.amat,
+                    "full_reductions": result.reductions,
+                }
+            )
+        return rows
+
+    return SweepSpec("ablation-hierarchical-simulated", points, build)
+
+
 def simulated_rows(
     n_cores: Optional[int] = None,
     socket_widths: Sequence[int] = (4, 8, 16),
@@ -50,45 +104,38 @@ def simulated_rows(
     updates_per_core: Optional[int] = None,
 ) -> List[dict]:
     """Run the same COUP workload with different socket widths."""
-    n_cores = n_cores if n_cores is not None else min(32, settings.max_cores())
-    updates_per_core = (
-        updates_per_core if updates_per_core is not None else settings.scaled(300)
+    spec = simulated_sweep_spec(
+        n_cores, socket_widths, n_counters=n_counters, updates_per_core=updates_per_core
     )
-    rows: List[dict] = []
-    for width in socket_widths:
-        if width > n_cores:
-            continue
-        config = dataclasses.replace(table1_config(n_cores), cores_per_chip=width)
-        workload = MultiCounterWorkload(
-            n_counters=n_counters,
-            updates_per_core=updates_per_core,
-            hot_fraction=0.3,
-            update_style=UpdateStyle.COMMUTATIVE,
-        )
-        result = simulate(workload.generate(n_cores), config, "COUP", track_values=False)
-        rows.append(
-            {
-                "n_cores": n_cores,
-                "cores_per_socket": width,
-                "n_sockets": config.n_chips,
-                "run_cycles": result.run_cycles,
-                "amat": result.amat,
-                "full_reductions": result.reductions,
-            }
-        )
-    return rows
+    return spec.rows(execute(spec))
+
+
+def sweep_spec(n_cores: Optional[int] = None) -> SweepSpec:
+    """Both halves of the ablation as one grid."""
+    simulated = simulated_sweep_spec(n_cores)
+    analytic = FuncPoint(
+        "analytic",
+        lambda ctx: analytic_rows(),
+        fingerprint_data={"n_cores": 128, "socket_widths": (4, 8, 16, 32)},
+    )
+
+    def build(results: Mapping[str, object]) -> dict:
+        return {
+            "analytic": results["analytic"],
+            "simulated": simulated.rows(results),
+        }
+
+    return SweepSpec("ablation-hierarchical", [analytic, *simulated.points], build)
 
 
 def run(n_cores: Optional[int] = None) -> dict:
     """Run both halves of the ablation."""
-    return {
-        "analytic": analytic_rows(),
-        "simulated": simulated_rows(n_cores),
-    }
+    spec = sweep_spec(n_cores)
+    return spec.rows(execute(spec))
 
 
-def main() -> dict:
-    results = run()
+def render(results: Dict[str, List[dict]]) -> None:
+    """Print the analytic and simulated tables."""
     print_table(
         results["analytic"],
         title="Ablation: critical-path reduction operations, hierarchical vs. flat (Sec. 3.2)",
@@ -98,6 +145,11 @@ def main() -> dict:
         results["simulated"],
         title="Ablation: COUP run time as the socket width (reduction fan-in) varies",
     )
+
+
+def main() -> dict:
+    results = run()
+    render(results)
     return results
 
 

@@ -11,15 +11,74 @@ points of the three hardware schemes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Mapping, Optional, Sequence
 
 from repro.experiments import settings
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.workloads import InterleavedReadUpdateWorkload, UpdateStyle
 
 DEFAULT_UPDATES_PER_READ = (0, 1, 2, 4, 8, 16)
+
+#: (protocol, update style) triple per hardware scheme, in table order.
+_SCHEMES = (
+    ("mesi", "MESI", UpdateStyle.ATOMIC),
+    ("coup", "COUP", UpdateStyle.COMMUTATIVE),
+    ("rmo", "RMO", UpdateStyle.REMOTE),
+)
+
+
+def sweep_spec(
+    updates_per_read_values: Sequence[int] = DEFAULT_UPDATES_PER_READ,
+    *,
+    n_cores: Optional[int] = None,
+    n_elements: int = 16,
+    rounds: Optional[int] = None,
+) -> SweepSpec:
+    """The interleaving grid: three hardware schemes per updates-per-read."""
+    updates_per_read_values = tuple(updates_per_read_values)
+    n_cores = n_cores if n_cores is not None else min(32, settings.max_cores())
+    rounds = rounds if rounds is not None else settings.scaled(60)
+    config = table1_config(n_cores)
+
+    points: List[SimPoint] = []
+    # Duplicate sweep values yield duplicate rows but a single point each.
+    for updates_per_read in dict.fromkeys(updates_per_read_values):
+        for label, protocol, style in _SCHEMES:
+            workload = WorkloadSpec.plain(
+                partial(
+                    InterleavedReadUpdateWorkload,
+                    n_elements=n_elements,
+                    updates_per_read=updates_per_read,
+                    rounds=rounds,
+                    update_style=style,
+                )
+            )
+            points.append(
+                SimPoint(f"u{updates_per_read}/{label}", workload, protocol, n_cores, config)
+            )
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        rows: List[dict] = []
+        for updates_per_read in updates_per_read_values:
+            mesi = results[f"u{updates_per_read}/mesi"]
+            coup = results[f"u{updates_per_read}/coup"]
+            rmo = results[f"u{updates_per_read}/rmo"]
+            rows.append(
+                {
+                    "updates_per_read": updates_per_read,
+                    "mesi_cycles": mesi.run_cycles,
+                    "coup_cycles": coup.run_cycles,
+                    "rmo_cycles": rmo.run_cycles,
+                    "coup_over_mesi": mesi.run_cycles / coup.run_cycles,
+                    "coup_over_rmo": rmo.run_cycles / coup.run_cycles,
+                }
+            )
+        return rows
+
+    return SweepSpec("ablation-interleaving", points, build)
 
 
 def run(
@@ -30,45 +89,14 @@ def run(
     rounds: Optional[int] = None,
 ) -> List[dict]:
     """Run the interleaving sweep and return one row per updates-per-read value."""
-    n_cores = n_cores if n_cores is not None else min(32, settings.max_cores())
-    rounds = rounds if rounds is not None else settings.scaled(60)
-    config = table1_config(n_cores)
-
-    rows: List[dict] = []
-    for updates_per_read in updates_per_read_values:
-        def workload(style: UpdateStyle) -> InterleavedReadUpdateWorkload:
-            return InterleavedReadUpdateWorkload(
-                n_elements=n_elements,
-                updates_per_read=updates_per_read,
-                rounds=rounds,
-                update_style=style,
-            )
-
-        mesi = simulate(
-            workload(UpdateStyle.ATOMIC).generate(n_cores), config, "MESI", track_values=False
-        )
-        coup = simulate(
-            workload(UpdateStyle.COMMUTATIVE).generate(n_cores), config, "COUP", track_values=False
-        )
-        rmo = simulate(
-            workload(UpdateStyle.REMOTE).generate(n_cores), config, "RMO", track_values=False
-        )
-        rows.append(
-            {
-                "updates_per_read": updates_per_read,
-                "mesi_cycles": mesi.run_cycles,
-                "coup_cycles": coup.run_cycles,
-                "rmo_cycles": rmo.run_cycles,
-                "coup_over_mesi": mesi.run_cycles / coup.run_cycles,
-                "coup_over_rmo": rmo.run_cycles / coup.run_cycles,
-            }
-        )
-    return rows
+    spec = sweep_spec(
+        updates_per_read_values, n_cores=n_cores, n_elements=n_elements, rounds=rounds
+    )
+    return spec.rows(execute(spec))
 
 
-def main() -> List[dict]:
-    """Run the ablation and print the crossover table."""
-    rows = run()
+def render(rows: List[dict]) -> None:
+    """Print the crossover table."""
     print_table(
         rows,
         columns=[
@@ -81,6 +109,12 @@ def main() -> List[dict]:
         ],
         title="Ablation: updates per update-only epoch vs. COUP's advantage",
     )
+
+
+def main() -> List[dict]:
+    """Run the ablation and print the crossover table."""
+    rows = run()
+    render(rows)
     return rows
 
 

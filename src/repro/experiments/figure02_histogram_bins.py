@@ -13,12 +13,13 @@ atomics win.  COUP avoids both costs and stays on top across the sweep.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Mapping, Optional, Sequence
 
 from repro.experiments import settings
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.software.privatization import PrivatizationLevel
 from repro.workloads import HistogramWorkload, UpdateStyle
 
@@ -26,6 +27,78 @@ from repro.workloads import HistogramWorkload, UpdateStyle
 #: subset so the sweep finishes in seconds.
 PAPER_BIN_COUNTS = (32, 128, 512, 2048, 8192, 32768)
 DEFAULT_BIN_COUNTS = (32, 256, 2048, 16384)
+
+
+def sweep_spec(
+    bin_counts: Sequence[int] = DEFAULT_BIN_COUNTS,
+    *,
+    n_cores: int = 64,
+    n_items: Optional[int] = None,
+) -> SweepSpec:
+    """The Fig. 2 grid: three schemes per bin count."""
+    n_cores = min(n_cores, settings.max_cores())
+    n_items = n_items if n_items is not None else settings.scaled(24_000)
+    config = table1_config(n_cores)
+    bin_counts = tuple(bin_counts)
+
+    points: List[SimPoint] = []
+    # Duplicate bin counts yield duplicate rows but a single sweep point each.
+    for n_bins in dict.fromkeys(bin_counts):
+        coup_hist = partial(
+            HistogramWorkload,
+            n_bins=n_bins,
+            n_items=n_items,
+            update_style=UpdateStyle.COMMUTATIVE,
+        )
+        atomic_hist = partial(
+            HistogramWorkload,
+            n_bins=n_bins,
+            n_items=n_items,
+            update_style=UpdateStyle.ATOMIC,
+        )
+        points.append(
+            SimPoint(
+                f"bins{n_bins}/coup", WorkloadSpec.plain(coup_hist), "COUP", n_cores, config
+            )
+        )
+        points.append(
+            SimPoint(
+                f"bins{n_bins}/atomics",
+                WorkloadSpec.plain(atomic_hist),
+                "MESI",
+                n_cores,
+                config,
+            )
+        )
+        points.append(
+            SimPoint(
+                f"bins{n_bins}/privatization",
+                WorkloadSpec.privatized(atomic_hist, PrivatizationLevel.CORE),
+                "MESI",
+                n_cores,
+                config,
+            )
+        )
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        rows: List[dict] = []
+        for n_bins in bin_counts:
+            rows.append(
+                {
+                    "n_bins": n_bins,
+                    "coup_cycles": results[f"bins{n_bins}/coup"].run_cycles,
+                    "atomics_cycles": results[f"bins{n_bins}/atomics"].run_cycles,
+                    "privatization_cycles": results[f"bins{n_bins}/privatization"].run_cycles,
+                }
+            )
+        baseline = rows[0]["coup_cycles"]
+        for row in rows:
+            row["coup_rel"] = baseline / row["coup_cycles"]
+            row["atomics_rel"] = baseline / row["atomics_cycles"]
+            row["privatization_rel"] = baseline / row["privatization_cycles"]
+        return rows
+
+    return SweepSpec("figure2", points, build)
 
 
 def run(
@@ -40,46 +113,12 @@ def run(
     relative to COUP at the smallest bin count, which is the paper's
     normalisation.
     """
-    n_cores = min(n_cores, settings.max_cores())
-    n_items = n_items if n_items is not None else settings.scaled(24_000)
-    config = table1_config(n_cores)
-
-    rows: List[dict] = []
-    for n_bins in bin_counts:
-        coup_workload = HistogramWorkload(
-            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.COMMUTATIVE
-        )
-        atomic_workload = HistogramWorkload(
-            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.ATOMIC
-        )
-        privatized = HistogramWorkload(
-            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.ATOMIC
-        ).generate_privatized(n_cores, level=PrivatizationLevel.CORE)
-
-        coup = simulate(coup_workload.generate(n_cores), config, "COUP", track_values=False)
-        atomics = simulate(atomic_workload.generate(n_cores), config, "MESI", track_values=False)
-        privatization = simulate(privatized, config, "MESI", track_values=False)
-
-        rows.append(
-            {
-                "n_bins": n_bins,
-                "coup_cycles": coup.run_cycles,
-                "atomics_cycles": atomics.run_cycles,
-                "privatization_cycles": privatization.run_cycles,
-            }
-        )
-
-    baseline = rows[0]["coup_cycles"]
-    for row in rows:
-        row["coup_rel"] = baseline / row["coup_cycles"]
-        row["atomics_rel"] = baseline / row["atomics_cycles"]
-        row["privatization_rel"] = baseline / row["privatization_cycles"]
-    return rows
+    spec = sweep_spec(bin_counts, n_cores=n_cores, n_items=n_items)
+    return spec.rows(execute(spec))
 
 
-def main() -> List[dict]:
-    """Regenerate Fig. 2 and print it as a table."""
-    rows = run()
+def render(rows: List[dict]) -> None:
+    """Print the Fig. 2 table."""
     print_table(
         rows,
         columns=[
@@ -91,6 +130,12 @@ def main() -> List[dict]:
         title="Figure 2: histogram performance vs. bins (relative to COUP at "
         f"{rows[0]['n_bins']} bins, higher is better)",
     )
+
+
+def main() -> List[dict]:
+    """Regenerate Fig. 2 and print it as a table."""
+    rows = run()
+    render(rows)
     return rows
 
 

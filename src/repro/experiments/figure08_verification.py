@@ -10,12 +10,18 @@ for each (protocol, cores, ops) point it reports the reachable state count,
 transition count, wall-clock time, and whether all invariants held.  Points
 whose state space exceeds the configured budget are reported as incomplete,
 mirroring Murphi runs that exhaust memory.
+
+Each (protocol, cores, ops) verification is one sweep point; a point replayed
+from the persistent cache reports the wall-clock time recorded when it was
+first verified.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import List, Mapping, Sequence
 
+from repro.experiments.sweep import ExecutionContext, FuncPoint, SweepSpec, execute
 from repro.experiments.tables import print_table
 from repro.verification import verify_protocol
 
@@ -26,6 +32,77 @@ DEFAULT_CORE_COUNTS = (1, 2)
 DEFAULT_OP_COUNTS = (1, 2, 4)
 
 
+def _verify_point(
+    ctx: ExecutionContext, *, protocol: str, n_cores: int, n_ops: int, max_states: int
+) -> dict:
+    """Run one exhaustive verification and report it as a row dictionary."""
+    result = verify_protocol(protocol, n_cores, n_ops=n_ops, max_states=max_states)
+    return {
+        "protocol": protocol,
+        "n_cores": n_cores,
+        "n_ops": n_ops if protocol.upper() != "MESI" else 0,
+        "states": result.n_states,
+        "transitions": result.n_transitions,
+        "time_s": result.elapsed_seconds,
+        "verified": result.verified,
+        "completed": result.completed,
+    }
+
+
+def sweep_spec(
+    protocols: Sequence[str] = ("MESI", "MEUSI"),
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    op_counts: Sequence[int] = DEFAULT_OP_COUNTS,
+    *,
+    max_states: int = 300_000,
+) -> SweepSpec:
+    """The verification grid: protocol x cores x commutative op count."""
+    protocols = tuple(protocols)
+    core_counts = tuple(core_counts)
+    op_counts = tuple(op_counts)
+
+    def grid():
+        for protocol in protocols:
+            for n_cores in core_counts:
+                for n_ops in op_counts:
+                    if protocol.upper() == "MESI" and n_ops != op_counts[0]:
+                        # MESI has no commutative updates; its cost is
+                        # independent of the op count, so run it once per
+                        # core count.
+                        continue
+                    yield protocol, n_cores, n_ops
+
+    # Duplicate grid values yield duplicate rows but a single point each.
+    points: List[FuncPoint] = []
+    for protocol, n_cores, n_ops in dict.fromkeys(grid()):
+        points.append(
+            FuncPoint(
+                f"{protocol}/c{n_cores}/ops{n_ops}",
+                partial(
+                    _verify_point,
+                    protocol=protocol,
+                    n_cores=n_cores,
+                    n_ops=n_ops,
+                    max_states=max_states,
+                ),
+                fingerprint_data={
+                    "protocol": protocol,
+                    "n_cores": n_cores,
+                    "n_ops": n_ops,
+                    "max_states": max_states,
+                },
+            )
+        )
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        return [
+            results[f"{protocol}/c{n_cores}/ops{n_ops}"]
+            for protocol, n_cores, n_ops in grid()
+        ]
+
+    return SweepSpec("figure8", points, build)
+
+
 def run(
     protocols: Sequence[str] = ("MESI", "MEUSI"),
     core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
@@ -34,35 +111,12 @@ def run(
     max_states: int = 300_000,
 ) -> List[dict]:
     """Run the verification-cost sweep and return one row per point."""
-    rows: List[dict] = []
-    for protocol in protocols:
-        for n_cores in core_counts:
-            for n_ops in op_counts:
-                if protocol.upper() == "MESI" and n_ops != op_counts[0]:
-                    # MESI has no commutative updates; its cost is independent
-                    # of the op count, so run it once per core count.
-                    continue
-                result = verify_protocol(
-                    protocol, n_cores, n_ops=n_ops, max_states=max_states
-                )
-                rows.append(
-                    {
-                        "protocol": protocol,
-                        "n_cores": n_cores,
-                        "n_ops": n_ops if protocol.upper() != "MESI" else 0,
-                        "states": result.n_states,
-                        "transitions": result.n_transitions,
-                        "time_s": result.elapsed_seconds,
-                        "verified": result.verified,
-                        "completed": result.completed,
-                    }
-                )
-    return rows
+    spec = sweep_spec(protocols, core_counts, op_counts, max_states=max_states)
+    return spec.rows(execute(spec))
 
 
-def main() -> List[dict]:
-    """Regenerate the Fig. 8 style table."""
-    rows = run()
+def render(rows: List[dict]) -> None:
+    """Print the Fig. 8 style table."""
     print_table(
         rows,
         columns=[
@@ -77,6 +131,12 @@ def main() -> List[dict]:
         ],
         title="Figure 8: exhaustive verification cost (state-space size and time)",
     )
+
+
+def main() -> List[dict]:
+    """Regenerate the Fig. 8 style table."""
+    rows = run()
+    render(rows)
     return rows
 
 

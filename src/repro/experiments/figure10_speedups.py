@@ -4,18 +4,77 @@ For each of the five benchmarks, the paper plots the speedup of MESI and COUP
 over the single-core MESI run as the core count grows.  COUP always matches or
 beats MESI, and the gap widens with the core count: at 128 cores it reaches
 2.4x on hist, 34% on spmv, 2.4x on pgrank, 20% on bfs, and 4% on fluidanimate.
+
+The sweep is expressed as a :class:`~repro.experiments.sweep.SweepSpec`: one
+simulation point per (benchmark, core count, protocol).  The 1-core MESI
+point doubles as the normalisation baseline for both curves — the single-core
+count is always part of the sweep, so no separate baseline simulation is run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments import settings
 from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.workloads import UpdateStyle
+
+
+def sweep_spec(
+    benchmarks: Optional[Sequence[str]] = None,
+    core_counts: Optional[Sequence[int]] = None,
+) -> SweepSpec:
+    """The full Fig. 10 grid: benchmark x core count x protocol."""
+    benchmarks = (
+        list(dict.fromkeys(benchmarks)) if benchmarks else list(PAPER_WORKLOAD_FACTORIES)
+    )
+    core_counts = settings.sweep_with_baseline(core_counts)
+
+    points: List[SimPoint] = []
+    for name in benchmarks:
+        if name not in PAPER_WORKLOAD_FACTORIES:
+            raise ValueError(f"unknown benchmark {name!r}")
+        factory = PAPER_WORKLOAD_FACTORIES[name]
+        mesi_workload = WorkloadSpec.plain(partial(factory, UpdateStyle.ATOMIC))
+        coup_workload = WorkloadSpec.plain(partial(factory, UpdateStyle.COMMUTATIVE))
+        # Duplicate core counts are legal in the public API (they produce
+        # duplicate rows, as the pre-engine loops did) but map to one point.
+        for n_cores in dict.fromkeys(core_counts):
+            config = table1_config(n_cores)
+            points.append(
+                SimPoint(f"{name}/c{n_cores}/MESI", mesi_workload, "MESI", n_cores, config)
+            )
+            points.append(
+                SimPoint(f"{name}/c{n_cores}/COUP", coup_workload, "COUP", n_cores, config)
+            )
+
+    def build(results: Mapping[str, object]) -> Dict[str, List[dict]]:
+        out: Dict[str, List[dict]] = {}
+        for name in benchmarks:
+            # The 1-core MESI sweep point is the normalisation baseline for
+            # both curves (1 is always in the sweep).
+            baseline = results[f"{name}/c1/MESI"]
+            rows: List[dict] = []
+            for n_cores in core_counts:
+                mesi = results[f"{name}/c{n_cores}/MESI"]
+                coup = results[f"{name}/c{n_cores}/COUP"]
+                rows.append(
+                    {
+                        "benchmark": name,
+                        "n_cores": n_cores,
+                        "mesi_speedup": baseline.run_cycles / mesi.run_cycles,
+                        "coup_speedup": baseline.run_cycles / coup.run_cycles,
+                        "coup_over_mesi": mesi.run_cycles / coup.run_cycles,
+                    }
+                )
+            out[name] = rows
+        return out
+
+    return SweepSpec("figure10", points, build)
 
 
 def run_benchmark(
@@ -23,34 +82,8 @@ def run_benchmark(
     core_counts: Optional[Sequence[int]] = None,
 ) -> List[dict]:
     """Speedup curve (one row per core count) for one benchmark."""
-    if name not in PAPER_WORKLOAD_FACTORIES:
-        raise ValueError(f"unknown benchmark {name!r}")
-    factory = PAPER_WORKLOAD_FACTORIES[name]
-    core_counts = list(core_counts) if core_counts else settings.core_sweep()
-    if 1 not in core_counts:
-        core_counts = [1] + core_counts
-
-    # Single-core MESI run is the normalisation baseline for both curves.
-    baseline_workload = factory(UpdateStyle.ATOMIC).generate(1)
-    baseline = simulate(baseline_workload, table1_config(1), "MESI", track_values=False)
-
-    rows: List[dict] = []
-    for n_cores in core_counts:
-        config = table1_config(n_cores)
-        mesi_trace = factory(UpdateStyle.ATOMIC).generate(n_cores)
-        coup_trace = factory(UpdateStyle.COMMUTATIVE).generate(n_cores)
-        mesi = simulate(mesi_trace, config, "MESI", track_values=False)
-        coup = simulate(coup_trace, config, "COUP", track_values=False)
-        rows.append(
-            {
-                "benchmark": name,
-                "n_cores": n_cores,
-                "mesi_speedup": baseline.run_cycles / mesi.run_cycles,
-                "coup_speedup": baseline.run_cycles / coup.run_cycles,
-                "coup_over_mesi": mesi.run_cycles / coup.run_cycles,
-            }
-        )
-    return rows
+    spec = sweep_spec([name], core_counts)
+    return spec.rows(execute(spec))[name]
 
 
 def run(
@@ -58,13 +91,12 @@ def run(
     core_counts: Optional[Sequence[int]] = None,
 ) -> Dict[str, List[dict]]:
     """Run the full Fig. 10 sweep: every benchmark, every core count."""
-    benchmarks = list(benchmarks) if benchmarks else list(PAPER_WORKLOAD_FACTORIES)
-    return {name: run_benchmark(name, core_counts) for name in benchmarks}
+    spec = sweep_spec(benchmarks, core_counts)
+    return spec.rows(execute(spec))
 
 
-def main() -> Dict[str, List[dict]]:
-    """Regenerate Fig. 10 and print one table per benchmark."""
-    results = run()
+def render(results: Dict[str, List[dict]]) -> None:
+    """Print one Fig. 10 table per benchmark."""
     for name, rows in results.items():
         print_table(
             rows,
@@ -72,6 +104,12 @@ def main() -> Dict[str, List[dict]]:
             title=f"Figure 10: {name} speedups (relative to 1-core MESI)",
         )
         print()
+
+
+def main() -> Dict[str, List[dict]]:
+    """Regenerate Fig. 10 and print one table per benchmark."""
+    results = run()
+    render(results)
     return results
 
 

@@ -5,53 +5,92 @@ average memory access latency into time spent at the L2, L3, off-chip network,
 L4, coherence invalidations from the L4, and main memory, normalised to COUP's
 AMAT at 8 cores.  COUP's AMAT advantage comes almost entirely from eliminating
 the invalidation/serialization component.
+
+Expressed as a sweep spec: one simulation point per (benchmark, core count,
+protocol), folded into the paper's normalised rows by the spec's builder.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments import settings
 from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.sim.stats import AMAT_COMPONENTS
 from repro.workloads import UpdateStyle
+
+#: Protocols in the order the paper stacks them, with the update style each
+#: one simulates.
+_PROTOCOL_STYLES = (("COUP", UpdateStyle.COMMUTATIVE), ("MESI", UpdateStyle.ATOMIC))
+
+
+def sweep_spec(
+    benchmarks: Optional[Sequence[str]] = None,
+    core_points: Optional[Sequence[int]] = None,
+) -> SweepSpec:
+    """The Fig. 11 grid: benchmark x core point x protocol."""
+    benchmarks = (
+        list(dict.fromkeys(benchmarks)) if benchmarks else list(PAPER_WORKLOAD_FACTORIES)
+    )
+    core_points = list(core_points) if core_points else settings.amat_core_points()
+
+    points: List[SimPoint] = []
+    for name in benchmarks:
+        if name not in PAPER_WORKLOAD_FACTORIES:
+            raise ValueError(f"unknown benchmark {name!r}")
+        factory = PAPER_WORKLOAD_FACTORIES[name]
+        # Duplicate core points yield duplicate rows but a single sweep point.
+        for n_cores in dict.fromkeys(core_points):
+            config = table1_config(n_cores)
+            for protocol, style in _PROTOCOL_STYLES:
+                points.append(
+                    SimPoint(
+                        f"{name}/c{n_cores}/{protocol}",
+                        WorkloadSpec.plain(partial(factory, style)),
+                        protocol,
+                        n_cores,
+                        config,
+                    )
+                )
+
+    def build(results: Mapping[str, object]) -> Dict[str, List[dict]]:
+        out: Dict[str, List[dict]] = {}
+        for name in benchmarks:
+            rows: List[dict] = []
+            normalisation: Optional[float] = None
+            for n_cores in core_points:
+                for protocol, _style in _PROTOCOL_STYLES:
+                    result = results[f"{name}/c{n_cores}/{protocol}"]
+                    row = {
+                        "benchmark": name,
+                        "protocol": protocol,
+                        "n_cores": n_cores,
+                        "amat": result.amat,
+                    }
+                    row.update(result.amat_breakdown())
+                    rows.append(row)
+                    if normalisation is None and protocol == "COUP":
+                        normalisation = result.amat
+            # Normalise to COUP at the smallest core count, as the paper does.
+            normalisation = normalisation or 1.0
+            for row in rows:
+                row["relative_amat"] = row["amat"] / normalisation if normalisation else 0.0
+            out[name] = rows
+        return out
+
+    return SweepSpec("figure11", points, build)
 
 
 def run_benchmark(
     name: str, core_points: Optional[Sequence[int]] = None
 ) -> List[dict]:
     """AMAT breakdown rows for one benchmark (one row per protocol/core count)."""
-    if name not in PAPER_WORKLOAD_FACTORIES:
-        raise ValueError(f"unknown benchmark {name!r}")
-    factory = PAPER_WORKLOAD_FACTORIES[name]
-    core_points = list(core_points) if core_points else settings.amat_core_points()
-
-    rows: List[dict] = []
-    normalisation: Optional[float] = None
-    for n_cores in core_points:
-        config = table1_config(n_cores)
-        for protocol, style in (("COUP", UpdateStyle.COMMUTATIVE), ("MESI", UpdateStyle.ATOMIC)):
-            trace = factory(style).generate(n_cores)
-            result = simulate(trace, config, protocol, track_values=False)
-            breakdown = result.amat_breakdown()
-            row = {
-                "benchmark": name,
-                "protocol": protocol,
-                "n_cores": n_cores,
-                "amat": result.amat,
-            }
-            row.update(breakdown)
-            rows.append(row)
-            if normalisation is None and protocol == "COUP":
-                normalisation = result.amat
-    # Normalise to COUP at the smallest core count, as the paper does.
-    normalisation = normalisation or 1.0
-    for row in rows:
-        row["relative_amat"] = row["amat"] / normalisation if normalisation else 0.0
-    return rows
+    spec = sweep_spec([name], core_points)
+    return spec.rows(execute(spec))[name]
 
 
 def run(
@@ -59,13 +98,12 @@ def run(
     core_points: Optional[Sequence[int]] = None,
 ) -> Dict[str, List[dict]]:
     """Run the full Fig. 11 experiment."""
-    benchmarks = list(benchmarks) if benchmarks else list(PAPER_WORKLOAD_FACTORIES)
-    return {name: run_benchmark(name, core_points) for name in benchmarks}
+    spec = sweep_spec(benchmarks, core_points)
+    return spec.rows(execute(spec))
 
 
-def main() -> Dict[str, List[dict]]:
-    """Regenerate Fig. 11 and print one table per benchmark."""
-    results = run()
+def render(results: Dict[str, List[dict]]) -> None:
+    """Print one Fig. 11 table per benchmark."""
     columns = ["protocol", "n_cores", "relative_amat", *AMAT_COMPONENTS]
     for name, rows in results.items():
         print_table(
@@ -74,6 +112,12 @@ def main() -> Dict[str, List[dict]]:
             title=f"Figure 11: {name} AMAT breakdown (normalised to COUP at the smallest core count)",
         )
         print()
+
+
+def main() -> Dict[str, List[dict]]:
+    """Regenerate Fig. 11 and print one table per benchmark."""
+    results = run()
+    render(results)
     return results
 
 

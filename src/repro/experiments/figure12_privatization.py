@@ -6,16 +6,22 @@ socket-level privatization (one replica per socket, updated with atomics), at
 512 bins and 16K bins, on 1-128 cores.  With few bins, core-level privatization
 amortises its reduction phase well and nearly matches COUP; with many bins the
 reduction phase and cache pressure dominate and COUP wins by 2.5x.
+
+Expressed as a sweep spec: a 1-core MESI baseline point per bin count, plus
+(COUP, core-privatized, socket-privatized) points per core count.  The
+baseline shares its trace with the 1-core COUP point through the engine's
+trace cache.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments import settings
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.software.privatization import PrivatizationLevel
 from repro.workloads import HistogramWorkload, UpdateStyle
 
@@ -23,45 +29,58 @@ from repro.workloads import HistogramWorkload, UpdateStyle
 PAPER_BIN_COUNTS = (512, 16384)
 
 
-def run_bin_count(
-    n_bins: int,
-    core_counts: Optional[Sequence[int]] = None,
-    *,
-    n_items: Optional[int] = None,
-) -> List[dict]:
-    """Speedup rows for one bin count (one row per core count)."""
-    core_counts = list(core_counts) if core_counts else settings.core_sweep()
-    if 1 not in core_counts:
-        core_counts = [1] + core_counts
-    n_items = n_items if n_items is not None else settings.scaled(24_000)
+def _panel_points(
+    n_bins: int, core_counts: Sequence[int], n_items: int
+) -> List[SimPoint]:
+    """Sweep points for one bin count, keys prefixed with the bin count."""
+    hist = partial(
+        HistogramWorkload,
+        n_bins=n_bins,
+        n_items=n_items,
+        update_style=UpdateStyle.COMMUTATIVE,
+    )
+    shared = WorkloadSpec.plain(hist)
 
-    def make_workload() -> HistogramWorkload:
-        return HistogramWorkload(
-            n_bins=n_bins, n_items=n_items, update_style=UpdateStyle.COMMUTATIVE
-        )
-
-    baseline = simulate(make_workload().generate(1), table1_config(1), "MESI", track_values=False)
-
-    rows: List[dict] = []
+    points = [
+        # Single-core MESI run of the plain histogram: the normalisation
+        # baseline for all three schemes.
+        SimPoint(f"bins{n_bins}/c1/baseline", shared, "MESI", 1, table1_config(1))
+    ]
     for n_cores in core_counts:
         config = table1_config(n_cores)
-        coup = simulate(make_workload().generate(n_cores), config, "COUP", track_values=False)
-        core_priv = simulate(
-            make_workload().generate_privatized(n_cores, level=PrivatizationLevel.CORE),
-            config,
-            "MESI",
-            track_values=False,
-        )
-        socket_priv = simulate(
-            make_workload().generate_privatized(
+        points.append(SimPoint(f"bins{n_bins}/c{n_cores}/coup", shared, "COUP", n_cores, config))
+        points.append(
+            SimPoint(
+                f"bins{n_bins}/c{n_cores}/core-priv",
+                WorkloadSpec.privatized(hist, PrivatizationLevel.CORE),
+                "MESI",
                 n_cores,
-                level=PrivatizationLevel.SOCKET,
-                cores_per_socket=config.cores_per_chip,
-            ),
-            config,
-            "MESI",
-            track_values=False,
+                config,
+            )
         )
+        points.append(
+            SimPoint(
+                f"bins{n_bins}/c{n_cores}/socket-priv",
+                WorkloadSpec.privatized(
+                    hist, PrivatizationLevel.SOCKET, cores_per_socket=config.cores_per_chip
+                ),
+                "MESI",
+                n_cores,
+                config,
+            )
+        )
+    return points
+
+
+def _panel_rows(
+    results: Mapping[str, object], n_bins: int, core_counts: Sequence[int]
+) -> List[dict]:
+    baseline = results[f"bins{n_bins}/c1/baseline"]
+    rows: List[dict] = []
+    for n_cores in core_counts:
+        coup = results[f"bins{n_bins}/c{n_cores}/coup"]
+        core_priv = results[f"bins{n_bins}/c{n_cores}/core-priv"]
+        socket_priv = results[f"bins{n_bins}/c{n_cores}/socket-priv"]
         rows.append(
             {
                 "n_bins": n_bins,
@@ -74,17 +93,51 @@ def run_bin_count(
     return rows
 
 
+def sweep_spec(
+    bin_counts: Sequence[int] = PAPER_BIN_COUNTS,
+    core_counts: Optional[Sequence[int]] = None,
+    *,
+    n_items: Optional[int] = None,
+) -> SweepSpec:
+    """Both panels of Fig. 12 as one grid."""
+    bin_counts = tuple(bin_counts)
+    core_counts = settings.sweep_with_baseline(core_counts)
+    n_items = n_items if n_items is not None else settings.scaled(24_000)
+
+    points: List[SimPoint] = []
+    # Duplicate bin counts / core counts yield duplicate rows but one point.
+    deduped_cores = list(dict.fromkeys(core_counts))
+    for n_bins in dict.fromkeys(bin_counts):
+        points.extend(_panel_points(n_bins, deduped_cores, n_items))
+
+    def build(results: Mapping[str, object]) -> Dict[int, List[dict]]:
+        return {n_bins: _panel_rows(results, n_bins, core_counts) for n_bins in bin_counts}
+
+    return SweepSpec("figure12", points, build)
+
+
+def run_bin_count(
+    n_bins: int,
+    core_counts: Optional[Sequence[int]] = None,
+    *,
+    n_items: Optional[int] = None,
+) -> List[dict]:
+    """Speedup rows for one bin count (one row per core count)."""
+    spec = sweep_spec((n_bins,), core_counts, n_items=n_items)
+    return spec.rows(execute(spec))[n_bins]
+
+
 def run(
     bin_counts: Sequence[int] = PAPER_BIN_COUNTS,
     core_counts: Optional[Sequence[int]] = None,
 ) -> Dict[int, List[dict]]:
     """Run both panels of Fig. 12."""
-    return {n_bins: run_bin_count(n_bins, core_counts) for n_bins in bin_counts}
+    spec = sweep_spec(bin_counts, core_counts)
+    return spec.rows(execute(spec))
 
 
-def main() -> Dict[int, List[dict]]:
-    """Regenerate Fig. 12 and print one table per bin count."""
-    results = run()
+def render(results: Dict[int, List[dict]]) -> None:
+    """Print one Fig. 12 table per bin count."""
     for n_bins, rows in results.items():
         print_table(
             rows,
@@ -97,6 +150,12 @@ def main() -> Dict[int, List[dict]]:
             title=f"Figure 12: hist with {n_bins} bins (speedup over 1-core run)",
         )
         print()
+
+
+def main() -> Dict[int, List[dict]]:
+    """Regenerate Fig. 12 and print one table per bin count."""
+    results = run()
+    render(results)
     return results
 
 

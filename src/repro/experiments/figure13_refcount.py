@@ -10,22 +10,170 @@ Three panels:
 * **Fig. 13c** — delayed deallocation: COUP (commutative counters + a modified
   bitmap) vs. Refcache (per-thread delta caches), as the number of updates per
   epoch grows.  COUP wins across the sweep, by up to 2.3x in the paper.
+
+Expressed as a sweep spec: the immediate panels reuse their 1-core XADD sweep
+point as the normalisation baseline (the single-core count is always in the
+sweep), so no separate baseline simulation is run.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from functools import partial
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.experiments import settings
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.workloads import (
     CountMode,
     DelayedRefcountWorkload,
     ImmediateRefcountWorkload,
     RefcountScheme,
 )
+
+#: (row column prefix, refcount scheme, protocol) for the immediate panels.
+_IMMEDIATE_SCHEMES = (
+    ("coup", RefcountScheme.COUP, "COUP"),
+    ("xadd", RefcountScheme.XADD, "MESI"),
+    ("snzi", RefcountScheme.SNZI, "MESI"),
+)
+
+
+def _immediate_grid(
+    prefix: str,
+    count_mode: CountMode,
+    core_counts: Sequence[int],
+    n_counters: int,
+    updates_per_thread: int,
+) -> Tuple[List[SimPoint], dict]:
+    """Points and the per-scheme workload specs for one immediate panel."""
+    workloads = {
+        label: WorkloadSpec.plain(
+            partial(
+                ImmediateRefcountWorkload,
+                n_counters=n_counters,
+                updates_per_thread=updates_per_thread,
+                scheme=scheme,
+                count_mode=count_mode,
+            )
+        )
+        for label, scheme, _protocol in _IMMEDIATE_SCHEMES
+    }
+    points: List[SimPoint] = []
+    # Duplicate core counts yield duplicate rows but a single sweep point.
+    for n_cores in dict.fromkeys(core_counts):
+        config = table1_config(n_cores)
+        for label, _scheme, protocol in _IMMEDIATE_SCHEMES:
+            points.append(
+                SimPoint(
+                    f"{prefix}/c{n_cores}/{label}", workloads[label], protocol, n_cores, config
+                )
+            )
+    return points, workloads
+
+
+def _immediate_rows(
+    results: Mapping[str, object],
+    prefix: str,
+    count_mode: CountMode,
+    core_counts: Sequence[int],
+) -> List[dict]:
+    # The 1-core XADD run (flat atomic counters under MESI) is the paper's
+    # normalisation baseline; it is always part of the sweep.
+    baseline = results[f"{prefix}/c1/xadd"]
+    rows: List[dict] = []
+    for n_cores in core_counts:
+        # Work grows with the number of threads (fixed updates per thread), so
+        # throughput-style speedup = (work scale) * (baseline time / time).
+        row = {"count_mode": count_mode.value, "n_cores": n_cores}
+        for label, _scheme, _protocol in _IMMEDIATE_SCHEMES:
+            result = results[f"{prefix}/c{n_cores}/{label}"]
+            row[f"{label}_speedup"] = n_cores * baseline.run_cycles / result.run_cycles
+        rows.append(row)
+    return rows
+
+
+def immediate_sweep_spec(
+    count_mode: CountMode,
+    core_counts: Optional[Sequence[int]] = None,
+    *,
+    n_counters: int = 1024,
+    updates_per_thread: Optional[int] = None,
+    prefix: str = "immediate",
+) -> SweepSpec:
+    """Fig. 13a (low counts) or Fig. 13b (high counts) as a grid."""
+    core_counts = settings.sweep_with_baseline(core_counts)
+    updates_per_thread = (
+        updates_per_thread if updates_per_thread is not None else settings.scaled(600)
+    )
+    points, _workloads = _immediate_grid(
+        prefix, count_mode, core_counts, n_counters, updates_per_thread
+    )
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        return _immediate_rows(results, prefix, count_mode, core_counts)
+
+    return SweepSpec("figure13-immediate", points, build)
+
+
+def delayed_sweep_spec(
+    updates_per_epoch_values: Sequence[int] = (1, 10, 100, 400),
+    *,
+    n_cores: Optional[int] = None,
+    n_counters: Optional[int] = None,
+    prefix: str = "delayed",
+) -> SweepSpec:
+    """Fig. 13c as a grid: (COUP, Refcache) per updates-per-epoch value."""
+    updates_per_epoch_values = tuple(updates_per_epoch_values)
+    n_cores = n_cores if n_cores is not None else min(settings.max_cores(), 64)
+    n_counters = n_counters if n_counters is not None else settings.scaled(4096)
+    config = table1_config(n_cores)
+
+    points: List[SimPoint] = []
+    n_epochs_of: Dict[int, int] = {}
+    for updates_per_epoch in dict.fromkeys(updates_per_epoch_values):
+        schemes = {
+            "coup": (RefcountScheme.COUP, "COUP"),
+            "refcache": (RefcountScheme.REFCACHE, "MESI"),
+        }
+        for label, (scheme, protocol) in schemes.items():
+            build_workload = partial(
+                DelayedRefcountWorkload,
+                n_counters=n_counters,
+                updates_per_epoch=updates_per_epoch,
+                scheme=scheme,
+            )
+            points.append(
+                SimPoint(
+                    f"{prefix}/u{updates_per_epoch}/{label}",
+                    WorkloadSpec.plain(build_workload),
+                    protocol,
+                    n_cores,
+                    config,
+                )
+            )
+        n_epochs_of[updates_per_epoch] = build_workload().n_epochs
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        rows: List[dict] = []
+        for updates_per_epoch in updates_per_epoch_values:
+            coup = results[f"{prefix}/u{updates_per_epoch}/coup"]
+            refcache = results[f"{prefix}/u{updates_per_epoch}/refcache"]
+            # Performance = updates per kilocycle (higher is better), matching
+            # the paper's throughput-style y-axis.
+            total_updates = updates_per_epoch * n_epochs_of[updates_per_epoch] * n_cores
+            rows.append(
+                {
+                    "updates_per_epoch": updates_per_epoch,
+                    "coup_performance": 1000.0 * total_updates / coup.run_cycles,
+                    "refcache_performance": 1000.0 * total_updates / refcache.run_cycles,
+                    "coup_over_refcache": refcache.run_cycles / coup.run_cycles,
+                }
+            )
+        return rows
+
+    return SweepSpec("figure13-delayed", points, build)
 
 
 def run_immediate(
@@ -36,49 +184,13 @@ def run_immediate(
     updates_per_thread: Optional[int] = None,
 ) -> List[dict]:
     """Fig. 13a (low counts) or Fig. 13b (high counts)."""
-    core_counts = list(core_counts) if core_counts else settings.core_sweep()
-    if 1 not in core_counts:
-        core_counts = [1] + core_counts
-    updates_per_thread = (
-        updates_per_thread if updates_per_thread is not None else settings.scaled(600)
+    spec = immediate_sweep_spec(
+        count_mode,
+        core_counts,
+        n_counters=n_counters,
+        updates_per_thread=updates_per_thread,
     )
-
-    def workload(scheme: RefcountScheme) -> ImmediateRefcountWorkload:
-        return ImmediateRefcountWorkload(
-            n_counters=n_counters,
-            updates_per_thread=updates_per_thread,
-            scheme=scheme,
-            count_mode=count_mode,
-        )
-
-    baseline = simulate(
-        workload(RefcountScheme.XADD).generate(1), table1_config(1), "MESI", track_values=False
-    )
-
-    rows: List[dict] = []
-    for n_cores in core_counts:
-        config = table1_config(n_cores)
-        coup = simulate(
-            workload(RefcountScheme.COUP).generate(n_cores), config, "COUP", track_values=False
-        )
-        xadd = simulate(
-            workload(RefcountScheme.XADD).generate(n_cores), config, "MESI", track_values=False
-        )
-        snzi = simulate(
-            workload(RefcountScheme.SNZI).generate(n_cores), config, "MESI", track_values=False
-        )
-        # Work grows with the number of threads (fixed updates per thread), so
-        # throughput-style speedup = (work scale) * (baseline time / time).
-        rows.append(
-            {
-                "count_mode": count_mode.value,
-                "n_cores": n_cores,
-                "coup_speedup": n_cores * baseline.run_cycles / coup.run_cycles,
-                "xadd_speedup": n_cores * baseline.run_cycles / xadd.run_cycles,
-                "snzi_speedup": n_cores * baseline.run_cycles / snzi.run_cycles,
-            }
-        )
-    return rows
+    return spec.rows(execute(spec))
 
 
 def run_delayed(
@@ -88,52 +200,36 @@ def run_delayed(
     n_counters: Optional[int] = None,
 ) -> List[dict]:
     """Fig. 13c: delayed deallocation, COUP vs. Refcache."""
-    n_cores = n_cores if n_cores is not None else min(settings.max_cores(), 64)
-    n_counters = n_counters if n_counters is not None else settings.scaled(4096)
-    config = table1_config(n_cores)
+    spec = delayed_sweep_spec(
+        updates_per_epoch_values, n_cores=n_cores, n_counters=n_counters
+    )
+    return spec.rows(execute(spec))
 
-    rows: List[dict] = []
-    for updates_per_epoch in updates_per_epoch_values:
-        coup_workload = DelayedRefcountWorkload(
-            n_counters=n_counters,
-            updates_per_epoch=updates_per_epoch,
-            scheme=RefcountScheme.COUP,
-        )
-        refcache_workload = DelayedRefcountWorkload(
-            n_counters=n_counters,
-            updates_per_epoch=updates_per_epoch,
-            scheme=RefcountScheme.REFCACHE,
-        )
-        coup = simulate(coup_workload.generate(n_cores), config, "COUP", track_values=False)
-        refcache = simulate(
-            refcache_workload.generate(n_cores), config, "MESI", track_values=False
-        )
-        # Performance = updates per kilocycle (higher is better), matching the
-        # paper's throughput-style y-axis.
-        total_updates = updates_per_epoch * coup_workload.n_epochs * n_cores
-        rows.append(
-            {
-                "updates_per_epoch": updates_per_epoch,
-                "coup_performance": 1000.0 * total_updates / coup.run_cycles,
-                "refcache_performance": 1000.0 * total_updates / refcache.run_cycles,
-                "coup_over_refcache": refcache.run_cycles / coup.run_cycles,
-            }
-        )
-    return rows
+
+def sweep_spec(core_counts: Optional[Sequence[int]] = None) -> SweepSpec:
+    """All three Fig. 13 panels as one grid (what the runner schedules)."""
+    low = immediate_sweep_spec(CountMode.LOW, core_counts, prefix="low")
+    high = immediate_sweep_spec(CountMode.HIGH, core_counts, prefix="high")
+    delayed = delayed_sweep_spec(prefix="delayed")
+
+    def build(results: Mapping[str, object]) -> Dict[str, List[dict]]:
+        return {
+            "immediate_low": low.rows(results),
+            "immediate_high": high.rows(results),
+            "delayed": delayed.rows(results),
+        }
+
+    return SweepSpec("figure13", [*low.points, *high.points, *delayed.points], build)
 
 
 def run(core_counts: Optional[Sequence[int]] = None) -> Dict[str, List[dict]]:
     """Run all three panels of Fig. 13."""
-    return {
-        "immediate_low": run_immediate(CountMode.LOW, core_counts),
-        "immediate_high": run_immediate(CountMode.HIGH, core_counts),
-        "delayed": run_delayed(),
-    }
+    spec = sweep_spec(core_counts)
+    return spec.rows(execute(spec))
 
 
-def main() -> Dict[str, List[dict]]:
-    """Regenerate Fig. 13 and print one table per panel."""
-    results = run()
+def render(results: Dict[str, List[dict]]) -> None:
+    """Print one table per Fig. 13 panel."""
     print_table(
         results["immediate_low"],
         columns=["n_cores", "coup_speedup", "snzi_speedup", "xadd_speedup"],
@@ -156,6 +252,12 @@ def main() -> Dict[str, List[dict]]:
         ],
         title="Figure 13c: delayed deallocation (updates per kilocycle, higher is better)",
     )
+
+
+def main() -> Dict[str, List[dict]]:
+    """Regenerate Fig. 13 and print one table per panel."""
+    results = run()
+    render(results)
     return results
 
 

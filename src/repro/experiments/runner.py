@@ -5,35 +5,48 @@ Usage::
     python -m repro.experiments.runner                 # run everything
     python -m repro.experiments.runner figure10        # run a single experiment
     python -m repro.experiments.runner --list          # list experiment ids
-    python -m repro.experiments.runner --jobs 4        # run experiments in parallel
+    python -m repro.experiments.runner --jobs 4        # parallel sweep points
+    python -m repro.experiments.runner --jobs 4 --resume   # skip cached points
 
-Experiments are independent of each other, so ``--jobs N`` runs them in
-worker processes.  Each experiment is seeded deterministically from
-``--seed`` and its own id, so results do not depend on the execution order
-or the degree of parallelism; each worker's stdout is captured and replayed
-in submission order so the combined output matches a serial run.
+Every experiment exposes its grid as a declarative sweep spec
+(:mod:`repro.experiments.sweep`), so ``--jobs N`` load-balances *individual
+sweep points* — one (benchmark x core count x protocol) simulation each —
+across worker processes instead of whole experiments.  Each point is seeded
+deterministically from ``--seed``, the experiment id, and the point key, so
+results do not depend on execution order or the degree of parallelism; the
+per-experiment tables are rebuilt from the point results and printed in
+submission order, matching a serial run.
+
+``--cache-dir`` persists every completed point keyed by a content hash of
+(machine config, workload parameters, protocol, seed, scale); ``--resume``
+additionally reuses any matching cached points, so an interrupted or repeated
+sweep only simulates what is missing.
 
 With ``--results-dir`` (implied by ``--jobs``), every experiment writes a
-structured JSON record (id, status, elapsed seconds, captured output) that
-``scripts/collect_results.py`` and CI can consume.
+structured JSON record (id, status, elapsed seconds, captured output), and
+point-granularity sweeps also write one record per sweep point under
+``<results-dir>/points/`` so ``scripts/collect_results.py`` and CI can fold
+them.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import hashlib
 import importlib
 import io
 import json
 import os
 import random
+import re
 import sys
 import time
 import traceback
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.experiments import EXPERIMENT_MODULES, settings
+from repro.experiments import EXPERIMENT_MODULES, settings, sweep
 
 #: Default directory for per-experiment JSON records.
 DEFAULT_RESULTS_DIR = os.path.join("results", "experiments")
@@ -50,6 +63,10 @@ class ExperimentOutcome:
     scale: float
     max_cores: int
     error: Optional[str] = None
+    #: Point-granularity sweeps record how many points ran and how many were
+    #: replayed from the persistent cache (None for whole-experiment runs).
+    n_points: Optional[int] = None
+    cached_points: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -59,6 +76,11 @@ class ExperimentOutcome:
 def _experiment_seed(base_seed: int, experiment_id: str) -> int:
     """Deterministic per-experiment seed, independent of execution order."""
     return random.Random(f"{base_seed}:{experiment_id}").getrandbits(32)
+
+
+def _point_seed(base_seed: int, experiment_id: str, point_key: str) -> int:
+    """Deterministic per-point seed, independent of scheduling."""
+    return random.Random(f"{base_seed}:{experiment_id}:{point_key}").getrandbits(32)
 
 
 def _seed_everything(seed: int) -> None:
@@ -117,7 +139,7 @@ def run_experiment(experiment_id: str, base_seed: int = 0) -> ExperimentOutcome:
 
 
 def _run_captured(args: Tuple[str, int, float, int]) -> Tuple[ExperimentOutcome, str, str]:
-    """Worker entry point: run one experiment with stdout/stderr captured.
+    """Run one whole experiment with stdout/stderr captured.
 
     The parent's scale/max_cores settings travel in ``args`` and are applied
     here: with the ``spawn`` start method a worker re-imports
@@ -134,6 +156,105 @@ def _run_captured(args: Tuple[str, int, float, int]) -> Tuple[ExperimentOutcome,
     return outcome, out.getvalue(), err.getvalue()
 
 
+# ---------------------------------------------------------------------------
+# Point-granularity execution
+# ---------------------------------------------------------------------------
+
+#: Worker-side memo of sweep specs: every worker process rebuilds each
+#: experiment's spec at most once (specs are deterministic given settings,
+#: so a rebuilt spec names exactly the points the parent scheduled).
+_worker_specs: Dict[str, sweep.SweepSpec] = {}
+
+
+def _build_spec(experiment_id: str) -> Optional[sweep.SweepSpec]:
+    """The experiment's sweep spec, or None if it does not expose one."""
+    module = importlib.import_module(EXPERIMENT_MODULES[experiment_id])
+    spec_fn = getattr(module, "sweep_spec", None)
+    return spec_fn() if spec_fn is not None else None
+
+
+def _run_point_task(
+    args: Tuple[str, str, int, float, int, Optional[str], bool]
+) -> Tuple[str, str, str, float, bool, object, str]:
+    """Worker entry point: execute one sweep point.
+
+    Returns ``(experiment_id, point_key, status, elapsed_s, cached,
+    payload, stderr_text)`` where ``payload`` is the point result on
+    success or the formatted traceback on error.
+    """
+    experiment_id, point_key, base_seed, scale, max_cores, cache_dir, resume = args
+    settings.set_scale(scale)
+    settings.set_max_cores(max_cores)
+    cache = sweep.ResultCache(cache_dir, read=resume) if cache_dir else None
+    _seed_everything(_point_seed(base_seed, experiment_id, point_key))
+    err = io.StringIO()
+    start = time.perf_counter()
+    try:
+        with contextlib.redirect_stdout(io.StringIO()), contextlib.redirect_stderr(err):
+            spec = _worker_specs.get(experiment_id)
+            if spec is None:
+                spec = _build_spec(experiment_id)
+                _worker_specs[experiment_id] = spec
+            point = spec.point(point_key)
+            value, cached = sweep.run_point(point, result_cache=cache)
+    except Exception:
+        elapsed = time.perf_counter() - start
+        return (
+            experiment_id,
+            point_key,
+            "error",
+            elapsed,
+            False,
+            traceback.format_exc(),
+            err.getvalue(),
+        )
+    elapsed = time.perf_counter() - start
+    return experiment_id, point_key, "ok", elapsed, cached, value, err.getvalue()
+
+
+def _sanitize_point_key(point_key: str) -> str:
+    """A filesystem-safe, collision-free file stem for a point key."""
+    stem = re.sub(r"[^A-Za-z0-9._-]+", "_", point_key)
+    digest = hashlib.sha1(point_key.encode()).hexdigest()[:8]
+    return f"{stem}-{digest}"
+
+
+def _write_point_record(
+    results_dir: str,
+    experiment_id: str,
+    point_key: str,
+    *,
+    status: str,
+    elapsed_s: float,
+    cached: bool,
+    seed: int,
+    value: object = None,
+    error: Optional[str] = None,
+) -> str:
+    """Write one sweep point's structured JSON record; returns the path."""
+    directory = os.path.join(results_dir, "points", experiment_id)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{_sanitize_point_key(point_key)}.json")
+    record = {
+        "experiment_id": experiment_id,
+        "point": point_key,
+        "status": status,
+        "elapsed_s": elapsed_s,
+        "cached": cached,
+        "seed": seed,
+        "scale": settings.scale(),
+        "max_cores": settings.max_cores(),
+    }
+    if error is not None:
+        record["error"] = error
+    summary = getattr(value, "summary", None)
+    if callable(summary):
+        record["summary"] = summary()
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+    return path
+
+
 def _write_record(results_dir: str, outcome: ExperimentOutcome, output: str) -> str:
     """Write one experiment's structured JSON record; returns the path."""
     os.makedirs(results_dir, exist_ok=True)
@@ -145,35 +266,169 @@ def _write_record(results_dir: str, outcome: ExperimentOutcome, output: str) -> 
     return path
 
 
+def _assemble_experiment(
+    experiment_id: str,
+    spec: sweep.SweepSpec,
+    point_results: Dict[str, object],
+    point_errors: Dict[str, str],
+    elapsed_s: float,
+    cached_points: int,
+    base_seed: int,
+) -> Tuple[ExperimentOutcome, str, str]:
+    """Fold one experiment's point results into its rows and printed table."""
+    seed = _experiment_seed(base_seed, experiment_id)
+    common = dict(
+        experiment_id=experiment_id,
+        seed=seed,
+        scale=settings.scale(),
+        max_cores=settings.max_cores(),
+        n_points=len(spec.points),
+        cached_points=cached_points,
+    )
+    if point_errors:
+        failed = ", ".join(sorted(point_errors))
+        error = f"sweep points failed: {failed}\n" + "\n".join(point_errors.values())
+        err_text = f"[{experiment_id}] FAILED after {elapsed_s:.1f}s\n" + error
+        outcome = ExperimentOutcome(
+            status="error", elapsed_s=elapsed_s, error=error, **common
+        )
+        return outcome, "", err_text
+
+    out = io.StringIO()
+    err = io.StringIO()
+    try:
+        module = importlib.import_module(EXPERIMENT_MODULES[experiment_id])
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            results = spec.rows(point_results)
+            module.render(results)
+            print(f"[{experiment_id}] completed in {elapsed_s:.1f}s\n")
+    except Exception:
+        error = traceback.format_exc()
+        err_text = err.getvalue() + f"[{experiment_id}] FAILED after {elapsed_s:.1f}s\n" + error
+        outcome = ExperimentOutcome(
+            status="error", elapsed_s=elapsed_s, error=error, **common
+        )
+        return outcome, out.getvalue(), err_text
+    outcome = ExperimentOutcome(status="ok", elapsed_s=elapsed_s, **common)
+    return outcome, out.getvalue(), err.getvalue()
+
+
 def run_parallel(
     experiment_ids: List[str],
     jobs: int,
     *,
     base_seed: int = 0,
     results_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[ExperimentOutcome]:
-    """Run experiments in ``jobs`` worker processes, preserving output order."""
+    """Run experiments at sweep-point granularity in ``jobs`` workers.
+
+    Each experiment's grid is expanded into individual sweep points, which
+    are load-balanced across the pool; per-experiment tables are rebuilt
+    from the point results and printed in submission order.  Experiments
+    without a sweep spec fall back to whole-experiment execution in a
+    worker.
+    """
     import multiprocessing
 
-    outcomes: List[ExperimentOutcome] = []
     scale = settings.scale()
     max_cores = settings.max_cores()
-    work = [
-        (experiment_id, base_seed, scale, max_cores)
-        for experiment_id in experiment_ids
-    ]
+
+    specs: Dict[str, Optional[sweep.SweepSpec]] = {}
+    spec_errors: Dict[str, str] = {}
+    for experiment_id in experiment_ids:
+        try:
+            specs[experiment_id] = _build_spec(experiment_id)
+        except Exception:
+            specs[experiment_id] = None
+            spec_errors[experiment_id] = traceback.format_exc()
+
+    point_tasks = []
+    whole_tasks = []
+    for experiment_id in experiment_ids:
+        if experiment_id in spec_errors:
+            continue
+        spec = specs[experiment_id]
+        if spec is None:
+            whole_tasks.append((experiment_id, base_seed, scale, max_cores))
+        else:
+            for point in spec.points:
+                point_tasks.append(
+                    (experiment_id, point.key, base_seed, scale, max_cores, cache_dir, resume)
+                )
+
+    point_results: Dict[str, Dict[str, object]] = {e: {} for e in experiment_ids}
+    point_errors: Dict[str, Dict[str, str]] = {e: {} for e in experiment_ids}
+    point_elapsed: Dict[str, float] = {e: 0.0 for e in experiment_ids}
+    cached_counts: Dict[str, int] = {e: 0 for e in experiment_ids}
+    whole_outcomes: Dict[str, Tuple[ExperimentOutcome, str, str]] = {}
+
     # fork (where available) keeps already-imported modules warm in workers.
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
     with context.Pool(processes=jobs) as pool:
-        for outcome, out, err in pool.imap(_run_captured, work):
-            sys.stdout.write(out)
-            if err:
-                sys.stderr.write(err)
+        async_points = (
+            pool.imap_unordered(_run_point_task, point_tasks) if point_tasks else ()
+        )
+        async_whole = pool.imap(_run_captured, whole_tasks) if whole_tasks else ()
+        for experiment_id, key, status, elapsed, cached, payload, err_text in async_points:
+            point_elapsed[experiment_id] += elapsed
+            cached_counts[experiment_id] += int(cached)
+            if status == "ok":
+                point_results[experiment_id][key] = payload
+            else:
+                point_errors[experiment_id][key] = str(payload)
+            if err_text:
+                sys.stderr.write(err_text)
             if results_dir:
-                _write_record(results_dir, outcome, out)
-            outcomes.append(outcome)
+                _write_point_record(
+                    results_dir,
+                    experiment_id,
+                    key,
+                    status=status,
+                    elapsed_s=elapsed,
+                    cached=cached,
+                    seed=_point_seed(base_seed, experiment_id, key),
+                    value=payload if status == "ok" else None,
+                    error=str(payload) if status != "ok" else None,
+                )
+        for outcome, out, err in async_whole:
+            whole_outcomes[outcome.experiment_id] = (outcome, out, err)
+
+    outcomes: List[ExperimentOutcome] = []
+    for experiment_id in experiment_ids:
+        if experiment_id in spec_errors:
+            error = spec_errors[experiment_id]
+            outcome = ExperimentOutcome(
+                experiment_id=experiment_id,
+                status="error",
+                elapsed_s=0.0,
+                seed=_experiment_seed(base_seed, experiment_id),
+                scale=scale,
+                max_cores=max_cores,
+                error=error,
+            )
+            out, err = "", f"[{experiment_id}] FAILED building sweep spec\n" + error
+        elif specs[experiment_id] is None:
+            outcome, out, err = whole_outcomes[experiment_id]
+        else:
+            outcome, out, err = _assemble_experiment(
+                experiment_id,
+                specs[experiment_id],
+                point_results[experiment_id],
+                point_errors[experiment_id],
+                point_elapsed[experiment_id],
+                cached_counts[experiment_id],
+                base_seed,
+            )
+        sys.stdout.write(out)
+        if err:
+            sys.stderr.write(err)
+        if results_dir:
+            _write_record(results_dir, outcome, out)
+        outcomes.append(outcome)
     return outcomes
 
 
@@ -182,22 +437,34 @@ def run_serial(
     *,
     base_seed: int = 0,
     results_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[ExperimentOutcome]:
-    """Run experiments one after another in this process."""
-    outcomes: List[ExperimentOutcome] = []
-    for experiment_id in experiment_ids:
-        if results_dir:
-            outcome, out, err = _run_captured(
-                (experiment_id, base_seed, settings.scale(), settings.max_cores())
-            )
-            sys.stdout.write(out)
-            if err:
-                sys.stderr.write(err)
-            _write_record(results_dir, outcome, out)
-        else:
-            outcome = run_experiment(experiment_id, base_seed)
-        outcomes.append(outcome)
-    return outcomes
+    """Run experiments one after another in this process.
+
+    With ``resume``, a persistent point cache is installed process-wide so
+    each experiment's ``run()`` skips sweep points that are already cached.
+    """
+    if cache_dir:
+        sweep.set_result_cache(sweep.ResultCache(cache_dir, read=resume))
+    try:
+        outcomes: List[ExperimentOutcome] = []
+        for experiment_id in experiment_ids:
+            if results_dir:
+                outcome, out, err = _run_captured(
+                    (experiment_id, base_seed, settings.scale(), settings.max_cores())
+                )
+                sys.stdout.write(out)
+                if err:
+                    sys.stderr.write(err)
+                _write_record(results_dir, outcome, out)
+            else:
+                outcome = run_experiment(experiment_id, base_seed)
+            outcomes.append(outcome)
+        return outcomes
+    finally:
+        if cache_dir:
+            sweep.set_result_cache(None)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -213,22 +480,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=1,
         metavar="N",
-        help="run experiments in N worker processes (default: 1, serial)",
+        help=(
+            "run in N worker processes, load-balancing individual sweep "
+            "points (default: 1, serial)"
+        ),
     )
     parser.add_argument(
         "--seed",
         type=int,
         default=0,
-        help="base seed; each experiment derives its own deterministic seed",
+        help="base seed; every experiment and sweep point derives its own deterministic seed",
     )
     parser.add_argument(
         "--results-dir",
         default=None,
         metavar="DIR",
         help=(
-            "write one JSON record per experiment into DIR "
+            "write one JSON record per experiment (and per sweep point) into DIR "
             f"(default with --jobs: {DEFAULT_RESULTS_DIR})"
         ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist completed sweep points into DIR, keyed by a content hash "
+            "of (config, workload params, protocol, seed, scale) "
+            f"(default with --resume: {sweep.DEFAULT_CACHE_DIR})"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse sweep points already present in the cache dir, simulating only what is missing",
     )
     args = parser.parse_args(argv)
 
@@ -251,13 +536,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     results_dir = args.results_dir
     if results_dir is None and args.jobs > 1:
         results_dir = DEFAULT_RESULTS_DIR
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = sweep.DEFAULT_CACHE_DIR
 
     if args.jobs > 1:
         outcomes = run_parallel(
-            selected, args.jobs, base_seed=args.seed, results_dir=results_dir
+            selected,
+            args.jobs,
+            base_seed=args.seed,
+            results_dir=results_dir,
+            cache_dir=cache_dir,
+            resume=args.resume,
         )
     else:
-        outcomes = run_serial(selected, base_seed=args.seed, results_dir=results_dir)
+        outcomes = run_serial(
+            selected,
+            base_seed=args.seed,
+            results_dir=results_dir,
+            cache_dir=cache_dir,
+            resume=args.resume,
+        )
 
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if failures:

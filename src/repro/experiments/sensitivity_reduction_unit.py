@@ -5,61 +5,76 @@ default 2-stage pipelined 256-bit unit (one line per 2 cycles) for a simple
 unpipelined 64-bit unit (one line per 16 cycles) degrades performance by at
 most 0.88% in the paper (on bfs at 128 cores).  This experiment runs every
 benchmark under COUP with both reduction units and reports the slowdown.
+
+Expressed as a sweep spec: per benchmark, a fast-ALU and a slow-ALU point
+over the *same* workload spec — the engine's trace cache materializes each
+benchmark trace once and shares it across both machine configurations.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from functools import partial
+from typing import List, Mapping, Optional
 
 from repro.experiments import settings
 from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import ReductionUnitConfig, table1_config
-from repro.sim.simulator import simulate
 from repro.workloads import UpdateStyle
 
 
-def run(n_cores: Optional[int] = None) -> List[dict]:
-    """Compare fast and slow reduction units under COUP for every benchmark."""
+def sweep_spec(n_cores: Optional[int] = None) -> SweepSpec:
+    """The sensitivity grid: (fast ALU, slow ALU) per benchmark under COUP."""
     n_cores = n_cores if n_cores is not None else settings.max_cores()
     fast_config = table1_config(n_cores, reduction_unit=ReductionUnitConfig.fast())
     slow_config = table1_config(n_cores, reduction_unit=ReductionUnitConfig.slow())
 
-    rows: List[dict] = []
+    points: List[SimPoint] = []
     for name, factory in PAPER_WORKLOAD_FACTORIES.items():
-        fast = simulate(
-            factory(UpdateStyle.COMMUTATIVE).generate(n_cores),
-            fast_config,
-            "COUP",
-            track_values=False,
-        )
-        slow = simulate(
-            factory(UpdateStyle.COMMUTATIVE).generate(n_cores),
-            slow_config,
-            "COUP",
-            track_values=False,
-        )
-        degradation = slow.run_cycles / fast.run_cycles - 1.0
-        rows.append(
-            {
-                "benchmark": name,
-                "n_cores": n_cores,
-                "fast_alu_cycles": fast.run_cycles,
-                "slow_alu_cycles": slow.run_cycles,
-                "degradation_pct": 100.0 * degradation,
-            }
-        )
-    return rows
+        workload = WorkloadSpec.plain(partial(factory, UpdateStyle.COMMUTATIVE))
+        points.append(SimPoint(f"{name}/fast", workload, "COUP", n_cores, fast_config))
+        points.append(SimPoint(f"{name}/slow", workload, "COUP", n_cores, slow_config))
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        rows: List[dict] = []
+        for name in PAPER_WORKLOAD_FACTORIES:
+            fast = results[f"{name}/fast"]
+            slow = results[f"{name}/slow"]
+            degradation = slow.run_cycles / fast.run_cycles - 1.0
+            rows.append(
+                {
+                    "benchmark": name,
+                    "n_cores": n_cores,
+                    "fast_alu_cycles": fast.run_cycles,
+                    "slow_alu_cycles": slow.run_cycles,
+                    "degradation_pct": 100.0 * degradation,
+                }
+            )
+        return rows
+
+    return SweepSpec("sensitivity", points, build)
 
 
-def main() -> List[dict]:
-    """Regenerate the Sec. 5.5 sensitivity study."""
-    rows = run()
+def run(n_cores: Optional[int] = None) -> List[dict]:
+    """Compare fast and slow reduction units under COUP for every benchmark."""
+    spec = sweep_spec(n_cores)
+    return spec.rows(execute(spec))
+
+
+def render(rows: List[dict]) -> None:
+    """Print the Sec. 5.5 sensitivity table."""
     print_table(
         rows,
         columns=["benchmark", "n_cores", "fast_alu_cycles", "slow_alu_cycles", "degradation_pct"],
         title="Sec. 5.5: sensitivity to reduction-unit throughput (COUP, slow vs. fast ALU)",
     )
+
+
+def main() -> List[dict]:
+    """Regenerate the Sec. 5.5 sensitivity study."""
+    rows = run()
+    render(rows)
     return rows
 
 

@@ -17,7 +17,7 @@ Both can be set as environment variables or overridden programmatically via
 from __future__ import annotations
 
 import os
-from typing import List
+from typing import List, Sequence
 
 _DEFAULT_SCALE = 1.0
 _DEFAULT_MAX_CORES = 64
@@ -56,7 +56,7 @@ def set_max_cores(value: int) -> None:
     _max_cores = value
 
 
-def core_sweep(paper_points: List[int] = (1, 32, 64, 96, 128)) -> List[int]:
+def core_sweep(paper_points: Sequence[int] = (1, 32, 64, 96, 128)) -> List[int]:
     """The paper's core-count sweep, capped at :func:`max_cores`.
 
     The cap always keeps at least the single-core baseline and one multi-core
@@ -71,7 +71,21 @@ def core_sweep(paper_points: List[int] = (1, 32, 64, 96, 128)) -> List[int]:
     return points
 
 
-def amat_core_points(paper_points: List[int] = (8, 32, 128)) -> List[int]:
+def sweep_with_baseline(core_counts: "Sequence[int] | None" = None) -> List[int]:
+    """The given core counts (default :func:`core_sweep`) with the 1-core
+    baseline always present.
+
+    The speedup figures (10, 12, 13) normalise to the single-core run, and
+    their sweep specs reuse the 1-core point as that baseline — so the
+    single-core count must always be part of the sweep.
+    """
+    points = list(core_counts) if core_counts else core_sweep()
+    if 1 not in points:
+        points = [1] + points
+    return points
+
+
+def amat_core_points(paper_points: Sequence[int] = (8, 32, 128)) -> List[int]:
     """Core counts used by the Fig. 11 AMAT breakdown, capped like the sweep."""
     cap = max_cores()
     points = [p for p in paper_points if p <= cap]

@@ -1,0 +1,455 @@
+"""Declarative sweep engine for the experiment layer.
+
+Every figure and table in the paper is a sweep over the same grid —
+benchmark x update style x protocol x core count — and before this module
+each experiment hand-rolled its own nested loops.  The engine factors that
+structure out:
+
+* A :class:`SweepSpec` names an experiment's grid as an ordered list of
+  *sweep points* plus a ``build`` function that folds the per-point results
+  back into the experiment's row dictionaries.  Experiment modules expose
+  ``sweep_spec()`` so the runner can schedule individual points.
+* A :class:`SimPoint` is one simulation (workload spec x protocol x core
+  count x machine config).  A :class:`FuncPoint` wraps anything else (the
+  verification sweep, configuration tables) behind the same interface.
+* Workload traces are materialized once per (workload parameters, update
+  style, generation variant, core count, seed) and shared across every
+  point that needs them — most importantly across protocols and across the
+  fast/slow machine configurations of the sensitivity study — through a
+  bounded per-process :class:`TraceCache`.  Sharing is safe because trace
+  generation is deterministic and the simulator never mutates a trace; the
+  equivalence suite pins that results are bit-identical to per-protocol
+  regeneration.
+* Completed points can be persisted in a :class:`ResultCache` keyed by a
+  content hash of (machine config, workload parameters, protocol, seed,
+  scale), which is what ``runner --resume`` uses to skip finished work.
+
+The engine never changes *what* is simulated, only how the simulations are
+named, scheduled, shared, and cached.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from functools import partial
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.experiments import settings
+from repro.sim.access import WorkloadTrace
+from repro.sim.config import SystemConfig
+from repro.sim.simulator import MulticoreSimulator, make_protocol
+from repro.sim.stats import SimulationResult
+from repro.software.privatization import PrivatizationLevel
+from repro.workloads.base import Workload
+
+#: Bumped whenever a change invalidates previously cached point results.
+ENGINE_VERSION = 1
+
+#: Default location of the persistent point cache, relative to the cwd (the
+#: same convention the runner uses for ``results/experiments``).
+DEFAULT_CACHE_DIR = os.path.join("results", "sweep-cache")
+
+
+# ---------------------------------------------------------------------------
+# Workload specs and the shared trace cache
+# ---------------------------------------------------------------------------
+
+
+class WorkloadSpec:
+    """A workload factory plus the generation variant to materialize.
+
+    ``build`` returns a *fresh* :class:`Workload` instance; the spec derives
+    a stable trace key from that instance's parameters (see
+    :meth:`Workload.trace_key`) so identical traces are generated only once
+    per process and shared across protocols and machine configurations.
+    """
+
+    __slots__ = ("build", "variant", "_materialize")
+
+    def __init__(
+        self,
+        build: Callable[[], Workload],
+        *,
+        variant: Tuple = ("plain",),
+        materialize: Optional[Callable[[Workload, int], WorkloadTrace]] = None,
+    ) -> None:
+        self.build = build
+        self.variant = tuple(variant)
+        self._materialize = materialize
+
+    @classmethod
+    def plain(cls, build: Callable[[], Workload]) -> "WorkloadSpec":
+        """The ordinary ``workload.generate(n_cores)`` trace."""
+        return cls(build)
+
+    @classmethod
+    def privatized(
+        cls,
+        build: Callable[[], Workload],
+        level: PrivatizationLevel,
+        cores_per_socket: int = 16,
+    ) -> "WorkloadSpec":
+        """A software-privatized variant (``generate_privatized``)."""
+        return cls(
+            build,
+            variant=("privatized", level.value, cores_per_socket),
+            materialize=partial(
+                _materialize_privatized, level=level, cores_per_socket=cores_per_socket
+            ),
+        )
+
+    def key(self, n_cores: int) -> Tuple:
+        """Hashable identity of the trace :meth:`materialize` would produce."""
+        return (self.build().trace_key(), self.variant, n_cores)
+
+    def materialize(self, n_cores: int) -> WorkloadTrace:
+        """Generate the trace from a fresh workload instance."""
+        workload = self.build()
+        if self._materialize is None:
+            return workload.generate(n_cores)
+        return self._materialize(workload, n_cores)
+
+
+def _materialize_privatized(
+    workload: Workload, n_cores: int, *, level: PrivatizationLevel, cores_per_socket: int
+) -> WorkloadTrace:
+    return workload.generate_privatized(
+        n_cores, level=level, cores_per_socket=cores_per_socket
+    )
+
+
+class TraceCache:
+    """Bounded LRU cache of materialized workload traces.
+
+    One trace can serve many sweep points (the MESI and COUP runs of a
+    ``compare_protocols``-style sweep, the fast- and slow-ALU runs of the
+    sensitivity study, a 1-core baseline shared between experiments), so the
+    cache is keyed by the full workload identity and bounded by trace count —
+    traces are the memory hog, not the results.
+    """
+
+    def __init__(self, max_traces: int = 8) -> None:
+        if max_traces <= 0:
+            raise ValueError("max_traces must be positive")
+        self.max_traces = max_traces
+        self._traces: "OrderedDict[Tuple, WorkloadTrace]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, spec: WorkloadSpec, n_cores: int) -> WorkloadTrace:
+        key = spec.key(n_cores)
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._traces.move_to_end(key)
+            self.hits += 1
+            return trace
+        self.misses += 1
+        trace = spec.materialize(n_cores)
+        self._traces[key] = trace
+        while len(self._traces) > self.max_traces:
+            self._traces.popitem(last=False)
+        return trace
+
+    def clear(self) -> None:
+        self._traces.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+
+#: Process-wide trace cache: shares traces across experiments in a serial
+#: sweep and across the points a parallel worker happens to execute.
+_shared_trace_cache = TraceCache()
+
+
+def shared_trace_cache() -> TraceCache:
+    """The process-wide trace cache used when no explicit cache is passed."""
+    return _shared_trace_cache
+
+
+class ExecutionContext:
+    """What a sweep point may use while executing: the shared trace cache."""
+
+    __slots__ = ("traces",)
+
+    def __init__(self, traces: Optional[TraceCache] = None) -> None:
+        self.traces = traces if traces is not None else _shared_trace_cache
+
+    def trace(self, spec: WorkloadSpec, n_cores: int) -> WorkloadTrace:
+        return self.traces.get(spec, n_cores)
+
+
+# ---------------------------------------------------------------------------
+# Sweep points
+# ---------------------------------------------------------------------------
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively convert a fingerprint component to JSON-native types."""
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.value]
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return value
+
+
+@dataclasses.dataclass(frozen=True)
+class SimPoint:
+    """One simulation: workload trace x protocol x core count x machine."""
+
+    key: str
+    workload: WorkloadSpec
+    protocol: str
+    n_cores: int
+    config: SystemConfig
+    track_values: bool = False
+
+    def fingerprint(self) -> Optional[dict]:
+        """Content identity of this point for the persistent result cache."""
+        return {
+            "kind": "sim",
+            "engine": ENGINE_VERSION,
+            "workload": _jsonable(self.workload.key(self.n_cores)),
+            "protocol": self.protocol,
+            "n_cores": self.n_cores,
+            "config": _jsonable(dataclasses.asdict(self.config)),
+            "track_values": self.track_values,
+            "scale": settings.scale(),
+        }
+
+    def execute(self, ctx: ExecutionContext) -> SimulationResult:
+        trace = ctx.trace(self.workload, self.n_cores)
+        engine = make_protocol(self.protocol, self.config, track_values=self.track_values)
+        simulator = MulticoreSimulator(self.config, engine, track_values=self.track_values)
+        return simulator.run(trace)
+
+
+@dataclasses.dataclass(frozen=True)
+class FuncPoint:
+    """A non-simulation sweep point (verification runs, config tables).
+
+    ``fn`` receives the :class:`ExecutionContext` so it can share cached
+    traces, and must return JSON-serializable data (row dictionaries) for
+    the point to be cacheable.  ``fingerprint_data`` identifies the point's
+    inputs; ``None`` marks the point as never cached.
+    """
+
+    key: str
+    fn: Callable[[ExecutionContext], Any]
+    fingerprint_data: Optional[Mapping[str, Any]] = None
+
+    def fingerprint(self) -> Optional[dict]:
+        if self.fingerprint_data is None:
+            return None
+        return {
+            "kind": "func",
+            "engine": ENGINE_VERSION,
+            "key": self.key,
+            "data": _jsonable(dict(self.fingerprint_data)),
+            "scale": settings.scale(),
+        }
+
+    def execute(self, ctx: ExecutionContext) -> Any:
+        return self.fn(ctx)
+
+
+SweepPoint = Union[SimPoint, FuncPoint]
+
+
+# ---------------------------------------------------------------------------
+# Specs
+# ---------------------------------------------------------------------------
+
+
+class SweepSpec:
+    """An experiment as an ordered grid of sweep points plus a row builder.
+
+    ``build`` maps ``{point key: point result}`` to whatever the experiment's
+    public ``run(...)`` returns; it must not simulate anything itself, so the
+    runner can execute points anywhere (other processes, the cache) and still
+    reproduce the experiment's rows and printed tables exactly.
+    """
+
+    def __init__(
+        self,
+        experiment_id: str,
+        points: Sequence[SweepPoint],
+        build: Callable[[Mapping[str, Any]], Any],
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.points: List[SweepPoint] = list(points)
+        self._by_key: Dict[str, SweepPoint] = {}
+        for point in self.points:
+            if point.key in self._by_key:
+                raise ValueError(
+                    f"duplicate sweep point key {point.key!r} in {experiment_id}"
+                )
+            self._by_key[point.key] = point
+        self.build = build
+
+    @property
+    def point_keys(self) -> List[str]:
+        return [point.key for point in self.points]
+
+    def point(self, key: str) -> SweepPoint:
+        return self._by_key[key]
+
+    def rows(self, results: Mapping[str, Any]) -> Any:
+        """Fold per-point results into the experiment's ``run()`` value."""
+        return self.build(results)
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache (--resume)
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Content-addressed store of completed sweep-point results.
+
+    Each completed point is written to ``<root>/<hash>.json`` where the hash
+    covers the point's full fingerprint — machine config, workload
+    parameters (including the workload seed), protocol, core count, and the
+    harness scale — so a cache entry can never be replayed against a
+    different sweep.  Loads verify the stored fingerprint before trusting a
+    file.  Results round-trip bit-identically (JSON preserves ints exactly
+    and floats via shortest-repr).
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR, *, read: bool = True) -> None:
+        self.root = root
+        #: When False the cache is write-only: completed points are persisted
+        #: for a later ``--resume`` sweep, but nothing is replayed.
+        self.read = read
+        self.stores = 0
+        self.loads = 0
+
+    @staticmethod
+    def digest(fingerprint: Mapping[str, Any]) -> str:
+        canonical = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _path(self, fingerprint: Mapping[str, Any]) -> str:
+        return os.path.join(self.root, f"{self.digest(fingerprint)}.json")
+
+    def load(self, point: SweepPoint) -> Tuple[bool, Any]:
+        """Return ``(hit, value)``; a miss is ``(False, None)``."""
+        if not self.read:
+            return False, None
+        fingerprint = point.fingerprint()
+        if fingerprint is None:
+            return False, None
+        path = self._path(fingerprint)
+        try:
+            with open(path) as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return False, None
+        if record.get("fingerprint") != fingerprint:
+            return False, None  # hash collision or stale format: recompute
+        value = record.get("value")
+        if record.get("kind") == "sim":
+            try:
+                value = SimulationResult.from_jsonable(value)
+            except (KeyError, TypeError):
+                return False, None
+        self.loads += 1
+        return True, value
+
+    def store(self, point: SweepPoint, value: Any) -> bool:
+        """Persist one completed point; returns False if not cacheable."""
+        fingerprint = point.fingerprint()
+        if fingerprint is None:
+            return False
+        if isinstance(value, SimulationResult):
+            record = {"kind": "sim", "fingerprint": fingerprint, "value": value.to_jsonable()}
+        else:
+            record = {"kind": "func", "fingerprint": fingerprint, "value": value}
+        # The cache is purely an optimization: a non-JSON-serializable result
+        # or an I/O failure (read-only or full cache dir) skips caching
+        # rather than failing a point whose simulation already succeeded.
+        tmp_path = None
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            path = self._path(fingerprint)
+            fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle)
+            os.replace(tmp_path, path)  # atomic: concurrent workers write identical content
+        except (TypeError, OSError):
+            if tmp_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_path)
+            return False
+        self.stores += 1
+        return True
+
+
+#: Result cache consulted by :func:`run_point` when none is passed
+#: explicitly; the runner installs one per process for --resume sweeps.
+_active_result_cache: Optional[ResultCache] = None
+
+
+def set_result_cache(cache: Optional[ResultCache]) -> None:
+    """Install (or clear) the process-wide persistent point cache."""
+    global _active_result_cache
+    _active_result_cache = cache
+
+
+def active_result_cache() -> Optional[ResultCache]:
+    return _active_result_cache
+
+
+# ---------------------------------------------------------------------------
+# Execution
+# ---------------------------------------------------------------------------
+
+
+def run_point(
+    point: SweepPoint,
+    *,
+    ctx: Optional[ExecutionContext] = None,
+    result_cache: Optional[ResultCache] = None,
+) -> Tuple[Any, bool]:
+    """Execute one sweep point; returns ``(value, came_from_cache)``."""
+    cache = result_cache if result_cache is not None else _active_result_cache
+    if cache is not None:
+        hit, value = cache.load(point)
+        if hit:
+            return value, True
+    if ctx is None:
+        ctx = ExecutionContext()
+    value = point.execute(ctx)
+    if cache is not None:
+        cache.store(point, value)
+    return value, False
+
+
+def execute(
+    spec: SweepSpec,
+    *,
+    trace_cache: Optional[TraceCache] = None,
+    result_cache: Optional[ResultCache] = None,
+) -> Dict[str, Any]:
+    """Run every point of a spec in order; returns ``{point key: result}``.
+
+    This is the serial engine behind each experiment's ``run(...)``; the
+    runner's ``--jobs N`` mode instead schedules the same points across
+    worker processes and folds the results with :meth:`SweepSpec.rows`.
+    """
+    ctx = ExecutionContext(trace_cache)
+    results: Dict[str, Any] = {}
+    for point in spec.points:
+        results[point.key], _ = run_point(point, ctx=ctx, result_cache=result_cache)
+    return results

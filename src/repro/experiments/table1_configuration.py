@@ -8,8 +8,10 @@ side and checked by tests.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List
 
+from repro.experiments.sweep import FuncPoint, SweepSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import SystemConfig, table1_config
 
@@ -67,14 +69,31 @@ def rows_for(config: SystemConfig) -> List[dict]:
     ]
 
 
+def sweep_spec(n_cores: int = 128) -> SweepSpec:
+    """A single descriptive point: the Table 1 machine's parameters."""
+    config = table1_config(n_cores)
+    point = FuncPoint(
+        "config",
+        lambda ctx: rows_for(config),
+        fingerprint_data={"config": dataclasses.asdict(config)},
+    )
+    return SweepSpec("table1", [point], lambda results: results["config"])
+
+
 def run(n_cores: int = 128) -> List[dict]:
     """Build the Table 1 rows for the reproduction's machine."""
-    return rows_for(table1_config(n_cores))
+    spec = sweep_spec(n_cores)
+    return spec.rows(execute(spec))
+
+
+def render(rows: List[dict]) -> None:
+    """Print the Table 1 rows."""
+    print_table(rows, columns=["parameter", "value"], title="Table 1: simulated system configuration")
 
 
 def main() -> List[dict]:
     rows = run()
-    print_table(rows, columns=["parameter", "value"], title="Table 1: simulated system configuration")
+    render(rows)
     return rows
 
 

@@ -6,43 +6,83 @@ analogous quantities for the reproduction's scaled workloads: the commutative
 operation, trace sizes, the fraction of instructions that are commutative
 updates (quoted in Sec. 5.2), and the single-core MESI run time in simulated
 megacycles.
+
+Expressed as a sweep spec: per benchmark, one static-statistics point and one
+sequential simulation point.  Both share the single materialized 1-core trace
+through the engine's trace cache.
 """
 
 from __future__ import annotations
 
-from typing import List
+from functools import partial
+from typing import List, Mapping
 
 from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
+from repro.experiments.sweep import (
+    ExecutionContext,
+    FuncPoint,
+    SimPoint,
+    SweepSpec,
+    WorkloadSpec,
+    execute,
+)
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.workloads import UpdateStyle
+
+
+def _static_stats(ctx: ExecutionContext, factory, workload_spec: WorkloadSpec) -> dict:
+    """Static trace characteristics as a JSON-serializable dict."""
+    workload = factory(UpdateStyle.COMMUTATIVE)
+    stats = workload.stats(1, trace=ctx.trace(workload_spec, 1))
+    return {
+        "comm_ops": stats.comm_op,
+        "accesses": stats.total_accesses,
+        "instructions": stats.total_instructions,
+        "comm_op_fraction": stats.comm_op_fraction,
+    }
+
+
+def sweep_spec() -> SweepSpec:
+    """One statistics point and one 1-core MESI simulation per benchmark."""
+    config = table1_config(1)
+    points: List = []
+    for name, factory in PAPER_WORKLOAD_FACTORIES.items():
+        workload_spec = WorkloadSpec.plain(partial(factory, UpdateStyle.COMMUTATIVE))
+        points.append(
+            FuncPoint(
+                f"{name}/stats",
+                partial(_static_stats, factory=factory, workload_spec=workload_spec),
+                fingerprint_data={"stats_of": list(workload_spec.key(1))},
+            )
+        )
+        points.append(SimPoint(f"{name}/seq", workload_spec, "MESI", 1, config))
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        rows: List[dict] = []
+        for name in PAPER_WORKLOAD_FACTORIES:
+            stats = results[f"{name}/stats"]
+            sequential = results[f"{name}/seq"]
+            rows.append(
+                {
+                    "benchmark": name,
+                    **stats,
+                    "seq_run_kcycles": sequential.run_cycles / 1000.0,
+                }
+            )
+        return rows
+
+    return SweepSpec("table2", points, build)
 
 
 def run() -> List[dict]:
     """Build one row per benchmark."""
-    rows: List[dict] = []
-    config = table1_config(1)
-    for name, factory in PAPER_WORKLOAD_FACTORIES.items():
-        workload = factory(UpdateStyle.COMMUTATIVE)
-        stats = workload.stats(1)
-        sequential = simulate(workload.generate(1), config, "MESI", track_values=False)
-        rows.append(
-            {
-                "benchmark": name,
-                "comm_ops": workload.comm_op_label,
-                "accesses": stats.total_accesses,
-                "instructions": stats.total_instructions,
-                "comm_op_fraction": stats.comm_op_fraction,
-                "seq_run_kcycles": sequential.run_cycles / 1000.0,
-            }
-        )
-    return rows
+    spec = sweep_spec()
+    return spec.rows(execute(spec))
 
 
-def main() -> List[dict]:
-    """Regenerate Table 2 for the scaled workloads."""
-    rows = run()
+def render(rows: List[dict]) -> None:
+    """Print the Table 2 rows."""
     print_table(
         rows,
         columns=[
@@ -55,6 +95,12 @@ def main() -> List[dict]:
         ],
         title="Table 2: benchmark characteristics (scaled inputs)",
     )
+
+
+def main() -> List[dict]:
+    """Regenerate Table 2 for the scaled workloads."""
+    rows = run()
+    render(rows)
     return rows
 
 

@@ -8,48 +8,72 @@ count and reports the reduction factor per benchmark.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from functools import partial
+from typing import List, Mapping, Optional
 
 from repro.experiments import settings
 from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
+from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
 from repro.sim.config import table1_config
-from repro.sim.simulator import simulate
 from repro.workloads import UpdateStyle
+
+
+def sweep_spec(n_cores: Optional[int] = None) -> SweepSpec:
+    """The traffic grid: (MESI on atomics, COUP on updates) per benchmark."""
+    n_cores = n_cores if n_cores is not None else settings.max_cores()
+    config = table1_config(n_cores)
+
+    points: List[SimPoint] = []
+    for name, factory in PAPER_WORKLOAD_FACTORIES.items():
+        points.append(
+            SimPoint(
+                f"{name}/MESI",
+                WorkloadSpec.plain(partial(factory, UpdateStyle.ATOMIC)),
+                "MESI",
+                n_cores,
+                config,
+            )
+        )
+        points.append(
+            SimPoint(
+                f"{name}/COUP",
+                WorkloadSpec.plain(partial(factory, UpdateStyle.COMMUTATIVE)),
+                "COUP",
+                n_cores,
+                config,
+            )
+        )
+
+    def build(results: Mapping[str, object]) -> List[dict]:
+        rows: List[dict] = []
+        for name in PAPER_WORKLOAD_FACTORIES:
+            mesi = results[f"{name}/MESI"]
+            coup = results[f"{name}/COUP"]
+            rows.append(
+                {
+                    "benchmark": name,
+                    "n_cores": n_cores,
+                    "mesi_offchip_bytes": mesi.offchip_bytes,
+                    "coup_offchip_bytes": coup.offchip_bytes,
+                    "traffic_reduction": mesi.offchip_bytes / max(1, coup.offchip_bytes),
+                    "mesi_invalidations": mesi.invalidations,
+                    "coup_invalidations": coup.invalidations,
+                }
+            )
+        return rows
+
+    return SweepSpec("traffic", points, build)
 
 
 def run(n_cores: Optional[int] = None) -> List[dict]:
     """Measure off-chip traffic under MESI and COUP for every benchmark."""
-    n_cores = n_cores if n_cores is not None else settings.max_cores()
-    config = table1_config(n_cores)
-    rows: List[dict] = []
-    for name, factory in PAPER_WORKLOAD_FACTORIES.items():
-        mesi = simulate(
-            factory(UpdateStyle.ATOMIC).generate(n_cores), config, "MESI", track_values=False
-        )
-        coup = simulate(
-            factory(UpdateStyle.COMMUTATIVE).generate(n_cores),
-            config,
-            "COUP",
-            track_values=False,
-        )
-        rows.append(
-            {
-                "benchmark": name,
-                "n_cores": n_cores,
-                "mesi_offchip_bytes": mesi.offchip_bytes,
-                "coup_offchip_bytes": coup.offchip_bytes,
-                "traffic_reduction": mesi.offchip_bytes / max(1, coup.offchip_bytes),
-                "mesi_invalidations": mesi.invalidations,
-                "coup_invalidations": coup.invalidations,
-            }
-        )
-    return rows
+    spec = sweep_spec(n_cores)
+    return spec.rows(execute(spec))
 
 
-def main() -> List[dict]:
-    """Regenerate the Sec. 5.2 traffic-reduction table."""
-    rows = run()
+def render(rows: List[dict]) -> None:
+    """Print the Sec. 5.2 traffic-reduction table."""
     print_table(
         rows,
         columns=[
@@ -61,6 +85,12 @@ def main() -> List[dict]:
         ],
         title="Sec. 5.2: off-chip traffic, MESI vs. COUP (reduction factor, higher is better)",
     )
+
+
+def main() -> List[dict]:
+    """Regenerate the Sec. 5.2 traffic-reduction table."""
+    rows = run()
+    render(rows)
     return rows
 
 

@@ -370,17 +370,23 @@ def compare_protocols(
     protocols: Sequence[str] = ("MESI", "COUP"),
     *,
     track_values: bool = False,
+    share_trace: bool = True,
 ) -> Dict[str, SimulationResult]:
-    """Run the same workload (regenerated per protocol) under several protocols.
+    """Run the same workload under several protocols.
 
-    The factory receives the core count so workloads can be regenerated with
-    identical parameters; regenerating (rather than sharing) the trace keeps
-    results independent even if a workload uses its own RNG lazily.
+    The factory receives the core count and is called once: trace generation
+    is deterministic and the simulator never mutates a trace, so the one
+    materialized trace is shared across every protocol (the equivalence
+    suite pins that results are bit-identical to per-protocol regeneration).
+    ``share_trace=False`` restores the old regenerate-per-protocol behavior,
+    which only matters for diagnosing a workload whose generation has become
+    nondeterministic.
     """
     results: Dict[str, SimulationResult] = {}
+    workload = workload_factory(config.n_cores) if share_trace else None
     for protocol in protocols:
-        workload = workload_factory(config.n_cores)
+        trace = workload if share_trace else workload_factory(config.n_cores)
         results[protocol] = simulate(
-            workload, config, protocol, track_values=track_values
+            trace, config, protocol, track_values=track_values
         )
     return results

@@ -160,6 +160,40 @@ class SimulationResult:
         per_access = accumulated.scaled(1.0 / total_accesses)
         return per_access.as_dict()
 
+    def to_jsonable(self) -> dict:
+        """Represent the result with JSON-native types only.
+
+        The sweep engine persists completed points as JSON; the round trip
+        through :meth:`from_jsonable` is bit-identical because JSON keeps
+        ints exact and floats via shortest-repr.  ``final_values`` keys are
+        int addresses, which JSON objects cannot hold, so they are stored as
+        ``[address, value]`` pairs.
+        """
+        from dataclasses import asdict
+
+        data = asdict(self)  # recurses into CoreStats and LatencyBreakdown
+        if self.final_values is not None:
+            data["final_values"] = [
+                [address, value] for address, value in self.final_values.items()
+            ]
+        return data
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result previously serialized with :meth:`to_jsonable`."""
+        data = dict(data)
+        data["core_stats"] = [
+            CoreStats(
+                **{**stats, "latency": LatencyBreakdown(**stats["latency"])}
+            )
+            for stats in data["core_stats"]
+        ]
+        if data.get("final_values") is not None:
+            data["final_values"] = {
+                address: value for address, value in data["final_values"]
+            }
+        return cls(**data)
+
     def speedup_over(self, baseline: "SimulationResult") -> float:
         """Speedup of this run relative to a baseline run (same workload)."""
         if self.run_cycles <= 0:

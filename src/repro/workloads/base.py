@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -104,13 +105,19 @@ class Workload(abc.ABC):
 
     Subclasses implement :meth:`_build` to emit per-core traces for a given
     core count.  Generation is deterministic given the constructor parameters
-    and ``seed``, which tests rely on.
+    and ``seed``, which tests rely on — and which :meth:`trace_key` turns
+    into a stable identity so the sweep engine can materialize each trace
+    once and share it across protocols and machine configurations.
     """
 
     #: Short name used in experiment tables (matches the paper's names).
     name: str = "workload"
     #: Description of the commutative operation used, for Table 2.
     comm_op_label: str = "64b int add"
+
+    #: Instance attributes that are generation infrastructure rather than
+    #: parameters, and therefore excluded from :meth:`trace_key`.
+    TRACE_KEY_EXCLUDED = frozenset({"addresses"})
 
     def __init__(self, *, seed: int = 42, update_style: UpdateStyle = UpdateStyle.COMMUTATIVE) -> None:
         self.seed = seed
@@ -161,6 +168,46 @@ class Workload(abc.ABC):
         bounds = np.linspace(0, n_items, n_cores + 1).astype(int)
         return [range(int(bounds[i]), int(bounds[i + 1])) for i in range(n_cores)]
 
+    def trace_key(self) -> tuple:
+        """Hashable identity of the traces this workload would generate.
+
+        Two workloads with equal keys generate identical traces for every
+        core count, so the key (plus the core count and generation variant)
+        is what the sweep engine's trace cache and persistent result cache
+        hash.  The key covers the class and every parameter attribute:
+        primitives and enums directly, and sequences of primitives as
+        tuples.  An attribute of any other type makes the key unique to this
+        *instance* (via a process-unique token, never ``id()``, whose values
+        recur once objects are freed) — refusing to share a trace is always
+        safe, silently sharing the wrong one is not.
+        """
+        items = []
+        for attr_name, value in sorted(vars(self).items()):
+            if attr_name in self.TRACE_KEY_EXCLUDED or attr_name.startswith("_"):
+                continue
+            if isinstance(value, enum.Enum):
+                items.append((attr_name, (type(value).__name__, value.name)))
+            elif value is None or isinstance(value, (bool, int, float, str)):
+                items.append((attr_name, value))
+            elif isinstance(value, (tuple, list)) and all(
+                item is None or isinstance(item, (bool, int, float, str)) for item in value
+            ):
+                items.append((attr_name, tuple(value)))
+            else:
+                items.append((attr_name, ("unkeyable", self._unkeyable_token())))
+        return (type(self).__qualname__, tuple(items))
+
+    #: Source of process-unique tokens for unkeyable workloads.
+    _unkeyable_tokens = itertools.count()
+
+    def _unkeyable_token(self) -> int:
+        """A token that is stable for this instance and never reused."""
+        token = self.__dict__.get("_trace_key_token")
+        if token is None:
+            token = next(Workload._unkeyable_tokens)
+            self._trace_key_token = token
+        return token
+
     # -- public API --------------------------------------------------------------
 
     @abc.abstractmethod
@@ -177,9 +224,16 @@ class Workload(abc.ABC):
         trace.validate()
         return trace
 
-    def stats(self, n_cores: int) -> WorkloadStats:
-        """Static statistics of the generated trace (Table 2)."""
-        trace = self.generate(n_cores)
+    def stats(self, n_cores: int, trace: Optional[WorkloadTrace] = None) -> WorkloadStats:
+        """Static statistics of the generated trace (Table 2).
+
+        ``trace`` lets callers that already materialized the trace (e.g.
+        through the sweep engine's trace cache) avoid regenerating it; it
+        must be a trace this workload's :meth:`generate` produced for
+        ``n_cores``.
+        """
+        if trace is None:
+            trace = self.generate(n_cores)
         updates = sum(
             1
             for core_trace in trace.per_core

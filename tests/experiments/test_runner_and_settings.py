@@ -48,6 +48,126 @@ class TestSettings:
         finally:
             settings.set_max_cores(original)
 
+    def test_core_sweep_accepts_any_sequence(self):
+        original = settings.max_cores()
+        try:
+            settings.set_max_cores(64)
+            # Tuples, lists, and ranges are all valid paper_points inputs.
+            assert settings.core_sweep((1, 16, 64)) == [1, 16, 64]
+            assert settings.core_sweep([1, 16, 128]) == [1, 16]
+            assert settings.core_sweep(range(60, 70)) == [60, 61, 62, 63, 64]
+        finally:
+            settings.set_max_cores(original)
+
+    def test_core_sweep_edge_cases(self):
+        original = settings.max_cores()
+        try:
+            settings.set_max_cores(16)
+            # Every paper point above the cap: fall back to [1, cap].
+            assert settings.core_sweep((32, 64)) == [1, 16]
+            # Single surviving point on a multi-core cap: cap appended.
+            assert settings.core_sweep((1,)) == [1, 16]
+            settings.set_max_cores(1)
+            # A 1-core cap keeps just the single-core baseline.
+            assert settings.core_sweep() == [1]
+            assert settings.core_sweep((32,)) == [1]
+        finally:
+            settings.set_max_cores(original)
+
+    def test_sweep_with_baseline(self):
+        original = settings.max_cores()
+        try:
+            settings.set_max_cores(16)
+            assert settings.sweep_with_baseline() == [1, 16]
+            assert settings.sweep_with_baseline([8, 16]) == [1, 8, 16]
+            assert settings.sweep_with_baseline((1, 4)) == [1, 4]
+        finally:
+            settings.set_max_cores(original)
+
+    def test_amat_core_points_edge_cases(self):
+        original = settings.max_cores()
+        try:
+            settings.set_max_cores(4)
+            # All paper points above the cap: a single capped point survives.
+            assert settings.amat_core_points() == [4]
+            settings.set_max_cores(8)
+            assert settings.amat_core_points() == [8]
+            settings.set_max_cores(12)
+            # The cap itself is added once it can hold the smallest point.
+            assert settings.amat_core_points() == [8, 12]
+            settings.set_max_cores(128)
+            # Duplicates collapse: the cap coincides with a paper point.
+            assert settings.amat_core_points((8, 128, 128)) == [8, 128]
+        finally:
+            settings.set_max_cores(original)
+
+
+class TestSettingsEnvironment:
+    """REPRO_SCALE / REPRO_MAX_CORES are read at module import time."""
+
+    def _reload(self):
+        import importlib
+
+        return importlib.reload(settings)
+
+    def _restore(self, scale, max_cores):
+        settings.set_scale(scale)
+        settings.set_max_cores(max_cores)
+
+    def test_env_vars_parsed_on_import(self, monkeypatch):
+        original = (settings.scale(), settings.max_cores())
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        monkeypatch.setenv("REPRO_MAX_CORES", "8")
+        try:
+            self._reload()
+            assert settings.scale() == 0.25
+            assert settings.max_cores() == 8
+        finally:
+            monkeypatch.delenv("REPRO_SCALE")
+            monkeypatch.delenv("REPRO_MAX_CORES")
+            self._reload()
+            self._restore(*original)
+
+    def test_defaults_without_env_vars(self, monkeypatch):
+        original = (settings.scale(), settings.max_cores())
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_MAX_CORES", raising=False)
+        try:
+            self._reload()
+            assert settings.scale() == 1.0
+            assert settings.max_cores() == 64
+        finally:
+            self._reload()
+            self._restore(*original)
+
+    def test_malformed_env_value_raises_at_import(self, monkeypatch):
+        original = (settings.scale(), settings.max_cores())
+        monkeypatch.setenv("REPRO_SCALE", "not-a-number")
+        try:
+            with pytest.raises(ValueError):
+                self._reload()
+        finally:
+            monkeypatch.delenv("REPRO_SCALE")
+            self._reload()
+            self._restore(*original)
+
+
+class TestMakeProtocol:
+    def test_unknown_name_reports_alternatives(self):
+        from repro.sim.config import small_test_config
+        from repro.sim.simulator import PROTOCOLS, make_protocol
+
+        with pytest.raises(ValueError, match="unknown protocol 'MOESI'") as excinfo:
+            make_protocol("MOESI", small_test_config(2))
+        for name in PROTOCOLS:
+            assert name in str(excinfo.value)
+
+    def test_lookup_is_case_insensitive(self):
+        from repro.sim.config import small_test_config
+        from repro.sim.simulator import make_protocol
+
+        assert make_protocol("coup", small_test_config(2)).name == "COUP"
+
 
 class TestRunnerCli:
     def test_list(self, capsys):

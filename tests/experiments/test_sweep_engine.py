@@ -1,0 +1,245 @@
+"""Unit and integration tests for the declarative sweep engine."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import settings, sweep
+from repro.experiments import traffic_reduction
+from repro.experiments.runner import main as runner_main
+from repro.experiments.sweep import (
+    ExecutionContext,
+    FuncPoint,
+    ResultCache,
+    SimPoint,
+    SweepSpec,
+    TraceCache,
+    WorkloadSpec,
+    execute,
+)
+from repro.sim.config import small_test_config, table1_config
+from repro.sim.simulator import simulate
+from repro.software.privatization import PrivatizationLevel
+from repro.workloads import HistogramWorkload, MultiCounterWorkload, UpdateStyle
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setattr(settings, "_scale", 0.05)
+    monkeypatch.setattr(settings, "_max_cores", 8)
+    yield
+
+
+def hist_factory(style=UpdateStyle.COMMUTATIVE, n_bins=32, n_items=400):
+    return HistogramWorkload(n_bins=n_bins, n_items=n_items, update_style=style)
+
+
+class TestTraceKey:
+    def test_same_parameters_same_key(self):
+        assert hist_factory().trace_key() == hist_factory().trace_key()
+
+    def test_any_parameter_changes_the_key(self):
+        base = hist_factory().trace_key()
+        assert hist_factory(n_bins=64).trace_key() != base
+        assert hist_factory(style=UpdateStyle.ATOMIC).trace_key() != base
+        assert HistogramWorkload(
+            n_bins=32, n_items=400, update_style=UpdateStyle.COMMUTATIVE, seed=7
+        ).trace_key() != base
+
+    def test_different_classes_never_collide(self):
+        counter = MultiCounterWorkload(n_counters=32, updates_per_core=10)
+        assert counter.trace_key() != hist_factory().trace_key()
+
+    def test_unkeyable_attribute_makes_key_instance_unique(self):
+        first = hist_factory()
+        second = hist_factory()
+        first.weird = object()
+        second.weird = object()
+        # Refusing to share is the safe failure mode for unknown parameters.
+        assert first.trace_key() != second.trace_key()
+        # But the key is stable for one instance, and the uniqueness token
+        # survives the other instance being freed (no id() reuse hazard).
+        assert first.trace_key() == first.trace_key()
+        del second
+        third = hist_factory()
+        third.weird = object()
+        assert first.trace_key() != third.trace_key()
+
+    def test_key_is_hashable_and_address_map_excluded(self):
+        workload = hist_factory()
+        key = workload.trace_key()
+        hash(key)
+        assert "addresses" not in dict(key[1])
+
+
+class TestTraceCache:
+    def test_hit_returns_same_object(self):
+        cache = TraceCache()
+        spec = WorkloadSpec.plain(hist_factory)
+        first = cache.get(spec, 4)
+        second = cache.get(spec, 4)
+        assert first is second
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_variants_do_not_share(self):
+        cache = TraceCache()
+        plain = WorkloadSpec.plain(hist_factory)
+        privatized = WorkloadSpec.privatized(hist_factory, PrivatizationLevel.CORE)
+        assert cache.get(plain, 4) is not cache.get(privatized, 4)
+        assert cache.misses == 2
+
+    def test_lru_bound(self):
+        cache = TraceCache(max_traces=2)
+        specs = [
+            WorkloadSpec.plain(lambda n_bins=n_bins: hist_factory(n_bins=n_bins))
+            for n_bins in (16, 32, 64)
+        ]
+        for spec in specs:
+            cache.get(spec, 2)
+        assert len(cache) == 2
+        cache.get(specs[0], 2)  # evicted: regenerating counts as a miss
+        assert cache.misses == 4
+
+    def test_shared_trace_simulates_identically(self):
+        cache = TraceCache()
+        spec = WorkloadSpec.plain(hist_factory)
+        config = small_test_config(4)
+        shared = simulate(cache.get(spec, 4), config, "COUP")
+        fresh = simulate(spec.materialize(4), config, "COUP")
+        assert shared == fresh
+
+
+class TestSimulationResultRoundtrip:
+    def test_json_roundtrip_is_bit_identical(self):
+        workload = hist_factory()
+        result = simulate(workload.generate(2), table1_config(2), "COUP", track_values=True)
+        encoded = json.loads(json.dumps(result.to_jsonable()))
+        from repro.sim.stats import SimulationResult
+
+        assert SimulationResult.from_jsonable(encoded) == result
+
+
+class TestResultCache:
+    def _point(self):
+        return SimPoint(
+            "p", WorkloadSpec.plain(hist_factory), "COUP", 2, table1_config(2)
+        )
+
+    def test_store_then_load(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        point = self._point()
+        value, cached = sweep.run_point(point, result_cache=cache)
+        assert not cached
+        replay, cached = sweep.run_point(point, result_cache=cache)
+        assert cached
+        assert replay == value
+
+    def test_write_only_cache_never_replays(self, tmp_path):
+        writer = ResultCache(str(tmp_path), read=False)
+        point = self._point()
+        sweep.run_point(point, result_cache=writer)
+        _value, cached = sweep.run_point(point, result_cache=writer)
+        assert not cached  # read disabled
+        reader = ResultCache(str(tmp_path))
+        _value, cached = sweep.run_point(point, result_cache=reader)
+        assert cached  # but the entry was persisted
+
+    def test_scale_is_part_of_the_fingerprint(self, tmp_path, monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        point = self._point()
+        sweep.run_point(point, result_cache=cache)
+        monkeypatch.setattr(settings, "_scale", 0.06)
+        _value, cached = sweep.run_point(point, result_cache=cache)
+        assert not cached
+
+    def test_uncacheable_func_point(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        point = FuncPoint("f", lambda ctx: {"x": 1})
+        _value, cached = sweep.run_point(point, result_cache=cache)
+        assert not cached
+        _value, cached = sweep.run_point(point, result_cache=cache)
+        assert not cached  # fingerprint_data=None -> never cached
+
+    def test_corrupt_cache_entry_recomputes(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        point = self._point()
+        sweep.run_point(point, result_cache=cache)
+        for path in tmp_path.iterdir():
+            path.write_text("{ not json")
+        value, cached = sweep.run_point(point, result_cache=cache)
+        assert not cached
+        assert value.run_cycles > 0
+
+
+class TestExecute:
+    def test_execute_resumes_from_cache(self, tmp_path):
+        spec = traffic_reduction.sweep_spec(n_cores=2)
+        cache = ResultCache(str(tmp_path))
+        first = execute(spec, result_cache=cache)
+        assert cache.stores == len(spec.points)
+        second = execute(spec, result_cache=cache)
+        assert cache.loads == len(spec.points)
+        assert spec.rows(first) == spec.rows(second)
+
+    def test_duplicate_point_keys_rejected(self):
+        point = FuncPoint("dup", lambda ctx: 1)
+        with pytest.raises(ValueError, match="duplicate sweep point"):
+            SweepSpec("x", [point, point], lambda results: results)
+
+    def test_func_point_can_share_traces(self):
+        spec = WorkloadSpec.plain(hist_factory)
+        ctx = ExecutionContext(TraceCache())
+        point = FuncPoint("stats", lambda c: c.trace(spec, 2).total_accesses)
+        assert point.execute(ctx) == spec.materialize(2).total_accesses
+
+
+class TestRunnerPointMode:
+    def test_jobs_resume_replays_every_point(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "records")
+        cache_dir = str(tmp_path / "cache")
+        args = ["traffic", "--jobs", "2", "--results-dir", results_dir, "--cache-dir", cache_dir]
+        assert runner_main(args) == 0
+        first_out = capsys.readouterr().out
+        assert "Sec. 5.2" in first_out
+
+        assert runner_main(args + ["--resume"]) == 0
+        second_out = capsys.readouterr().out
+        # Tables rebuilt from cached points must match the computed run
+        # (modulo the timing line).
+        strip = lambda text: [  # noqa: E731
+            line for line in text.splitlines() if not line.startswith("[traffic] completed")
+        ]
+        assert strip(second_out) == strip(first_out)
+
+        point_records = sorted((tmp_path / "records" / "points" / "traffic").glob("*.json"))
+        assert point_records
+        records = [json.loads(path.read_text()) for path in point_records]
+        assert all(record["cached"] for record in records)
+        assert all(record["status"] == "ok" for record in records)
+        assert {record["point"] for record in records} == set(
+            traffic_reduction.sweep_spec(n_cores=settings.max_cores()).point_keys
+        )
+
+    def test_experiment_record_reports_point_counts(self, tmp_path, capsys):
+        results_dir = str(tmp_path / "records")
+        assert runner_main(["table1", "--jobs", "2", "--results-dir", results_dir]) == 0
+        capsys.readouterr()
+        record = json.loads((tmp_path / "records" / "table1.json").read_text())
+        assert record["status"] == "ok"
+        assert record["n_points"] == 1
+        assert record["cached_points"] == 0
+        assert "Table 1" in record["output"]
+
+    def test_failing_point_fails_the_experiment_only(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.runner as runner_module
+
+        monkeypatch.setitem(
+            runner_module.EXPERIMENT_MODULES, "boom", "repro.experiments.does_not_exist"
+        )
+        results_dir = str(tmp_path / "records")
+        assert runner_main(["boom", "table1", "--jobs", "2", "--results-dir", results_dir]) == 1
+        captured = capsys.readouterr()
+        assert "Table 1" in captured.out  # the healthy sibling still ran
+        assert "boom" in captured.err
