@@ -43,3 +43,47 @@ def bench_scale():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+#: Timed repeats per benchmark measurement; medians land in trajectories.
+BENCH_REPEATS = 3
+#: Bound on every trajectory file; old entries age out.
+MAX_TRAJECTORY_ENTRIES = 200
+
+
+def median_time(fn, repeats: int = BENCH_REPEATS):
+    """``(median_seconds, all_seconds, last_result)`` over timed repeats.
+
+    Single-shot wall-clock numbers on shared machines swing by tens of
+    percent; every benchmark records the median of ``repeats`` runs.
+    """
+    import statistics
+    import time
+
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times), times, result
+
+
+def append_trajectory(path: str, entry: dict, max_entries: int = MAX_TRAJECTORY_ENTRIES) -> None:
+    """Append one entry to a bounded JSON trajectory file."""
+    import json
+
+    trajectory = []
+    if os.path.exists(path):
+        try:
+            with open(path) as handle:
+                trajectory = json.load(handle)
+        except (OSError, ValueError):
+            trajectory = []  # a corrupt trajectory restarts rather than aborts
+    if not isinstance(trajectory, list):
+        trajectory = []
+    trajectory.append(entry)
+    trajectory = trajectory[-max_entries:]
+    with open(path, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")

@@ -4,18 +4,20 @@ The sweep engine materializes each workload trace once and shares it across
 protocols; this benchmark times an (MESI, COUP, RMO) sweep over the ``hist``
 benchmark both ways and records the wall-clock trajectory into
 ``benchmarks/BENCH_sweep.json`` so the trace-reuse win is tracked across
-revisions.  Results are asserted bit-identical between the two modes — the
-speedup must never come at the cost of fidelity.
+revisions.  Each mode is timed over ``REPEATS`` repeats and the **median**
+is recorded — single-shot numbers on shared CI machines swing by tens of
+percent, which made the trajectory useless for spotting regressions.
+Results are asserted bit-identical between the two modes — the speedup must
+never come at the cost of fidelity.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import time
 from datetime import datetime, timezone
 
-from conftest import run_once
+from conftest import BENCH_REPEATS as REPEATS
+from conftest import append_trajectory, median_time, run_once
 
 from repro.experiments import settings
 from repro.experiments.paper_workloads import make_hist
@@ -25,8 +27,6 @@ from repro.workloads import UpdateStyle
 
 #: Trajectory file recording one entry per benchmark run.
 TRAJECTORY_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_sweep.json")
-#: Keep the trajectory bounded; old entries age out.
-MAX_TRAJECTORY_ENTRIES = 200
 
 PROTOCOLS = ("MESI", "COUP", "RMO")
 
@@ -43,32 +43,13 @@ def _sweep(share_trace: bool):
     )
 
 
-def _append_trajectory(entry: dict) -> None:
-    trajectory = []
-    if os.path.exists(TRAJECTORY_PATH):
-        try:
-            with open(TRAJECTORY_PATH) as handle:
-                trajectory = json.load(handle)
-        except (OSError, json.JSONDecodeError):
-            trajectory = []  # a corrupt trajectory restarts rather than aborts
-    if not isinstance(trajectory, list):
-        trajectory = []
-    trajectory.append(entry)
-    trajectory = trajectory[-MAX_TRAJECTORY_ENTRIES:]
-    with open(TRAJECTORY_PATH, "w") as handle:
-        json.dump(trajectory, handle, indent=2)
-        handle.write("\n")
-
-
 def test_sweep_trace_reuse(benchmark):
-    """Time the shared-trace sweep; record both modes' wall-clock."""
-    start = time.perf_counter()
-    regenerated = _sweep(share_trace=False)
-    regenerated_s = time.perf_counter() - start
-
-    start = time.perf_counter()
+    """Time both sweep modes over repeats; record the medians."""
+    regenerated_s, regenerated_times, regenerated = median_time(
+        lambda: _sweep(share_trace=False)
+    )
+    shared_s, shared_times, _ = median_time(lambda: _sweep(share_trace=True))
     shared = run_once(benchmark, _sweep, share_trace=True)
-    shared_s = time.perf_counter() - start
 
     # Sharing must be invisible in the results.
     assert shared == regenerated
@@ -78,9 +59,12 @@ def test_sweep_trace_reuse(benchmark):
         "scale": settings.scale(),
         "max_cores": settings.max_cores(),
         "protocols": list(PROTOCOLS),
+        "repeats": REPEATS,
         "shared_trace_s": round(shared_s, 4),
         "regenerated_trace_s": round(regenerated_s, 4),
+        "shared_trace_all_s": [round(value, 4) for value in shared_times],
+        "regenerated_trace_all_s": [round(value, 4) for value in regenerated_times],
         "trace_reuse_speedup": round(regenerated_s / shared_s, 3) if shared_s > 0 else None,
     }
-    _append_trajectory(entry)
+    append_trajectory(TRAJECTORY_PATH, entry)
     benchmark.extra_info["trace_reuse"] = entry

@@ -18,9 +18,14 @@ per-experiment tables are rebuilt from the point results and printed in
 submission order, matching a serial run.
 
 ``--cache-dir`` persists every completed point keyed by a content hash of
-(machine config, workload parameters, protocol, seed, scale); ``--resume``
-additionally reuses any matching cached points, so an interrupted or repeated
-sweep only simulates what is missing.
+(machine config, workload parameters, protocol, seed, scale), plus every
+materialized workload trace as a packed ``.npz`` file under
+``<cache-dir>/traces``; ``--resume`` additionally reuses any matching cached
+points, so an interrupted or repeated sweep only simulates what is missing.
+
+With ``--jobs N``, each distinct trace is materialized once in the parent,
+published into ``multiprocessing.shared_memory``, and mapped zero-copy by the
+workers (disable with ``--no-shm``); traces never travel through pickles.
 
 With ``--results-dir`` (implied by ``--jobs``), every experiment writes a
 structured JSON record (id, status, elapsed seconds, captured output), and
@@ -173,8 +178,19 @@ def _build_spec(experiment_id: str) -> Optional[sweep.SweepSpec]:
     return spec_fn() if spec_fn is not None else None
 
 
+#: Worker-side memo of attached shared-memory traces, keyed by segment name:
+#: each worker maps a published trace at most once and reuses the view for
+#: every sweep point that needs it.
+_attached_traces: Dict[str, "sweep.ColumnarTrace"] = {}
+
+
+def _trace_store_dir(cache_dir: Optional[str]) -> Optional[str]:
+    """Directory holding persisted ``.npz`` traces under a point cache dir."""
+    return os.path.join(cache_dir, "traces") if cache_dir else None
+
+
 def _run_point_task(
-    args: Tuple[str, str, int, float, int, Optional[str], bool]
+    args: Tuple[str, str, int, float, int, Optional[str], bool, object]
 ) -> Tuple[str, str, str, float, bool, object, str]:
     """Worker entry point: execute one sweep point.
 
@@ -182,10 +198,11 @@ def _run_point_task(
     payload, stderr_text)`` where ``payload`` is the point result on
     success or the formatted traceback on error.
     """
-    experiment_id, point_key, base_seed, scale, max_cores, cache_dir, resume = args
+    experiment_id, point_key, base_seed, scale, max_cores, cache_dir, resume, handle = args
     settings.set_scale(scale)
     settings.set_max_cores(max_cores)
     cache = sweep.ResultCache(cache_dir, read=resume) if cache_dir else None
+    sweep.shared_trace_cache().store_dir = _trace_store_dir(cache_dir)
     _seed_everything(_point_seed(base_seed, experiment_id, point_key))
     err = io.StringIO()
     start = time.perf_counter()
@@ -196,6 +213,21 @@ def _run_point_task(
                 spec = _build_spec(experiment_id)
                 _worker_specs[experiment_id] = spec
             point = spec.point(point_key)
+            if handle is not None:
+                # The parent published this point's trace in shared memory:
+                # map it (once per worker) and seed the trace cache so the
+                # point executes against the zero-copy view instead of
+                # regenerating.  Any failure falls back to regeneration.
+                try:
+                    trace = _attached_traces.get(handle.shm_name)
+                    if trace is None:
+                        trace = sweep.attach_trace_shm(handle, in_worker=True)
+                        _attached_traces[handle.shm_name] = trace
+                    sweep.shared_trace_cache().put(
+                        point.workload.key(point.n_cores), trace
+                    )
+                except Exception:
+                    traceback.print_exc(file=err)
             value, cached = sweep.run_point(point, result_cache=cache)
     except Exception:
         elapsed = time.perf_counter() - start
@@ -321,6 +353,7 @@ def run_parallel(
     results_dir: Optional[str] = None,
     cache_dir: Optional[str] = None,
     resume: bool = False,
+    use_shm: bool = True,
 ) -> List[ExperimentOutcome]:
     """Run experiments at sweep-point granularity in ``jobs`` workers.
 
@@ -329,6 +362,13 @@ def run_parallel(
     from the point results and printed in submission order.  Experiments
     without a sweep spec fall back to whole-experiment execution in a
     worker.
+
+    With ``use_shm`` (the default), every distinct workload trace is
+    materialized once in the parent, published into a
+    ``multiprocessing.shared_memory`` segment, and mapped zero-copy by the
+    workers — instead of each worker regenerating (or receiving a pickled
+    copy of) the traces its points need.  Any publish or attach failure
+    falls back to per-worker generation; results are identical either way.
     """
     import multiprocessing
 
@@ -344,6 +384,40 @@ def run_parallel(
             specs[experiment_id] = None
             spec_errors[experiment_id] = traceback.format_exc()
 
+    trace_handles: Dict[tuple, Optional[sweep.ShmTraceHandle]] = {}
+    shm_segments = []
+    if use_shm:
+        parent_cache = sweep.shared_trace_cache()
+        parent_cache.store_dir = _trace_store_dir(cache_dir)
+    resume_cache = (
+        sweep.ResultCache(cache_dir, read=True) if (resume and cache_dir) else None
+    )
+
+    def _handle_for(point) -> Optional[sweep.ShmTraceHandle]:
+        if not use_shm or not isinstance(point, sweep.SimPoint):
+            return None
+        if resume_cache is not None and resume_cache.contains(point):
+            # The point will replay from the result cache: don't pay to
+            # materialize and publish a trace nobody will read.  (If the
+            # cached record turns out stale, the worker regenerates.)
+            return None
+        try:
+            key = point.workload.key(point.n_cores)
+        except Exception:
+            return None
+        if key not in trace_handles:
+            try:
+                trace = parent_cache.get(point.workload, point.n_cores)
+                if isinstance(trace, sweep.ColumnarTrace):
+                    handle, segment = sweep.publish_trace_shm(trace, key)
+                    shm_segments.append(segment)
+                    trace_handles[key] = handle
+                else:  # codec fallback: workers regenerate the object form
+                    trace_handles[key] = None
+            except Exception:
+                trace_handles[key] = None  # publish failed: regenerate in workers
+        return trace_handles[key]
+
     point_tasks = []
     whole_tasks = []
     for experiment_id in experiment_ids:
@@ -355,7 +429,16 @@ def run_parallel(
         else:
             for point in spec.points:
                 point_tasks.append(
-                    (experiment_id, point.key, base_seed, scale, max_cores, cache_dir, resume)
+                    (
+                        experiment_id,
+                        point.key,
+                        base_seed,
+                        scale,
+                        max_cores,
+                        cache_dir,
+                        resume,
+                        _handle_for(point),
+                    )
                 )
 
     point_results: Dict[str, Dict[str, object]] = {e: {} for e in experiment_ids}
@@ -368,34 +451,43 @@ def run_parallel(
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
-    with context.Pool(processes=jobs) as pool:
-        async_points = (
-            pool.imap_unordered(_run_point_task, point_tasks) if point_tasks else ()
-        )
-        async_whole = pool.imap(_run_captured, whole_tasks) if whole_tasks else ()
-        for experiment_id, key, status, elapsed, cached, payload, err_text in async_points:
-            point_elapsed[experiment_id] += elapsed
-            cached_counts[experiment_id] += int(cached)
-            if status == "ok":
-                point_results[experiment_id][key] = payload
-            else:
-                point_errors[experiment_id][key] = str(payload)
-            if err_text:
-                sys.stderr.write(err_text)
-            if results_dir:
-                _write_point_record(
-                    results_dir,
-                    experiment_id,
-                    key,
-                    status=status,
-                    elapsed_s=elapsed,
-                    cached=cached,
-                    seed=_point_seed(base_seed, experiment_id, key),
-                    value=payload if status == "ok" else None,
-                    error=str(payload) if status != "ok" else None,
-                )
-        for outcome, out, err in async_whole:
-            whole_outcomes[outcome.experiment_id] = (outcome, out, err)
+    try:
+        with context.Pool(processes=jobs) as pool:
+            async_points = (
+                pool.imap_unordered(_run_point_task, point_tasks) if point_tasks else ()
+            )
+            async_whole = pool.imap(_run_captured, whole_tasks) if whole_tasks else ()
+            for experiment_id, key, status, elapsed, cached, payload, err_text in async_points:
+                point_elapsed[experiment_id] += elapsed
+                cached_counts[experiment_id] += int(cached)
+                if status == "ok":
+                    point_results[experiment_id][key] = payload
+                else:
+                    point_errors[experiment_id][key] = str(payload)
+                if err_text:
+                    sys.stderr.write(err_text)
+                if results_dir:
+                    _write_point_record(
+                        results_dir,
+                        experiment_id,
+                        key,
+                        status=status,
+                        elapsed_s=elapsed,
+                        cached=cached,
+                        seed=_point_seed(base_seed, experiment_id, key),
+                        value=payload if status == "ok" else None,
+                        error=str(payload) if status != "ok" else None,
+                    )
+            for outcome, out, err in async_whole:
+                whole_outcomes[outcome.experiment_id] = (outcome, out, err)
+    finally:
+        # The parent owns every published segment: release them only after
+        # all workers have drained (the pool context has joined them).
+        for segment in shm_segments:
+            with contextlib.suppress(OSError):
+                segment.close()
+            with contextlib.suppress(OSError):
+                segment.unlink()
 
     outcomes: List[ExperimentOutcome] = []
     for experiment_id in experiment_ids:
@@ -444,9 +536,12 @@ def run_serial(
 
     With ``resume``, a persistent point cache is installed process-wide so
     each experiment's ``run()`` skips sweep points that are already cached.
+    A cache dir also persists workload traces as ``.npz`` files under
+    ``<cache-dir>/traces``, so later sweeps load instead of regenerating.
     """
     if cache_dir:
         sweep.set_result_cache(sweep.ResultCache(cache_dir, read=resume))
+        sweep.shared_trace_cache().store_dir = _trace_store_dir(cache_dir)
     try:
         outcomes: List[ExperimentOutcome] = []
         for experiment_id in experiment_ids:
@@ -465,6 +560,7 @@ def run_serial(
     finally:
         if cache_dir:
             sweep.set_result_cache(None)
+            sweep.shared_trace_cache().store_dir = None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -515,6 +611,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="reuse sweep points already present in the cache dir, simulating only what is missing",
     )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help=(
+            "with --jobs: disable shared-memory trace transport and let each "
+            "worker materialize its own traces (results are identical)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -548,6 +652,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             results_dir=results_dir,
             cache_dir=cache_dir,
             resume=args.resume,
+            use_shm=not args.no_shm,
         )
     else:
         outcomes = run_serial(

@@ -20,6 +20,13 @@ structure out:
   generation is deterministic and the simulator never mutates a trace; the
   equivalence suite pins that results are bit-identical to per-protocol
   regeneration.
+* Traces are held in the packed columnar form
+  (:class:`~repro.sim.columnar.ColumnarTrace`): ~29 bytes per access, which
+  lets the cache hold 4x more traces, persists each trace as a verified
+  ``.npz`` file when a cache directory is configured, and lets the parallel
+  runner publish traces once into ``multiprocessing.shared_memory`` so
+  workers map them zero-copy instead of regenerating or unpickling them
+  (:func:`publish_trace_shm` / :func:`attach_trace_shm`).
 * Completed points can be persisted in a :class:`ResultCache` keyed by a
   content hash of (machine config, workload parameters, protocol, seed,
   scale), which is what ``runner --resume`` uses to skip finished work.
@@ -37,12 +44,21 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from collections import OrderedDict
+
+import numpy as np
 from functools import partial
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.experiments import settings
 from repro.sim.access import WorkloadTrace
+from repro.sim.columnar import (
+    ACCESS_DTYPE,
+    ColumnarTrace,
+    TraceCodecError,
+    as_columnar,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.simulator import MulticoreSimulator, make_protocol
 from repro.sim.stats import SimulationResult
@@ -110,11 +126,24 @@ class WorkloadSpec:
         return (self.build().trace_key(), self.variant, n_cores)
 
     def materialize(self, n_cores: int) -> WorkloadTrace:
-        """Generate the trace from a fresh workload instance."""
+        """Generate the object-form trace from a fresh workload instance."""
         workload = self.build()
         if self._materialize is None:
             return workload.generate(n_cores)
         return self._materialize(workload, n_cores)
+
+    def materialize_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Generate the packed columnar trace from a fresh workload instance.
+
+        Plain variants use the workload's vectorized columnar builder;
+        variant materializers (privatization) build the object form and pack
+        it — either way the result simulates bit-identically to
+        :meth:`materialize` (pinned by the golden-equivalence suite).
+        """
+        workload = self.build()
+        if self._materialize is None:
+            return workload.generate_columnar(n_cores)
+        return as_columnar(self._materialize(workload, n_cores))
 
 
 def _materialize_privatized(
@@ -125,25 +154,52 @@ def _materialize_privatized(
     )
 
 
+#: Bumped whenever the packed trace format changes (invalidates .npz files).
+TRACE_FORMAT_VERSION = 1
+
+
+def trace_key_digest(key: Tuple) -> str:
+    """Stable content digest of a workload trace key (npz/shm addressing)."""
+    payload = {
+        "format": TRACE_FORMAT_VERSION,
+        "dtype": str(ACCESS_DTYPE),
+        "key": _jsonable(key),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 class TraceCache:
-    """Bounded LRU cache of materialized workload traces.
+    """Bounded LRU cache of materialized workload traces, in columnar form.
 
     One trace can serve many sweep points (the MESI and COUP runs of a
     ``compare_protocols``-style sweep, the fast- and slow-ALU runs of the
     sensitivity study, a 1-core baseline shared between experiments), so the
     cache is keyed by the full workload identity and bounded by trace count —
-    traces are the memory hog, not the results.
+    traces are the memory hog, not the results.  Traces are held packed
+    (:class:`ColumnarTrace`, ~29 bytes per access vs ~100+ for objects, see
+    :attr:`total_bytes`), which is why the default capacity is four times the
+    old object-form bound.  A workload whose trace cannot be packed (exotic
+    operand values) transparently falls back to the object form.
+
+    With ``store_dir`` set, materialized traces are additionally persisted
+    as ``<digest>.npz`` files and reloaded on a cold miss, so repeated or
+    resumed sweeps skip regeneration entirely; every file embeds its full
+    key fingerprint, which is verified on load before the trace is trusted.
     """
 
-    def __init__(self, max_traces: int = 8) -> None:
+    def __init__(self, max_traces: int = 32, store_dir: Optional[str] = None) -> None:
         if max_traces <= 0:
             raise ValueError("max_traces must be positive")
         self.max_traces = max_traces
-        self._traces: "OrderedDict[Tuple, WorkloadTrace]" = OrderedDict()
+        self.store_dir = store_dir
+        self._traces: "OrderedDict[Tuple, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_loads = 0
+        self.disk_stores = 0
 
-    def get(self, spec: WorkloadSpec, n_cores: int) -> WorkloadTrace:
+    def get(self, spec: WorkloadSpec, n_cores: int):
         key = spec.key(n_cores)
         trace = self._traces.get(key)
         if trace is not None:
@@ -151,16 +207,69 @@ class TraceCache:
             self.hits += 1
             return trace
         self.misses += 1
-        trace = spec.materialize(n_cores)
+        trace = self._load_or_materialize(spec, n_cores, key)
+        self.put(key, trace)
+        return trace
+
+    def put(self, key: Tuple, trace) -> None:
+        """Insert an externally materialized trace (shared-memory preload)."""
         self._traces[key] = trace
+        self._traces.move_to_end(key)
         while len(self._traces) > self.max_traces:
             self._traces.popitem(last=False)
+
+    def _load_or_materialize(self, spec: WorkloadSpec, n_cores: int, key: Tuple):
+        fingerprint = None
+        path = None
+        if self.store_dir:
+            try:
+                fingerprint = _jsonable(key)
+                path = os.path.join(self.store_dir, f"{trace_key_digest(key)}.npz")
+                trace, extra = ColumnarTrace.load_npz_with_meta(path)
+                if extra is not None and extra.get("trace_key") == fingerprint:
+                    self.disk_loads += 1
+                    return trace
+            except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+                pass  # missing, corrupt, or stale file: regenerate
+        try:
+            trace = spec.materialize_columnar(n_cores)
+        except TraceCodecError:
+            # Unpackable trace: serve the object form (never persisted).
+            return spec.materialize(n_cores)
+        if path is not None:
+            # Persistence is an optimization; a read-only or full disk must
+            # not fail a sweep whose trace already materialized.
+            try:
+                trace.save_npz(path, extra_meta={"trace_key": fingerprint})
+                self.disk_stores += 1
+            except (OSError, TypeError, ValueError):
+                pass
         return trace
+
+    @property
+    def total_bytes(self) -> int:
+        """Packed bytes held across all cached columnar traces."""
+        return sum(
+            trace.nbytes for trace in self._traces.values() if hasattr(trace, "nbytes")
+        )
+
+    def stats(self) -> Dict[str, int]:
+        """Occupancy and traffic counters (benchmark/CI reporting)."""
+        return {
+            "traces": len(self._traces),
+            "bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_loads": self.disk_loads,
+            "disk_stores": self.disk_stores,
+        }
 
     def clear(self) -> None:
         self._traces.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_loads = 0
+        self.disk_stores = 0
 
     def __len__(self) -> int:
         return len(self._traces)
@@ -169,6 +278,107 @@ class TraceCache:
 #: Process-wide trace cache: shares traces across experiments in a serial
 #: sweep and across the points a parallel worker happens to execute.
 _shared_trace_cache = TraceCache()
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy trace transport (runner --jobs N)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ShmTraceHandle:
+    """Picklable descriptor of a columnar trace published in shared memory.
+
+    The parent concatenates every core's packed column into one
+    ``multiprocessing.shared_memory`` segment; workers rebuild zero-copy
+    read-only array views from ``(segment name, per-core lengths)`` instead
+    of receiving pickled traces.  Only the small metadata (name, params,
+    phase boundaries) travels through the task pickle.
+    """
+
+    shm_name: str
+    lengths: Tuple[int, ...]
+    trace_name: str
+    params: Tuple[Tuple[str, Any], ...]
+    phase_boundaries: Optional[Tuple[Tuple[int, ...], ...]]
+    key_digest: str
+
+
+def publish_trace_shm(trace: ColumnarTrace, key: Tuple):
+    """Copy a columnar trace into a shared-memory segment.
+
+    Returns ``(handle, segment)``; the caller owns the segment and must
+    ``close()`` and ``unlink()`` it once every consumer is done.
+    """
+    from multiprocessing import shared_memory
+
+    total = sum(column.nbytes for column in trace.columns)
+    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    offset = 0
+    for column in trace.columns:
+        view = np.ndarray(len(column), dtype=ACCESS_DTYPE, buffer=segment.buf, offset=offset)
+        view[:] = column
+        offset += column.nbytes
+    handle = ShmTraceHandle(
+        shm_name=segment.name,
+        lengths=tuple(len(column) for column in trace.columns),
+        trace_name=trace.name,
+        params=tuple(trace.params.items()),
+        phase_boundaries=(
+            tuple(tuple(bounds) for bounds in trace.phase_boundaries)
+            if trace.phase_boundaries is not None
+            else None
+        ),
+        key_digest=trace_key_digest(key),
+    )
+    return handle, segment
+
+
+def attach_trace_shm(handle: ShmTraceHandle, *, in_worker: bool = False) -> ColumnarTrace:
+    """Rebuild a zero-copy read-only :class:`ColumnarTrace` from a handle.
+
+    ``in_worker`` must be True when attaching from a worker process that
+    does *not* own the segment.  Under the spawn start method each worker
+    runs its own resource tracker, and Python < 3.13 registers attached
+    segments with it — the first worker to exit would unlink the segment
+    out from under its siblings, so ownership is handed back by
+    unregistering.  Forked workers share the publishing parent's tracker
+    (registration is set-idempotent and the parent unlinks at the end), and
+    a same-process attach shares the owner's registration outright — in
+    both cases unregistering would erase the owner's claim, so it is
+    skipped.
+    """
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=handle.shm_name)
+    try:
+        import multiprocessing
+
+        if in_worker and multiprocessing.get_start_method(allow_none=True) != "fork":
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker layout differs by version
+        pass
+    columns = []
+    offset = 0
+    for length in handle.lengths:
+        view = np.ndarray(length, dtype=ACCESS_DTYPE, buffer=segment.buf, offset=offset)
+        view.flags.writeable = False
+        columns.append(view)
+        offset += view.nbytes
+    trace = ColumnarTrace(
+        name=handle.trace_name,
+        columns=columns,
+        params=dict(handle.params),
+        phase_boundaries=(
+            [list(bounds) for bounds in handle.phase_boundaries]
+            if handle.phase_boundaries is not None
+            else None
+        ),
+    )
+    trace._shm = segment  # keep the mapping alive as long as the views
+    return trace
 
 
 def shared_trace_cache() -> TraceCache:
@@ -342,6 +552,20 @@ class ResultCache:
 
     def _path(self, fingerprint: Mapping[str, Any]) -> str:
         return os.path.join(self.root, f"{self.digest(fingerprint)}.json")
+
+    def contains(self, point: SweepPoint) -> bool:
+        """Cheap existence probe (no load or verification).
+
+        Used for scheduling decisions — e.g. the parallel runner skips
+        publishing a trace for a point whose result will replay from this
+        cache.  A stale or corrupt file can return a false positive; the
+        worker's :meth:`load` still verifies before trusting it, and falls
+        back to simulating (regenerating its trace locally).
+        """
+        if not self.read:
+            return False
+        fingerprint = point.fingerprint()
+        return fingerprint is not None and os.path.exists(self._path(fingerprint))
 
     def load(self, point: SweepPoint) -> Tuple[bool, Any]:
         """Return ``(hit, value)``; a miss is ``(False, None)``."""

@@ -21,9 +21,11 @@ from repro.sim.core_model import CoreTimingModel
 from repro.sim.stats import AMAT_COMPONENTS, CoreStats, LatencyBreakdown, SimulationResult
 
 __all__ = [
+    "ACCESS_DTYPE",
     "AMAT_COMPONENTS",
     "AccessType",
     "CacheConfig",
+    "ColumnarTrace",
     "CoreConfig",
     "CoreStats",
     "CoreTimingModel",
@@ -53,10 +55,16 @@ _LAZY_SIMULATOR_NAMES = {
     "simulate",
 }
 
+_LAZY_COLUMNAR_NAMES = {"ACCESS_DTYPE", "ColumnarTrace", "TraceCodecError"}
+
 
 def __getattr__(name: str):
     if name in _LAZY_SIMULATOR_NAMES:
         from repro.sim import simulator
 
         return getattr(simulator, name)
+    if name in _LAZY_COLUMNAR_NAMES:
+        from repro.sim import columnar
+
+        return getattr(columnar, name)
     raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")

@@ -259,3 +259,22 @@ def merge_traces(traces: Iterable[Trace]) -> Trace:
     for trace in traces:
         merged.extend(trace)
     return merged
+
+
+#: Names re-exported lazily from :mod:`repro.sim.columnar` so both trace
+#: representations share one import home without a circular import.
+_COLUMNAR_NAMES = {
+    "ACCESS_DTYPE",
+    "ColumnarTrace",
+    "TraceCodecError",
+    "as_columnar",
+    "as_workload",
+}
+
+
+def __getattr__(name: str):
+    if name in _COLUMNAR_NAMES:
+        from repro.sim import columnar
+
+        return getattr(columnar, name)
+    raise AttributeError(f"module 'repro.sim.access' has no attribute {name!r}")

@@ -25,6 +25,17 @@ from repro.core.protocol import CoherenceProtocol
 from repro.core.rmo import RmoProtocol
 from repro.core.states import StableState
 from repro.sim.access import AccessType, MemoryAccess, WorkloadTrace
+from repro.sim.columnar import (
+    CODE_ACCESS_TYPE,
+    CODE_OP,
+    CODE_SIZE,
+    COMM_MIN_CODE,
+    COMMUTATIVE_MIN_CODE,
+    REMOTE_MIN_CODE,
+    UPDATE_MIN_CODE,
+    ColumnarTrace,
+    decode_values,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.core_model import CoreTimingModel
 from repro.sim.stats import CoreStats, SimulationResult
@@ -78,8 +89,17 @@ class MulticoreSimulator:
         self.core_model = CoreTimingModel(config.core)
         self.track_values = track_values
 
-    def run(self, workload: WorkloadTrace) -> SimulationResult:
-        """Simulate the workload to completion and return statistics."""
+    def run(self, workload) -> SimulationResult:
+        """Simulate the workload to completion and return statistics.
+
+        Accepts either trace representation: the object form
+        (:class:`WorkloadTrace`) or the packed columnar form
+        (:class:`~repro.sim.columnar.ColumnarTrace`), which is simulated by
+        :meth:`_run_columnar` without materializing per-access objects.  The
+        two paths are pinned bit-identical by the golden-equivalence suite.
+        """
+        if isinstance(workload, ColumnarTrace):
+            return self._run_columnar(workload)
         if workload.n_cores > self.config.n_cores:
             raise ValueError(
                 f"workload uses {workload.n_cores} cores but the machine has "
@@ -138,6 +158,11 @@ class MulticoreSimulator:
             access_hot = protocol.access_hot
 
         # Min-heap of (clock, core_id) for cores that still have work to do.
+        # The core id is an explicit part of every heap entry so that cores
+        # whose clocks are exactly equal are always popped in ascending
+        # core-id order — the interleaving is fully deterministic, and the
+        # object and columnar simulation paths can never diverge on ties
+        # (pinned by tests/sim/test_simulator.py::TestCoreSelectionTieBreak).
         heap: List[tuple] = [(0.0, i) for i in range(n_cores)]
         heapq.heapify(heap)
         barrier_waiters: List[int] = []
@@ -280,6 +305,260 @@ class MulticoreSimulator:
                 # Private hit: charge the fixed L1/L2 latency without having
                 # built an AccessOutcome.  The component adds mirror what
                 # LatencyBreakdown.add would have accumulated.
+                latency_record = stats.latency
+                latency_record.l1 += l1_latency
+                if hit_level == 1:
+                    latency = l1_hit_total
+                else:
+                    latency_record.l2 += l2_latency
+                    latency = l2_hit_total
+                stats.l1_hits += 1
+            else:
+                latency = result.total_latency
+                stats.latency.add(result.latency)
+                if result.private_hit:
+                    stats.l1_hits += 1
+
+            stats.accesses += 1
+            stats.compute_cycles += think + overhead
+            stats.memory_cycles += latency
+
+            heappush(heap, (issue_time + overhead + latency, core_id))
+
+        return self._finish(workload, cursors, core_stats)
+
+    def _run_columnar(self, workload: ColumnarTrace) -> SimulationResult:
+        """Columnar twin of :meth:`run`: cursor-indexed raw columns.
+
+        The control flow, arithmetic, and protocol interactions are kept
+        line-for-line equivalent to the object loop — only the per-access
+        representation differs.  ``MemoryAccess`` objects are materialized
+        lazily, and only for the protocol calls whose signatures take one
+        (``resolve_slow``/``access_hot`` and the functional-update helpers);
+        every private hit resolves against raw ints and floats.  Any change
+        here must be mirrored in :meth:`run` (and vice versa); the
+        golden-equivalence suite pins the two paths bit-identical.
+        """
+        if workload.n_cores > self.config.n_cores:
+            raise ValueError(
+                f"workload uses {workload.n_cores} cores but the machine has "
+                f"{self.config.n_cores}"
+            )
+        workload.validate()
+
+        n_cores = workload.n_cores
+        cursors = [_CoreCursor(core_id=i) for i in range(n_cores)]
+        core_stats = [CoreStats(core_id=i) for i in range(n_cores)]
+        phase_boundaries = workload.phase_boundaries or []
+        n_phases = len(phase_boundaries)
+
+        # -- per-core columns, decoded once into flat Python lists ------------
+        # ``tolist`` converts whole columns in C: addresses become plain ints
+        # (exact dict keys for the protocol tables), compute gaps stay floats
+        # (``gap * cpi`` is bit-identical to ``int_think * cpi`` because every
+        # gap is an exact small integer), and operand values are decoded by
+        # kind in one vectorized pass per core.
+        codes_pc = [column["type_code"].tolist() for column in workload.columns]
+        addrs_pc = [column["address"].tolist() for column in workload.columns]
+        gaps_pc = [column["compute_gap"].tolist() for column in workload.columns]
+        values_pc = [decode_values(column) for column in workload.columns]
+        trace_lens = [len(codes) for codes in codes_pc]
+
+        # -- hot-loop constants, hoisted out of the per-access path -----------
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        protocol = self.protocol
+        cpi = self.core_model.cycles_per_instruction
+        atomic_overhead = self.core_model.atomic_overhead
+        commutative_overhead = self.core_model.commutative_overhead
+        l1_latency = self.config.l1d.latency
+        l2_latency = self.config.l2.latency
+        l1_hit_total = l1_latency + 0.0
+        l2_hit_total = l1_latency + l2_latency + 0.0
+        # type_code classification bounds (see repro.sim.columnar): loads,
+        # then stores, then atomic/commutative/remote updates in ascending
+        # code ranges.  Hoisted to locals for the hot loop.
+        store_min = UPDATE_MIN_CODE
+        atomic_min = COMM_MIN_CODE
+        commutative_min = COMMUTATIVE_MIN_CODE
+        remote_min = REMOTE_MIN_CODE
+        code_type = CODE_ACCESS_TYPE
+        code_op = CODE_OP
+        code_size = CODE_SIZE
+        new_access = MemoryAccess.__new__
+
+        inline = protocol.SUPPORTS_INLINE_FAST_PATH
+        if inline:
+            resolve_slow = protocol.resolve_slow
+            core_states = protocol.core_states
+            l1_caches = protocol._l1_caches
+            l2_caches = protocol._l2_caches
+            line_shift = protocol._line_shift
+            track_values = protocol.track_values
+            memory_image = protocol.memory_image
+            directory_entries = protocol.directory._entries
+            comm_local = protocol.HOT_COMMUTATIVE == "local"
+            comm_never = protocol.HOT_COMMUTATIVE == "never"
+            exclusive_s = StableState.EXCLUSIVE
+            modified_s = StableState.MODIFIED
+            update_s = StableState.UPDATE
+        else:
+            access_hot = protocol.access_hot
+
+        # Same deterministic (clock, core_id) heap as the object loop: equal
+        # clocks always pop in ascending core-id order.
+        heap: List[tuple] = [(0.0, i) for i in range(n_cores)]
+        heapq.heapify(heap)
+        barrier_waiters: List[int] = []
+
+        while heap or barrier_waiters:
+            if not heap:
+                self._release_barrier(cursors, barrier_waiters, heap)
+                continue
+
+            clock, core_id = heappop(heap)
+            cursor = cursors[core_id]
+            index = cursor.next_index
+
+            if index >= trace_lens[core_id]:
+                cursor.clock = clock
+                if cursor.phase < n_phases:
+                    barrier_waiters.append(core_id)
+                continue
+
+            if cursor.phase < n_phases:
+                if index >= phase_boundaries[cursor.phase][core_id]:
+                    cursor.clock = clock
+                    barrier_waiters.append(core_id)
+                    continue
+
+            code = codes_pc[core_id][index]
+            address = addrs_pc[core_id][index]
+            gap = gaps_pc[core_id][index]
+            cursor.next_index = index + 1
+            stats = core_stats[core_id]
+
+            # Fused dispatch on the packed type code (integer range compares
+            # replace the enum identity checks of the object loop).
+            is_comm = False
+            if code < store_min:  # LOAD
+                overhead = 0.0
+                stats.loads += 1
+            elif code < atomic_min:  # STORE
+                overhead = 0.0
+                stats.stores += 1
+            elif code < commutative_min:  # ATOMIC_RMW
+                overhead = atomic_overhead
+                stats.atomics += 1
+            elif code < remote_min:  # COMMUTATIVE_UPDATE
+                overhead = commutative_overhead
+                stats.commutative_updates += 1
+                is_comm = True
+            else:  # REMOTE_UPDATE
+                overhead = commutative_overhead
+                stats.remote_updates += 1
+                is_comm = True
+
+            think = gap * cpi
+            issue_time = clock + think
+
+            hit_level = 0
+            result = None
+            if inline:
+                line_addr = address >> line_shift
+                states = core_states[core_id]
+                state = states.get(line_addr)
+                level = None
+                if state is not None and (
+                    (not comm_never) if is_comm else (state is not update_s)
+                ):
+                    # Same hand-duplicated private-cache probe as the object
+                    # loop (see the WARNING in CoherenceProtocol._private_level).
+                    l1 = l1_caches[core_id]
+                    cache_set = l1._sets.get(line_addr % l1._num_sets)
+                    info = cache_set.get(line_addr) if cache_set is not None else None
+                    if info is not None:
+                        l1.hits += 1
+                        l1._tick = tick = l1._tick + 1
+                        info.last_use = tick
+                        level = 1
+                    else:
+                        l1.misses += 1
+                        l2 = l2_caches[core_id]
+                        cache_set = l2._sets.get(line_addr % l2._num_sets)
+                        info = cache_set.get(line_addr) if cache_set is not None else None
+                        if info is not None:
+                            l2.hits += 1
+                            l2._tick = tick = l2._tick + 1
+                            info.last_use = tick
+                            l1.insert(line_addr)
+                            level = 2
+                        else:
+                            l2.misses += 1
+                            level = 0
+                    if level:
+                        if code < store_min:  # LOAD
+                            if state is not update_s:
+                                hit_level = level
+                        elif state is modified_s or state is exclusive_s:
+                            states[line_addr] = modified_s
+                            if track_values:
+                                if code < atomic_min:  # STORE
+                                    value = values_pc[core_id][index]
+                                    if value is not None:
+                                        memory_image[address] = value
+                                else:
+                                    access = new_access(MemoryAccess)
+                                    access.access_type = code_type[code]
+                                    access.address = address
+                                    access.op = code_op[code]
+                                    access.value = values_pc[core_id][index]
+                                    access.think_instructions = int(gap)
+                                    access.size_bytes = code_size[code]
+                                    protocol._functional_update(access)
+                            if is_comm and comm_local:
+                                protocol.stat_local_updates += 1
+                            hit_level = level
+                        elif state is update_s and is_comm and comm_local:
+                            entry = directory_entries.get(line_addr)
+                            op = code_op[code]
+                            if op is not None and entry is not None and entry.op is op:
+                                if track_values:
+                                    access = new_access(MemoryAccess)
+                                    access.access_type = code_type[code]
+                                    access.address = address
+                                    access.op = op
+                                    access.value = values_pc[core_id][index]
+                                    access.think_instructions = int(gap)
+                                    access.size_bytes = code_size[code]
+                                    protocol._apply_local_update(core_id, access)
+                                protocol.stat_local_updates += 1
+                                hit_level = level
+                if not hit_level:
+                    access = new_access(MemoryAccess)
+                    access.access_type = code_type[code]
+                    access.address = address
+                    access.op = code_op[code]
+                    access.value = values_pc[core_id][index]
+                    access.think_instructions = int(gap)
+                    access.size_bytes = code_size[code]
+                    result = resolve_slow(
+                        core_id, access, line_addr, state, level, issue_time
+                    )
+            else:
+                access = new_access(MemoryAccess)
+                access.access_type = code_type[code]
+                access.address = address
+                access.op = code_op[code]
+                access.value = values_pc[core_id][index]
+                access.think_instructions = int(gap)
+                access.size_bytes = code_size[code]
+                result = access_hot(core_id, access, issue_time)
+                if result.__class__ is int:
+                    hit_level = result
+                    result = None
+
+            if hit_level:
                 latency_record = stats.latency
                 latency_record.l1 += l1_latency
                 if hit_level == 1:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.sim.access import AccessType, MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import VK_NONE, ColumnarTrace, code_for, encode_value
 
 
 class UpdateStyle(enum.Enum):
@@ -162,6 +163,22 @@ class Workload(abc.ABC):
             return AccessType.REMOTE_UPDATE, op, op.word_bytes
         return AccessType.STORE, None, 8
 
+    def _update_code(self, value, op=None) -> int:
+        """Packed ``type_code`` of the update :meth:`make_update` would build.
+
+        ``value`` is a representative operand (its int/float kind is folded
+        into the code).  Vectorized trace builders resolve this once per
+        column instead of dispatching on the update style per element.
+        """
+        access_type, update_op, size = self._update_shape(op)
+        value_kind, _delta = encode_value(value)
+        return code_for(access_type, update_op, size, value_kind)
+
+    @staticmethod
+    def _load_code(size_bytes: int = 8) -> int:
+        """Packed ``type_code`` of a plain load of ``size_bytes``."""
+        return code_for(AccessType.LOAD, None, size_bytes, VK_NONE)
+
     @staticmethod
     def split_work(n_items: int, n_cores: int) -> List[range]:
         """Contiguous block partition of ``n_items`` among ``n_cores``."""
@@ -214,11 +231,37 @@ class Workload(abc.ABC):
     def _build(self, n_cores: int) -> WorkloadTrace:
         """Emit the per-core traces for ``n_cores`` cores."""
 
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Emit the packed columnar traces for ``n_cores`` cores.
+
+        Subclasses override this with a vectorized builder that produces the
+        columns directly (same parameters, same RNG draw order — the
+        round-trip suite pins ``_build_columnar(n)`` array-equal to
+        ``ColumnarTrace.from_workload(_build(n))``).  The default packs the
+        object-form trace, which is always correct but not faster.
+        """
+        return ColumnarTrace.from_workload(self._build(n_cores))
+
     def generate(self, n_cores: int) -> WorkloadTrace:
         """Generate the workload trace for ``n_cores`` cores."""
         if n_cores <= 0:
             raise ValueError("n_cores must be positive")
         trace = self._build(n_cores)
+        trace.params.setdefault("update_style", self.update_style.value)
+        trace.params.setdefault("seed", self.seed)
+        trace.validate()
+        return trace
+
+    def generate_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Generate the packed columnar trace for ``n_cores`` cores.
+
+        Semantically identical to :meth:`generate` (same accesses, same
+        order, same metadata) in the representation the simulator's columnar
+        fast path and the sweep engine's caches consume natively.
+        """
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        trace = self._build_columnar(n_cores)
         trace.params.setdefault("update_style", self.update_style.value)
         trace.params.setdefault("seed", self.seed)
         trace.validate()
@@ -234,18 +277,21 @@ class Workload(abc.ABC):
         """
         if trace is None:
             trace = self.generate(n_cores)
-        updates = sum(
-            1
-            for core_trace in trace.per_core
-            for access in core_trace
-            if access.access_type.is_update
-        )
-        reads = sum(
-            1
-            for core_trace in trace.per_core
-            for access in core_trace
-            if not access.access_type.is_update
-        )
+        if isinstance(trace, ColumnarTrace):
+            updates, reads = trace.update_read_counts()
+        else:
+            updates = sum(
+                1
+                for core_trace in trace.per_core
+                for access in core_trace
+                if access.access_type.is_update
+            )
+            reads = sum(
+                1
+                for core_trace in trace.per_core
+                for access in core_trace
+                if not access.access_type.is_update
+            )
         return WorkloadStats(
             name=self.name,
             comm_op=self.comm_op_label,

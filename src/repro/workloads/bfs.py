@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.commutative import CommutativeOp
 from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import ACCESS_DTYPE, ColumnarTrace
 from repro.workloads.base import UpdateStyle, Workload
 
 
@@ -120,6 +121,124 @@ class BfsWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={
+                "n_vertices": self.n_vertices,
+                "avg_degree": self.avg_degree,
+                "max_levels": self.max_levels,
+                "variant": self.update_style.value,
+            },
+            phase_boundaries=phase_boundaries,
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Vectorized twin of :meth:`_build`.
+
+        Each level's access stream is assembled as one flat array in global
+        (frontier-position) order, with the round-robin owner recorded per
+        access; per-core columns are boolean selections from the stream,
+        which preserves each core's append order exactly.  The visited-set
+        semantics — the *first* in-level occurrence of a not-yet-visited
+        neighbour gets the update — vectorize as ``np.unique``'s stable
+        first-occurrence index plus a visited bitmap.
+        """
+        adjacency = self._adjacency()
+        degrees = np.fromiter(
+            (len(targets) for targets in adjacency), dtype=np.int64, count=self.n_vertices
+        )
+        edge_base = self.addresses.region("bfs_edges")
+        visited_base = self.addresses.region("bfs_visited")
+        load_code = self._load_code(8)
+        update_code_int = self._update_code(1)
+        update_code_uint = self._update_code(1 << 63)
+
+        visited = np.zeros(self.n_vertices, dtype=bool)
+        visited[0] = True
+        frontier = np.array([0], dtype=np.int64)
+        edge_counter = 0
+        segments: List[List[np.ndarray]] = [[] for _ in range(n_cores)]
+        lengths = [0] * n_cores
+        phase_boundaries: List[List[int]] = []
+
+        for _level in range(self.max_levels):
+            if not len(frontier):
+                break
+            n_positions = len(frontier)
+            positions = np.arange(n_positions, dtype=np.int64)
+            owners = positions % n_cores
+            counts = degrees[frontier]  # every vertex has >= 1 neighbour
+            neighbours = np.concatenate([adjacency[v] for v in frontier])
+            first_nb = np.zeros(n_positions, dtype=np.int64)
+            if n_positions > 1:
+                np.cumsum(counts[:-1], out=first_nb[1:])
+
+            # First stable occurrence of each neighbour within this level's
+            # stream, and not visited in an earlier level -> gets the update.
+            first_mask = np.zeros(len(neighbours), dtype=bool)
+            first_mask[np.unique(neighbours, return_index=True)[1]] = True
+            new_mask = first_mask & ~visited[neighbours]
+
+            nb_len = 1 + new_mask.astype(np.int64)  # load (+ update if new)
+            new_per_position = np.add.reduceat(new_mask.astype(np.int64), first_nb)
+            block_len = 1 + counts + new_per_position
+            heads = np.zeros(n_positions, dtype=np.int64)
+            if n_positions > 1:
+                np.cumsum(block_len[:-1], out=heads[1:])
+            slots_before = np.zeros(len(neighbours), dtype=np.int64)
+            if len(neighbours) > 1:
+                np.cumsum(nb_len[:-1], out=slots_before[1:])
+            load_positions = (
+                np.repeat(heads + 1, counts)
+                + slots_before
+                - np.repeat(slots_before[first_nb], counts)
+            )
+            update_positions = load_positions[new_mask] + 1
+
+            total = int(block_len.sum())
+            stream = np.empty(total, dtype=ACCESS_DTYPE)
+            stream["value_delta"] = 0
+            stream["phase"] = 0
+            stream["type_code"][heads] = load_code
+            stream["address"][heads] = (
+                edge_base + (edge_counter + positions).astype(np.uint64) * 8
+            )
+            stream["compute_gap"][heads] = self.THINK_PER_VERTEX
+            word_addresses = (
+                visited_base
+                + (neighbours // self.BITS_PER_WORD).astype(np.uint64) * 8
+            )
+            stream["type_code"][load_positions] = load_code
+            stream["address"][load_positions] = word_addresses
+            stream["compute_gap"][load_positions] = self.THINK_PER_EDGE
+            bits = (neighbours[new_mask] % self.BITS_PER_WORD).astype(np.uint64)
+            stream["type_code"][update_positions] = np.where(
+                bits == 63, update_code_uint, update_code_int
+            ).astype(np.uint8)
+            stream["address"][update_positions] = word_addresses[new_mask]
+            stream["value_delta"][update_positions] = np.left_shift(
+                np.uint64(1), bits
+            ).view(np.int64)
+            stream["compute_gap"][update_positions] = 1
+
+            owner_of_access = np.repeat(owners, block_len)
+            for core_id in range(n_cores):
+                column = stream[owner_of_access == core_id]
+                segments[core_id].append(column)
+                lengths[core_id] += len(column)
+            phase_boundaries.append(list(lengths))
+
+            frontier = neighbours[new_mask]
+            visited[frontier] = True
+            edge_counter += n_positions
+
+        columns = [
+            np.concatenate(core_segments)
+            if core_segments
+            else np.empty(0, dtype=ACCESS_DTYPE)
+            for core_segments in segments
+        ]
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
             params={
                 "n_vertices": self.n_vertices,
                 "avg_degree": self.avg_degree,

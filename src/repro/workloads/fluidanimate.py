@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.commutative import CommutativeOp
 from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import ACCESS_DTYPE, ColumnarTrace, encode_value, make_columns
 from repro.workloads.base import UpdateStyle, Workload
 
 
@@ -106,6 +109,95 @@ class FluidanimateWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={
+                "grid_x": self.grid_x,
+                "grid_y": self.grid_y,
+                "n_steps": self.n_steps,
+                "variant": self.update_style.value,
+            },
+            phase_boundaries=phase_boundaries,
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Vectorized twin of :meth:`_build` (same order, same addresses).
+
+        Interior-cell updates are contiguous address ranges, boundary-row
+        updates are ``np.repeat`` of one row's addresses, and the read phase
+        re-walks the interior range — all assembled per (step, core) segment
+        and concatenated in the object builder's append order.
+        """
+        rows = self.split_work(self.grid_y, n_cores)
+        cell_base = self.addresses.region("fluid_cells")
+        update_code = self._update_code(1.0)
+        interior_delta = encode_value(1.0)[1]
+        boundary_delta = encode_value(0.5)[1]
+        load_code = self._load_code(4)
+        grid_x = self.grid_x
+        segments: List[List[np.ndarray]] = [[] for _ in range(n_cores)]
+        lengths = [0] * n_cores
+        phase_boundaries: List[List[int]] = []
+
+        def row_addresses(row: int) -> np.ndarray:
+            start = cell_base + row * grid_x * 4
+            return np.arange(start, start + grid_x * 4, 4, dtype=np.uint64)
+
+        for _step in range(self.n_steps):
+            for core_id in range(n_cores):
+                own_rows = rows[core_id]
+                if len(own_rows) == 0:
+                    continue
+                interior_start = cell_base + own_rows.start * grid_x * 4
+                interior = np.arange(
+                    interior_start,
+                    interior_start + len(own_rows) * grid_x * 4,
+                    4,
+                    dtype=np.uint64,
+                )
+                segments[core_id].append(
+                    make_columns(update_code, interior, interior_delta, self.THINK_PER_CELL)
+                )
+                lengths[core_id] += len(interior)
+                for neighbour_row, owner in (
+                    (own_rows.start - 1, core_id - 1),
+                    (own_rows.stop, core_id + 1),
+                ):
+                    if not 0 <= owner < n_cores or not 0 <= neighbour_row < self.grid_y:
+                        continue
+                    addresses = np.repeat(
+                        row_addresses(neighbour_row), self.updates_per_boundary_cell
+                    )
+                    segments[core_id].append(
+                        make_columns(
+                            update_code, addresses, boundary_delta, self.THINK_PER_NEIGHBOUR
+                        )
+                    )
+                    lengths[core_id] += len(addresses)
+            phase_boundaries.append(list(lengths))
+
+            for core_id in range(n_cores):
+                own_rows = rows[core_id]
+                if len(own_rows) == 0:
+                    continue
+                interior_start = cell_base + own_rows.start * grid_x * 4
+                interior = np.arange(
+                    interior_start,
+                    interior_start + len(own_rows) * grid_x * 4,
+                    4,
+                    dtype=np.uint64,
+                )
+                segments[core_id].append(make_columns(load_code, interior, 0, 4))
+                lengths[core_id] += len(interior)
+            phase_boundaries.append(list(lengths))
+
+        columns = [
+            np.concatenate(core_segments)
+            if core_segments
+            else np.empty(0, dtype=ACCESS_DTYPE)
+            for core_segments in segments
+        ]
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
             params={
                 "grid_x": self.grid_x,
                 "grid_y": self.grid_y,

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.commutative import CommutativeOp
 from repro.sim.access import AccessType, MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import ACCESS_DTYPE, ColumnarTrace
 from repro.software.privatization import (
     PrivatizationLevel,
     PrivatizedReductionBuilder,
@@ -120,6 +121,47 @@ class HistogramWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={
+                "n_bins": self.n_bins,
+                "n_items": self.n_items,
+                "variant": self.update_style.value,
+            },
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Vectorized twin of :meth:`_build`: columns via array ops.
+
+        Same RNG draws, same region-allocation order, same interleaving —
+        the loads land on even slots and the bin updates on odd slots of
+        each core's column.
+        """
+        bins = self._input_bins()
+        partitions = self.split_work(self.n_items, n_cores)
+        input_base = self.addresses.region("hist_input")
+        bin_base = self.addresses.region("hist_bins")
+        load_code = self._load_code(4)
+        update_code = self._update_code(1)
+        bin_bytes = self.bin_bytes
+        columns: List[np.ndarray] = []
+        for core_id in range(n_cores):
+            part = partitions[core_id]
+            array = np.empty(2 * len(part), dtype=ACCESS_DTYPE)
+            items = np.arange(part.start, part.stop, dtype=np.uint64)
+            array["type_code"][0::2] = load_code
+            array["type_code"][1::2] = update_code
+            array["address"][0::2] = input_base + items * 4
+            array["address"][1::2] = (
+                bin_base + bins[part.start : part.stop].astype(np.uint64) * bin_bytes
+            )
+            array["value_delta"][0::2] = 0
+            array["value_delta"][1::2] = 1
+            array["compute_gap"][0::2] = self.THINK_PER_ITEM
+            array["compute_gap"][1::2] = 2
+            array["phase"] = 0
+            columns.append(array)
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
             params={
                 "n_bins": self.n_bins,
                 "n_items": self.n_items,

@@ -23,7 +23,10 @@ import numpy as np
 
 from repro.core.commutative import CommutativeOp
 from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import ACCESS_DTYPE, VK_NONE, ColumnarTrace, code_for
+from repro.sim.access import AccessType
 from repro.workloads.base import UpdateStyle, Workload
+from repro.workloads.spmv import interleave_blocks
 
 
 class PageRankWorkload(Workload):
@@ -68,10 +71,17 @@ class PageRankWorkload(Workload):
         weights = (np.arange(self.n_vertices) + 1.0) ** (-self.power_law_exponent)
         weights /= weights.sum()
         permutation = rng.permutation(self.n_vertices)
+        # Weighted sampling with the cdf hoisted out of the loop.  This is
+        # exactly what ``rng.choice(n, size=degree, p=weights)`` does per
+        # call — cumsum, normalize, searchsorted over ``degree`` uniform
+        # draws — minus recomputing the O(n) cdf for every vertex, so the
+        # draw stream (and therefore every generated trace) is unchanged.
+        cdf = weights.cumsum()
+        cdf /= cdf[-1]
         adjacency: List[np.ndarray] = []
         for _vertex in range(self.n_vertices):
             degree = max(1, int(rng.poisson(self.avg_degree)))
-            targets = rng.choice(self.n_vertices, size=degree, p=weights)
+            targets = cdf.searchsorted(rng.random(degree), side="right")
             adjacency.append(permutation[targets])
         return adjacency
 
@@ -135,6 +145,115 @@ class PageRankWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={
+                "n_vertices": self.n_vertices,
+                "avg_degree": self.avg_degree,
+                "n_iterations": self.n_iterations,
+                "variant": self.update_style.value,
+            },
+            phase_boundaries=phase_boundaries,
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Vectorized twin of :meth:`_build`.
+
+        The scatter phase reuses the ``[head, (pair) * degree]`` layout of
+        :func:`repro.workloads.spmv.interleave_blocks`; the gather phase is
+        an even/odd load/store interleave.  The global edge counter becomes
+        per-core aranges offset by the partition's cumulative degree and the
+        iteration's edge total.
+        """
+        adjacency = self._edges()
+        partitions = self.split_work(self.n_vertices, n_cores)
+        degrees = np.fromiter(
+            (len(targets) for targets in adjacency), dtype=np.int64, count=self.n_vertices
+        )
+        edges_before = np.zeros(self.n_vertices + 1, dtype=np.int64)
+        np.cumsum(degrees, out=edges_before[1:])
+        total_edges = int(edges_before[-1])
+
+        load_code = self._load_code(8)
+        store_code = code_for(AccessType.STORE, None, 8, VK_NONE)
+        update_code = self._update_code(1)
+        rank_bases = [None, None]
+
+        def rank_base(generation: int) -> int:
+            # Mirrors _rank_address: regions allocated on first use, in the
+            # same order the object builder touches them.
+            if rank_bases[generation] is None:
+                rank_bases[generation] = self.addresses.region(
+                    f"pgrank_rank_{generation}"
+                )
+            return rank_bases[generation]
+
+        edge_base = None
+        segments: List[List[np.ndarray]] = [[] for _ in range(n_cores)]
+        lengths = [0] * n_cores
+        phase_boundaries: List[List[int]] = []
+
+        for iteration in range(self.n_iterations):
+            read_gen = iteration % 2
+            write_gen = (iteration + 1) % 2
+            read_base = rank_base(read_gen)
+            if edge_base is None:
+                edge_base = self.addresses.region("pgrank_edges")
+            write_base = rank_base(write_gen)
+            iteration_edge_base = iteration * total_edges
+            for core_id in range(n_cores):
+                part = partitions[core_id]
+                counts = degrees[part.start : part.stop]
+                total, heads, pair_first = interleave_blocks(len(part), counts)
+                array = np.empty(total, dtype=ACCESS_DTYPE)
+                vertices = np.arange(part.start, part.stop, dtype=np.uint64)
+                array["type_code"][heads] = load_code
+                array["address"][heads] = read_base + vertices * 8
+                array["value_delta"][heads] = 0
+                array["compute_gap"][heads] = self.THINK_PER_VERTEX
+                core_edges = int(counts.sum())
+                edge_index = (
+                    iteration_edge_base
+                    + edges_before[part.start]
+                    + np.arange(core_edges, dtype=np.uint64)
+                )
+                array["type_code"][pair_first] = load_code
+                array["address"][pair_first] = edge_base + edge_index * 8
+                array["value_delta"][pair_first] = 0
+                array["compute_gap"][pair_first] = self.THINK_PER_EDGE
+                if core_edges:
+                    targets = np.concatenate(
+                        adjacency[part.start : part.stop]
+                    ).astype(np.uint64)
+                else:
+                    targets = np.empty(0, dtype=np.uint64)
+                array["type_code"][pair_first + 1] = update_code
+                array["address"][pair_first + 1] = write_base + targets * 8
+                array["value_delta"][pair_first + 1] = 1
+                array["compute_gap"][pair_first + 1] = 1
+                array["phase"] = 0
+                segments[core_id].append(array)
+                lengths[core_id] += total
+            phase_boundaries.append(list(lengths))
+
+            for core_id in range(n_cores):
+                part = partitions[core_id]
+                array = np.empty(2 * len(part), dtype=ACCESS_DTYPE)
+                addresses = write_base + np.arange(part.start, part.stop, dtype=np.uint64) * 8
+                array["type_code"][0::2] = load_code
+                array["type_code"][1::2] = store_code
+                array["address"][0::2] = addresses
+                array["address"][1::2] = addresses
+                array["value_delta"] = 0
+                array["compute_gap"][0::2] = self.THINK_PER_VERTEX
+                array["compute_gap"][1::2] = 2
+                array["phase"] = 0
+                segments[core_id].append(array)
+                lengths[core_id] += 2 * len(part)
+            phase_boundaries.append(list(lengths))
+
+        columns = [np.concatenate(core_segments) for core_segments in segments]
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
             params={
                 "n_vertices": self.n_vertices,
                 "avg_degree": self.avg_degree,

@@ -27,7 +27,8 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.commutative import CommutativeOp
-from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.access import AccessType, MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import VK_INT, VK_UINT, ColumnBuilder, ColumnarTrace, code_for
 from repro.software.refcache import RefcacheThreadCache
 from repro.software.snzi import SnziTree
 from repro.workloads.base import UpdateStyle, Workload
@@ -124,6 +125,50 @@ class ImmediateRefcountWorkload(Workload):
         return WorkloadTrace(
             name=f"{self.name}-{self.scheme.value}-{self.count_mode.value}",
             per_core=per_core,
+            params={
+                "n_counters": self.n_counters,
+                "updates_per_thread": self.updates_per_thread,
+                "scheme": self.scheme.value,
+                "count_mode": self.count_mode.value,
+            },
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Column-direct twin of :meth:`_build` for the flat-counter schemes.
+
+        The per-update RNG draws depend on the evolving held-reference state,
+        so the loop stays sequential — but it emits raw column values instead
+        of constructing an object per access.  SNZI trees interleave helper-
+        built sub-traces and fall back to packing the object form.
+        """
+        if self.scheme is RefcountScheme.SNZI:
+            return super()._build_columnar(n_cores)
+        base = self.addresses.region("refcount_counters")
+        update_code = self._update_code(1)
+        load_code = self._load_code(8)
+        counter_bytes = self.counter_bytes
+        think = self.THINK_PER_OP
+        columns = []
+        for core_id in range(n_cores):
+            rng = self._rng(1000 + core_id)
+            held: Dict[int, int] = {}
+            builder = ColumnBuilder()
+            append = builder.append
+            for _ in range(self.updates_per_thread):
+                counter = int(rng.integers(0, self.n_counters))
+                references = held.get(counter, 0)
+                address = base + counter * counter_bytes
+                if self._choose_increment(rng, references):
+                    held[counter] = references + 1
+                    append(update_code, address, 1, think)
+                else:
+                    held[counter] = max(0, references - 1)
+                    append(update_code, address, -1, think)
+                    append(load_code, address, 0, 2)
+            columns.append(builder.build())
+        return ColumnarTrace(
+            name=f"{self.name}-{self.scheme.value}-{self.count_mode.value}",
+            columns=columns,
             params={
                 "n_counters": self.n_counters,
                 "updates_per_thread": self.updates_per_thread,
@@ -252,6 +297,64 @@ class DelayedRefcountWorkload(Workload):
         return WorkloadTrace(
             name=f"{self.name}-{self.scheme.value}",
             per_core=per_core,
+            params={
+                "n_counters": self.n_counters,
+                "updates_per_epoch": self.updates_per_epoch,
+                "n_epochs": self.n_epochs,
+                "scheme": self.scheme.value,
+            },
+            phase_boundaries=phase_boundaries,
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Column-direct twin of :meth:`_build` (same RNG replay order)."""
+        comm = AccessType.COMMUTATIVE_UPDATE
+        add_code = code_for(comm, CommutativeOp.ADD_I64, 8, VK_INT)
+        or_code_int = code_for(comm, CommutativeOp.OR_64, 8, VK_INT)
+        or_code_uint = code_for(comm, CommutativeOp.OR_64, 8, VK_UINT)
+        load_code = self._load_code(8)
+        builders = [ColumnBuilder() for _ in range(n_cores)]
+        phase_boundaries: List[List[int]] = []
+        caches = [
+            RefcacheThreadCache(self.addresses, core_id) for core_id in range(n_cores)
+        ]
+        for epoch in range(self.n_epochs):
+            modified_per_core: List[set] = [set() for _ in range(n_cores)]
+            for core_id in range(n_cores):
+                rng = self._rng((epoch + 1) * 10_000 + core_id)
+                builder = builders[core_id]
+                for _ in range(self.updates_per_epoch):
+                    counter = int(rng.integers(0, self.n_counters))
+                    delta = 1 if rng.random() < 0.5 else -1
+                    if self.scheme is RefcountScheme.COUP:
+                        builder.append(
+                            add_code, self._counter_address(counter), delta, self.THINK_PER_OP
+                        )
+                        bit = counter % self.BITS_PER_WORD
+                        builder.append(
+                            or_code_uint if bit == 63 else or_code_int,
+                            self._bitmap_address(counter),
+                            (1 << bit) - (1 << 64 if bit == 63 else 0),
+                            1,
+                        )
+                        modified_per_core[core_id].add(counter)
+                    else:
+                        builder.extend_objects(caches[core_id].update(counter, delta))
+            phase_boundaries.append([len(builder) for builder in builders])
+
+            for core_id in range(n_cores):
+                builder = builders[core_id]
+                if self.scheme is RefcountScheme.COUP:
+                    for counter in sorted(modified_per_core[core_id]):
+                        builder.append(load_code, self._bitmap_address(counter), 0, 3)
+                        builder.append(load_code, self._counter_address(counter), 0, 3)
+                else:
+                    builder.extend_objects(caches[core_id].flush(self._counter_address))
+            phase_boundaries.append([len(builder) for builder in builders])
+
+        return ColumnarTrace(
+            name=f"{self.name}-{self.scheme.value}",
+            columns=[builder.build() for builder in builders],
             params={
                 "n_counters": self.n_counters,
                 "updates_per_epoch": self.updates_per_epoch,

@@ -22,7 +22,35 @@ import numpy as np
 
 from repro.core.commutative import CommutativeOp
 from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import ACCESS_DTYPE, ColumnarTrace, encode_value
 from repro.workloads.base import UpdateStyle, Workload
+
+
+def interleave_blocks(n_blocks: int, inner_counts: np.ndarray):
+    """Index arrays for the ``[head, (a, b) * count]`` per-block layout.
+
+    Several generators emit, per logical block (matrix column, graph
+    vertex), one *head* access followed by ``count`` pairs of accesses.
+    Returns ``(total_length, head_positions, pair_first_positions)`` such
+    that block ``i`` occupies ``[head[i], head[i] + 1 + 2 * count[i])`` and
+    its ``j``-th pair sits at ``pair_first[c + j]``/``pair_first[c + j] + 1``
+    (``c`` = pairs before block ``i``).
+    """
+    inner_counts = np.asarray(inner_counts, dtype=np.int64)
+    blocks = 1 + 2 * inner_counts
+    heads = np.zeros(n_blocks, dtype=np.int64)
+    if n_blocks > 1:
+        np.cumsum(blocks[:-1], out=heads[1:])
+    total_pairs = int(inner_counts.sum())
+    pairs_before = np.zeros(n_blocks, dtype=np.int64)
+    if n_blocks > 1:
+        np.cumsum(inner_counts[:-1], out=pairs_before[1:])
+    within = np.arange(total_pairs, dtype=np.int64) - np.repeat(
+        pairs_before, inner_counts
+    )
+    pair_first = np.repeat(heads + 1, inner_counts) + 2 * within
+    total = int(blocks.sum()) if n_blocks else 0
+    return total, heads, pair_first
 
 
 class SpmvWorkload(Workload):
@@ -116,6 +144,66 @@ class SpmvWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={
+                "n_rows": self.n_rows,
+                "n_cols": self.n_cols,
+                "nnz_per_col": self.nnz_per_col,
+                "variant": self.update_style.value,
+            },
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        """Vectorized twin of :meth:`_build`.
+
+        Each column's ``[x-load, (value-load, y-update) * nnz]`` block is
+        laid out with :func:`interleave_blocks`; the global nonzero counter
+        becomes an arange offset by the partition's cumulative nnz.
+        """
+        column_rows = self._column_rows()
+        partitions = self.split_work(self.n_cols, n_cores)
+        x_base = self.addresses.region("spmv_x")
+        value_base = self.addresses.region("spmv_vals")
+        y_base = self.addresses.region("spmv_y")
+        load_code = self._load_code(8)
+        update_code = self._update_code(1.0)
+        update_delta = encode_value(1.0)[1]
+        counts_all = np.fromiter(
+            (len(rows) for rows in column_rows), dtype=np.int64, count=self.n_cols
+        )
+        nnz_before = np.zeros(self.n_cols + 1, dtype=np.int64)
+        np.cumsum(counts_all, out=nnz_before[1:])
+        columns: List[np.ndarray] = []
+        for core_id in range(n_cores):
+            part = partitions[core_id]
+            counts = counts_all[part.start : part.stop]
+            total, heads, pair_first = interleave_blocks(len(part), counts)
+            array = np.empty(total, dtype=ACCESS_DTYPE)
+            cols = np.arange(part.start, part.stop, dtype=np.uint64)
+            array["type_code"][heads] = load_code
+            array["address"][heads] = x_base + cols * 8
+            array["value_delta"][heads] = 0
+            array["compute_gap"][heads] = 4
+            total_nnz = int(counts.sum())
+            nnz_index = nnz_before[part.start] + np.arange(total_nnz, dtype=np.uint64)
+            array["type_code"][pair_first] = load_code
+            array["address"][pair_first] = value_base + nnz_index * 8
+            array["value_delta"][pair_first] = 0
+            array["compute_gap"][pair_first] = self.THINK_PER_NNZ
+            if total_nnz:
+                rows = np.concatenate(column_rows[part.start : part.stop]).astype(
+                    np.uint64
+                )
+            else:
+                rows = np.empty(0, dtype=np.uint64)
+            array["type_code"][pair_first + 1] = update_code
+            array["address"][pair_first + 1] = y_base + rows * 8
+            array["value_delta"][pair_first + 1] = update_delta
+            array["compute_gap"][pair_first + 1] = 1
+            array["phase"] = 0
+            columns.append(array)
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
             params={
                 "n_rows": self.n_rows,
                 "n_cols": self.n_cols,

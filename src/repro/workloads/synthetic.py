@@ -23,8 +23,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.commutative import CommutativeOp
-from repro.sim.access import MemoryAccess, Trace, WorkloadTrace
+from repro.sim.access import AccessType, MemoryAccess, Trace, WorkloadTrace
+from repro.sim.columnar import (
+    ACCESS_DTYPE,
+    VK_INT,
+    VK_UINT,
+    ColumnBuilder,
+    ColumnarTrace,
+    code_for,
+    make_columns,
+)
 from repro.workloads.base import UpdateStyle, Workload
 
 
@@ -74,6 +85,33 @@ class SharedCounterWorkload(Workload):
             phase_boundaries=boundaries,
         )
         return workload
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        address = self.counter_address
+        update_code = self._update_code(1)
+        columns: List[np.ndarray] = []
+        for core_id in range(n_cores):
+            extra = 1 if self.read_at_end and core_id == 0 else 0
+            array = np.empty(self.updates_per_core + extra, dtype=ACCESS_DTYPE)
+            array["type_code"] = update_code
+            array["address"] = address
+            array["value_delta"] = 1
+            array["compute_gap"] = self.think
+            array["phase"] = 0
+            if extra:
+                array["type_code"][-1] = self._load_code(8)
+                array["value_delta"][-1] = 0
+                array["compute_gap"][-1] = 2
+            columns.append(array)
+        boundaries = (
+            [[self.updates_per_core] * n_cores] if self.read_at_end else None
+        )
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
+            params={"updates_per_core": self.updates_per_core},
+            phase_boundaries=boundaries,
+        )
 
     def reference_result(self) -> Optional[Dict[int, object]]:
         return None  # Depends on the core count; tests compute it inline.
@@ -135,6 +173,43 @@ class MultiCounterWorkload(Workload):
             },
         )
 
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        base = self.addresses.region("counters")
+        update_code = self._update_code(1)
+        columns: List[np.ndarray] = []
+        for core_id in range(n_cores):
+            rng = self._rng(core_id)
+            if not self.hot_fraction:
+                # Draw order matches the object builder: one bounded-integer
+                # draw per update, which numpy generates identically whether
+                # requested one at a time or as a batch.
+                indices = rng.integers(
+                    0, self.n_counters, size=self.updates_per_core
+                ).astype(np.uint64)
+            else:
+                # The hot-spot draw is conditional (an extra uniform per
+                # update, and no integer draw for hot updates), so the draw
+                # sequence is replayed element-wise.
+                drawn = []
+                for _ in range(self.updates_per_core):
+                    if rng.random() < self.hot_fraction:
+                        drawn.append(0)
+                    else:
+                        drawn.append(int(rng.integers(0, self.n_counters)))
+                indices = np.asarray(drawn, dtype=np.uint64)
+            columns.append(
+                make_columns(update_code, base + indices * 8, 1, self.think)
+            )
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
+            params={
+                "n_counters": self.n_counters,
+                "updates_per_core": self.updates_per_core,
+                "hot_fraction": self.hot_fraction,
+            },
+        )
+
     def expected_total(self, n_cores: int) -> int:
         return self.updates_per_core * n_cores
 
@@ -173,6 +248,24 @@ class FalseSharingWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={"updates_per_core": self.updates_per_core},
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        base = self.addresses.region("false_sharing")
+        update_code = self._update_code(1)
+        columns = [
+            make_columns(
+                update_code,
+                np.full(self.updates_per_core, base + core_id * 8, dtype=np.uint64),
+                1,
+                self.think,
+            )
+            for core_id in range(n_cores)
+        ]
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
             params={"updates_per_core": self.updates_per_core},
         )
 
@@ -221,6 +314,33 @@ class ScalarReductionWorkload(Workload):
             params={"items_per_core": self.items_per_core},
         )
 
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        load_code = self._load_code(8)
+        columns: List[np.ndarray] = []
+        for core_id in range(n_cores):
+            # Region-allocation order matches the object builder: the core's
+            # input region first, then (on core 0) the shared scalar.
+            input_base = self.addresses.region(f"scalar_input_{core_id}")
+            scalar_address = self.scalar_address
+            array = np.empty(self.items_per_core + 1, dtype=ACCESS_DTYPE)
+            array["type_code"][:-1] = load_code
+            array["address"][:-1] = input_base + np.arange(
+                self.items_per_core, dtype=np.uint64
+            ) * 8
+            array["value_delta"][:-1] = 0
+            array["compute_gap"][:-1] = 4
+            array["type_code"][-1] = self._update_code(self.items_per_core)
+            array["address"][-1] = scalar_address
+            array["value_delta"][-1] = self.items_per_core
+            array["compute_gap"][-1] = 2
+            array["phase"] = 0
+            columns.append(array)
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
+            params={"items_per_core": self.items_per_core},
+        )
+
 
 class ReadOnlyWorkload(Workload):
     """All cores read a shared array; COUP must behave identically to MESI."""
@@ -256,6 +376,22 @@ class ReadOnlyWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={"n_elements": self.n_elements, "reads_per_core": self.reads_per_core},
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        base = self.addresses.region("readonly_array")
+        load_code = self._load_code(8)
+        columns = []
+        for core_id in range(n_cores):
+            rng = self._rng(core_id)
+            indices = rng.integers(0, self.n_elements, size=self.reads_per_core)
+            columns.append(
+                make_columns(load_code, base + indices.astype(np.uint64) * 8, 0, 3)
+            )
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
             params={"n_elements": self.n_elements, "reads_per_core": self.reads_per_core},
         )
 
@@ -317,6 +453,34 @@ class InterleavedReadUpdateWorkload(Workload):
             },
         )
 
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        base = self.addresses.region("interleaved_array")
+        update_code = self._update_code(1)
+        load_code = self._load_code(8)
+        run = self.updates_per_read + 1
+        code_pattern = np.tile(
+            np.array([update_code] * self.updates_per_read + [load_code], dtype=np.uint8),
+            self.rounds,
+        )
+        delta_pattern = np.tile(
+            np.array([1] * self.updates_per_read + [0], dtype=np.int64), self.rounds
+        )
+        columns = []
+        for core_id in range(n_cores):
+            rng = self._rng(core_id)
+            indices = rng.integers(0, self.n_elements, size=self.rounds)
+            addresses = np.repeat(base + indices.astype(np.uint64) * 8, run)
+            columns.append(make_columns(code_pattern, addresses, delta_pattern, self.think))
+        return ColumnarTrace(
+            name=self.name,
+            columns=columns,
+            params={
+                "n_elements": self.n_elements,
+                "updates_per_read": self.updates_per_read,
+                "rounds": self.rounds,
+            },
+        )
+
 
 class MixedOpWorkload(Workload):
     """Commutative updates of different types to the same line.
@@ -370,6 +534,33 @@ class MixedOpWorkload(Workload):
         return WorkloadTrace(
             name=self.name,
             per_core=per_core,
+            params={
+                "updates_per_core": self.updates_per_core,
+                "switch_every": self.switch_every,
+            },
+        )
+
+    def _build_columnar(self, n_cores: int) -> ColumnarTrace:
+        add_address = self.add_address
+        or_address = self.or_address
+        comm = AccessType.COMMUTATIVE_UPDATE
+        add_code = code_for(comm, CommutativeOp.ADD_I64, 8, VK_INT)
+        or_code_int = code_for(comm, CommutativeOp.OR_64, 8, VK_INT)
+        or_code_uint = code_for(comm, CommutativeOp.OR_64, 8, VK_UINT)
+        i = np.arange(self.updates_per_core, dtype=np.int64)
+        use_add = (i // self.switch_every) % 2 == 0
+        bits = (i % 64).astype(np.uint64)
+        or_codes = np.where(bits == 63, or_code_uint, or_code_int)
+        codes = np.where(use_add, add_code, or_codes).astype(np.uint8)
+        addresses = np.where(use_add, np.uint64(add_address), np.uint64(or_address))
+        or_deltas = np.left_shift(np.uint64(1), bits).view(np.int64)
+        deltas = np.where(use_add, np.int64(1), or_deltas)
+        column = make_columns(codes, addresses, deltas, 4)
+        # Every core issues the identical update stream; the array is never
+        # mutated, so one buffer backs all cores.
+        return ColumnarTrace(
+            name=self.name,
+            columns=[column] * n_cores,
             params={
                 "updates_per_core": self.updates_per_core,
                 "switch_every": self.switch_every,

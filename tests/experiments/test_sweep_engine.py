@@ -243,3 +243,105 @@ class TestRunnerPointMode:
         captured = capsys.readouterr()
         assert "Table 1" in captured.out  # the healthy sibling still ran
         assert "boom" in captured.err
+
+
+class TestColumnarTraceCache:
+    def test_cache_serves_columnar_traces(self):
+        from repro.sim.columnar import ColumnarTrace
+
+        cache = TraceCache()
+        trace = cache.get(WorkloadSpec.plain(hist_factory), 4)
+        assert isinstance(trace, ColumnarTrace)
+        assert cache.total_bytes == trace.nbytes > 0
+        stats = cache.stats()
+        assert stats["traces"] == 1 and stats["misses"] == 1
+        assert stats["bytes"] == trace.nbytes
+
+    def test_columnar_cache_simulates_identically_to_object_form(self):
+        cache = TraceCache()
+        spec = WorkloadSpec.plain(hist_factory)
+        config = small_test_config(4)
+        columnar = simulate(cache.get(spec, 4), config, "COUP", track_values=True)
+        fresh = simulate(spec.materialize(4), config, "COUP", track_values=True)
+        assert columnar == fresh
+
+    def test_unpackable_trace_falls_back_to_object_form(self):
+        from repro.sim.access import MemoryAccess, WorkloadTrace
+
+        class WeirdWorkload(MultiCounterWorkload):
+            def generate_columnar(self, n_cores):
+                raise AssertionError("must not be used for unpackable traces")
+
+            def generate(self, n_cores):
+                trace = [MemoryAccess.store(64, value=("un", "packable"))]
+                return WorkloadTrace(name="weird", per_core=[trace] * n_cores)
+
+        cache = TraceCache()
+        spec = WorkloadSpec(
+            lambda: WeirdWorkload(n_counters=4, updates_per_core=2),
+            materialize=lambda workload, n_cores: workload.generate(n_cores),
+        )
+        trace = cache.get(spec, 2)
+        assert trace.per_core[0][0].value == ("un", "packable")
+        assert cache.total_bytes == 0  # object-form fallback is not packed
+
+    def test_store_dir_roundtrips_traces_through_npz(self, tmp_path):
+        store = str(tmp_path / "traces")
+        first = TraceCache(store_dir=store)
+        spec = WorkloadSpec.plain(hist_factory)
+        trace = first.get(spec, 4)
+        assert first.disk_stores == 1 and first.disk_loads == 0
+
+        second = TraceCache(store_dir=store)
+        loaded = second.get(WorkloadSpec.plain(hist_factory), 4)
+        assert second.disk_loads == 1 and second.disk_stores == 0
+        assert loaded == trace
+
+    def test_corrupt_npz_regenerates(self, tmp_path):
+        store = str(tmp_path / "traces")
+        first = TraceCache(store_dir=store)
+        first.get(WorkloadSpec.plain(hist_factory), 4)
+        for path in (tmp_path / "traces").iterdir():
+            path.write_bytes(b"not an npz")
+        second = TraceCache(store_dir=store)
+        trace = second.get(WorkloadSpec.plain(hist_factory), 4)
+        assert second.disk_loads == 0  # corrupt file rejected, regenerated
+        assert trace.total_accesses > 0
+
+
+class TestSharedMemoryTraces:
+    def test_publish_attach_roundtrip(self):
+        spec = WorkloadSpec.plain(hist_factory)
+        key = spec.key(4)
+        trace = spec.materialize_columnar(4)
+        handle, segment = sweep.publish_trace_shm(trace, key)
+        try:
+            attached = sweep.attach_trace_shm(handle)
+            assert attached == trace
+            assert not attached.columns[0].flags.writeable
+            # Zero-copy: the attached arrays view the shared segment rather
+            # than owning their data.
+            assert not attached.columns[0].flags.owndata
+            config = small_test_config(4)
+            assert simulate(attached, config, "COUP") == simulate(trace, config, "COUP")
+            del attached
+        finally:
+            segment.close()
+            segment.unlink()
+
+    def test_jobs_with_and_without_shm_match(self, tmp_path, capsys):
+        strip = lambda text: [  # noqa: E731
+            line
+            for line in text.splitlines()
+            if not line.startswith("[traffic] completed")
+        ]
+        assert runner_main(["traffic", "--jobs", "2", "--results-dir", str(tmp_path / "a")]) == 0
+        shm_out = capsys.readouterr().out
+        assert (
+            runner_main(
+                ["traffic", "--jobs", "2", "--no-shm", "--results-dir", str(tmp_path / "b")]
+            )
+            == 0
+        )
+        no_shm_out = capsys.readouterr().out
+        assert strip(shm_out) == strip(no_shm_out)

@@ -183,3 +183,60 @@ class TestStatisticsPlumbing:
         assert summary["protocol"] == "COUP"
         assert summary["n_cores"] == 2
         assert summary["run_cycles"] > 0
+
+
+class TestCoreSelectionTieBreak:
+    """Equal core clocks must always resolve in ascending core-id order.
+
+    Every heap entry is an explicit ``(clock, core_id)`` pair, so ties on
+    the clock break deterministically by core id — on both the object and
+    the columnar simulation path.  This pins the interleaving the sweep
+    engine's shared traces (and the golden results) depend on.
+    """
+
+    N_CORES = 5
+    ACCESSES_PER_CORE = 4
+
+    def _symmetric_workload(self) -> WorkloadTrace:
+        # Every core issues the same number of private, zero-think loads
+        # with identical latencies: after each access all clocks are equal,
+        # so every scheduling decision is a pure tie.
+        per_core = [
+            [
+                MemoryAccess.load((core_id * 64 + i * self.N_CORES * 64) + 0x1000_0000)
+                for i in range(self.ACCESSES_PER_CORE)
+            ]
+            for core_id in range(self.N_CORES)
+        ]
+        return WorkloadTrace(name="tie-break", per_core=per_core)
+
+    def _recorded_order(self, trace) -> list:
+        config = small_test_config(self.N_CORES)
+        engine = make_protocol("RMO", config)
+        # Force the access_hot path so every access reaches the recorder
+        # (the inline fast path would resolve private hits silently).
+        engine.SUPPORTS_INLINE_FAST_PATH = False
+        order = []
+        original = engine.access_hot
+
+        def recording_access_hot(core_id, access, now):
+            order.append(core_id)
+            return original(core_id, access, now)
+
+        engine.access_hot = recording_access_hot
+        MulticoreSimulator(config, engine).run(trace)
+        return order
+
+    def test_equal_clocks_pop_in_core_id_order(self):
+        order = self._recorded_order(self._symmetric_workload())
+        expected = list(range(self.N_CORES)) * self.ACCESSES_PER_CORE
+        assert order == expected
+
+    def test_columnar_path_interleaves_identically(self):
+        from repro.sim.columnar import ColumnarTrace
+
+        workload = self._symmetric_workload()
+        object_order = self._recorded_order(workload)
+        columnar_order = self._recorded_order(ColumnarTrace.from_workload(workload))
+        assert columnar_order == object_order
+        assert columnar_order == list(range(self.N_CORES)) * self.ACCESSES_PER_CORE
