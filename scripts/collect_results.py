@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: E402
     figure12_privatization,
     figure13_refcount,
     sensitivity_reduction_unit,
+    sensitivity_topology,
     settings,
     table2_benchmarks,
     traffic_reduction,
@@ -102,6 +103,22 @@ def collect_point_records(results_dir: str, *, scale: float, max_cores: int) -> 
         }
         if "summary" in record:
             point["summary"] = record["summary"]
+            # Fold the interconnect statistics the summaries carry instead of
+            # dropping them: the per-message-type byte breakdown is summed
+            # across the experiment's points, and the peak link utilization
+            # (contention-enabled sweeps only) is tracked as a maximum.
+            point_summary = record["summary"]
+            if isinstance(point_summary, dict):
+                bytes_by_type = point_summary.get("bytes_by_type")
+                if isinstance(bytes_by_type, dict):
+                    totals = digest.setdefault("bytes_by_type", {})
+                    for label, count in bytes_by_type.items():
+                        totals[label] = totals.get(label, 0) + count
+                utilization = point_summary.get("max_link_utilization")
+                if utilization is not None:
+                    digest["max_link_utilization"] = max(
+                        digest.get("max_link_utilization", 0.0), utilization
+                    )
         digest["points"].append(point)
     return folded
 
@@ -184,6 +201,9 @@ def main(argv=None) -> int:
     )
     summary["traffic"] = timed("traffic", traffic_reduction.run, n_cores=max_cores)
     summary["sensitivity"] = timed("sensitivity", sensitivity_reduction_unit.run, n_cores=max_cores)
+    summary["sensitivity_topology"] = timed(
+        "sensitivity_topology", sensitivity_topology.run, n_cores=min(16, max_cores)
+    )
     summary["table2"] = timed("table2", table2_benchmarks.run)
     summary["timings"] = timings
 

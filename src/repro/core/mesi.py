@@ -116,9 +116,11 @@ class MesiProtocol(CoherenceProtocol):
         breakdown.l3 += self._onchip_hop + self._l3_latency
         if self._l3_caches[requester_chip].lookup(line_addr) is not None:
             return
-        # Off-chip to the home L4 chip.
+        # Off-chip to the home L4 chip (topology- and contention-aware).
         home_l4 = line_addr % self._n_l4_chips
-        breakdown.offchip_network += self._offchip_round_trip
+        breakdown.offchip_network += self._l4_rt(
+            requester_chip, home_l4, line_addr, self.current_time
+        )
         breakdown.l4 += self._l4_latency
         self.interconnect.record_one(MessageType.GET_SHARED, LinkScope.OFF_CHIP)
         self.interconnect.record_one(MessageType.DATA_RESPONSE, LinkScope.OFF_CHIP)
@@ -160,7 +162,15 @@ class MesiProtocol(CoherenceProtocol):
 
         inval_latency = 0.0
         if offchip_chips:
-            inval_latency += self._offchip_round_trip
+            # The global directory at the line's home L4 chip invalidates
+            # every chip in parallel: the critical path is the slowest
+            # L4 <-> chip round trip (all equal under the dancehall).
+            home_l4 = line_addr % self._n_l4_chips
+            now = self.current_time
+            inval_latency += max(
+                self._l4_control_rt(chip, home_l4, line_addr, now)
+                for chip in offchip_chips
+            )
             inval_latency += self._onchip_hop * 2
         else:
             inval_latency += self._onchip_hop * 2
@@ -260,8 +270,9 @@ class MesiProtocol(CoherenceProtocol):
         breakdown.l3 += self._onchip_hop + self._l3_latency
         latency = self._l2_latency + 2 * self._onchip_hop
         if owner_chip != requester_chip:
-            latency += self._offchip_round_trip
-            breakdown.offchip_network += self._offchip_round_trip
+            transfer = self._chip_rt(requester_chip, owner_chip, self.current_time)
+            latency += transfer
+            breakdown.offchip_network += transfer
             breakdown.l4 += self._l4_latency
             scope = LinkScope.OFF_CHIP
         else:

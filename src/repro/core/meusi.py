@@ -154,9 +154,12 @@ class MeusiProtocol(MesiProtocol):
                 self._set_state(core, line_addr, StableState.INVALID)
                 total_partials += 1
             if chip != requester_chip:
-                # The chip's single aggregated partial update crosses off-chip.
+                # The chip's single aggregated partial update crosses off-chip
+                # to the home L4 bank's reduction unit.
                 self.interconnect.record_one(MessageType.PARTIAL_UPDATE, LinkScope.OFF_CHIP)
-                local_latency += self._offchip_round_trip
+                local_latency += self._l4_partial(
+                    chip, line_addr % self._n_l4_chips, line_addr, self.current_time
+                )
             critical_path = max(critical_path, local_latency)
 
         if len(chips) > 1 or (chips and requester_chip not in chips):
@@ -207,8 +210,9 @@ class MeusiProtocol(MesiProtocol):
             scope = LinkScope.OFF_CHIP if owner_chip != chip else LinkScope.ON_CHIP
             latency = self._l2_latency + 2 * self._onchip_hop
             if owner_chip != chip:
-                latency += self._offchip_round_trip
-                breakdown.offchip_network += self._offchip_round_trip
+                transfer = self._chip_rt(chip, owner_chip, self.current_time)
+                latency += transfer
+                breakdown.offchip_network += transfer
                 breakdown.l4 += self._l4_latency
             breakdown.l4_invalidations += latency
             self.interconnect.record_one(MessageType.DOWNGRADE, scope)

@@ -81,6 +81,32 @@ class CoherenceProtocol(abc.ABC):
         ]
         self._onchip_hop = self.interconnect.onchip_hop_latency()
         self._offchip_round_trip = self.interconnect.offchip_round_trip()
+        # Per-pair off-chip latency hooks.  Engines call
+        # ``self._l4_rt(chip, l4_chip, line_addr, now)`` for a demand-fetch
+        # chip <-> home-L4 round trip, ``self._l4_control_rt(...)`` for a
+        # control-only exchange (invalidate/ack, remote op/ack),
+        # ``self._l4_partial(...)`` for a reduction gather (data travels
+        # chip -> L4), and ``self._chip_rt(src, dst, now)`` for a chip <->
+        # chip transfer.  All three L4 kinds share one base latency; they
+        # differ only in the bytes the contention model occupies links with.
+        # With contention disabled every hook is a pure table lookup (under
+        # the default dancehall every entry equals the original fixed
+        # constants, so results are bit-identical to the pre-topology
+        # model); with contention enabled they also accumulate epoch
+        # occupancy and fold the queueing surcharge into the latency.
+        contention = self.interconnect.contention
+        if contention is not None:
+            self._l4_rt = contention.l4_round_trip
+            self._l4_control_rt = contention.l4_control_round_trip
+            self._l4_partial = contention.l4_partial_update
+            self._chip_rt = contention.chip_transfer
+        else:
+            l4_table = self.interconnect.l4_round_trip_table
+            chip_table = self.interconnect.chip_transfer_table
+            self._l4_rt = lambda chip, l4, line_addr, now: l4_table[chip][l4]
+            self._l4_control_rt = self._l4_rt
+            self._l4_partial = self._l4_rt
+            self._chip_rt = lambda src, dst, now: chip_table[src][dst]
         self._l1_latency = config.l1d.latency
         self._l2_latency = config.l2.latency
         self._l3_latency = config.l3.latency

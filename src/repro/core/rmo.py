@@ -64,10 +64,13 @@ class RmoProtocol(MesiProtocol):
         else:
             self._invalidate_requester_copy(core_id, line_addr)
 
-        # Travel to the home bank.
+        # Travel to the home bank (topology- and contention-aware).
         breakdown.l3 += self._onchip_hop + self._l3_latency
         if home_chip != requester_chip:
-            breakdown.offchip_network += self._offchip_round_trip
+            # Remote op request + ack: a control-only exchange.
+            breakdown.offchip_network += self._l4_control_rt(
+                requester_chip, home_chip, line_addr, now
+            )
             breakdown.l4 += self._l4_latency
             scope = LinkScope.OFF_CHIP
         else:

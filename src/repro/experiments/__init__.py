@@ -21,6 +21,9 @@ EXPERIMENT_MODULES = {
     "table2": "repro.experiments.table2_benchmarks",
     "traffic": "repro.experiments.traffic_reduction",
     "sensitivity": "repro.experiments.sensitivity_reduction_unit",
+    # Interconnect subsystem: AMAT under load and topology sensitivity.
+    "figure11-contention": "repro.experiments.figure11_amat_contention",
+    "sensitivity-topology": "repro.experiments.sensitivity_topology",
     # Ablations beyond the paper's figures (design-choice studies).
     "ablation-interleaving": "repro.experiments.ablation_interleaving",
     "ablation-hierarchical": "repro.experiments.ablation_hierarchical_reduction",

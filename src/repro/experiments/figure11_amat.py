@@ -19,7 +19,7 @@ from repro.experiments import settings
 from repro.experiments.paper_workloads import PAPER_WORKLOAD_FACTORIES
 from repro.experiments.sweep import SimPoint, SweepSpec, WorkloadSpec, execute
 from repro.experiments.tables import print_table
-from repro.sim.config import table1_config
+from repro.sim.config import TopologyConfig, table1_config
 from repro.sim.stats import AMAT_COMPONENTS
 from repro.workloads import UpdateStyle
 
@@ -31,12 +31,23 @@ _PROTOCOL_STYLES = (("COUP", UpdateStyle.COMMUTATIVE), ("MESI", UpdateStyle.ATOM
 def sweep_spec(
     benchmarks: Optional[Sequence[str]] = None,
     core_points: Optional[Sequence[int]] = None,
+    *,
+    topology: Optional[TopologyConfig] = None,
+    experiment_id: str = "figure11",
 ) -> SweepSpec:
-    """The Fig. 11 grid: benchmark x core point x protocol."""
+    """The Fig. 11 grid: benchmark x core point x protocol.
+
+    ``topology`` selects the off-chip topology/contention configuration for
+    every simulation point (default: the paper's dancehall with contention
+    disabled).  With a contention-enabled topology, each row additionally
+    reports the topology name and the peak link utilization — the extended
+    "AMAT under load" mode (experiment id ``figure11-contention``).
+    """
     benchmarks = (
         list(dict.fromkeys(benchmarks)) if benchmarks else list(PAPER_WORKLOAD_FACTORIES)
     )
     core_points = list(core_points) if core_points else settings.amat_core_points()
+    contention = topology is not None and topology.contention
 
     points: List[SimPoint] = []
     for name in benchmarks:
@@ -45,7 +56,7 @@ def sweep_spec(
         factory = PAPER_WORKLOAD_FACTORIES[name]
         # Duplicate core points yield duplicate rows but a single sweep point.
         for n_cores in dict.fromkeys(core_points):
-            config = table1_config(n_cores)
+            config = table1_config(n_cores, topology=topology)
             for protocol, style in _PROTOCOL_STYLES:
                 points.append(
                     SimPoint(
@@ -72,6 +83,12 @@ def sweep_spec(
                         "amat": result.amat,
                     }
                     row.update(result.amat_breakdown())
+                    if contention:
+                        link_stats = result.link_stats or {}
+                        row["topology"] = (topology.name if topology else "dancehall")
+                        row["max_link_utilization"] = link_stats.get(
+                            "max_link_utilization", 0.0
+                        )
                     rows.append(row)
                     if normalisation is None and protocol == "COUP":
                         normalisation = result.amat
@@ -82,7 +99,7 @@ def sweep_spec(
             out[name] = rows
         return out
 
-    return SweepSpec("figure11", points, build)
+    return SweepSpec(experiment_id, points, build)
 
 
 def run_benchmark(
@@ -96,16 +113,29 @@ def run_benchmark(
 def run(
     benchmarks: Optional[Sequence[str]] = None,
     core_points: Optional[Sequence[int]] = None,
+    *,
+    topology: Optional[TopologyConfig] = None,
 ) -> Dict[str, List[dict]]:
-    """Run the full Fig. 11 experiment."""
-    spec = sweep_spec(benchmarks, core_points)
+    """Run the full Fig. 11 experiment (optionally under a loaded topology)."""
+    spec = sweep_spec(benchmarks, core_points, topology=topology)
     return spec.rows(execute(spec))
 
 
 def render(results: Dict[str, List[dict]]) -> None:
     """Print one Fig. 11 table per benchmark."""
-    columns = ["protocol", "n_cores", "relative_amat", *AMAT_COMPONENTS]
     for name, rows in results.items():
+        columns = ["protocol", "n_cores", "relative_amat", *AMAT_COMPONENTS]
+        if rows and "topology" in rows[0]:
+            # Extended contention mode: show the topology and the peak link
+            # utilization next to the breakdown.
+            columns = [
+                "protocol",
+                "n_cores",
+                "topology",
+                "max_link_utilization",
+                "relative_amat",
+                *AMAT_COMPONENTS,
+            ]
         print_table(
             rows,
             columns=columns,

@@ -1,0 +1,63 @@
+"""Figure 11 extended mode: AMAT breakdown with interconnect contention on.
+
+Same grid as :mod:`repro.experiments.figure11_amat` (benchmark x core point x
+protocol), but every point runs with the epoch-based contention model enabled
+on the default dancehall topology, so the AMAT stacks include the M/D/1
+waiting-time surcharges the fixed-latency model cannot show.  Each row
+additionally reports the peak per-link utilization.
+
+Registered as experiment id ``figure11-contention`` so it is schedulable at
+sweep-point granularity through ``runner --jobs N`` alongside the baseline
+``figure11`` (the two share workload traces through the trace cache).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import figure11_amat
+from repro.experiments.sweep import SweepSpec, execute
+from repro.sim.config import TopologyConfig
+
+#: Contention-enabled variant of the default machine's topology.  The
+#: bandwidth is deliberately modest so the paper-scale workloads produce
+#: visible (but not saturated) link utilization.
+CONTENTION_TOPOLOGY = TopologyConfig(name="dancehall", contention=True)
+
+
+def sweep_spec(
+    benchmarks: Optional[Sequence[str]] = None,
+    core_points: Optional[Sequence[int]] = None,
+) -> SweepSpec:
+    """The Fig. 11 grid with contention enabled on every point."""
+    return figure11_amat.sweep_spec(
+        benchmarks,
+        core_points,
+        topology=CONTENTION_TOPOLOGY,
+        experiment_id="figure11-contention",
+    )
+
+
+def run(
+    benchmarks: Optional[Sequence[str]] = None,
+    core_points: Optional[Sequence[int]] = None,
+) -> Dict[str, List[dict]]:
+    """Run the contention-enabled Fig. 11 grid."""
+    spec = sweep_spec(benchmarks, core_points)
+    return spec.rows(execute(spec))
+
+
+def render(results: Dict[str, List[dict]]) -> None:
+    """Print one AMAT-under-load table per benchmark."""
+    figure11_amat.render(results)
+
+
+def main() -> Dict[str, List[dict]]:
+    """Regenerate the contention-enabled Fig. 11 tables."""
+    results = run()
+    render(results)
+    return results
+
+
+if __name__ == "__main__":
+    main()

@@ -66,7 +66,8 @@ from repro.software.privatization import PrivatizationLevel
 from repro.workloads.base import Workload
 
 #: Bumped whenever a change invalidates previously cached point results.
-ENGINE_VERSION = 1
+#: (2: SystemConfig fingerprints gained the network topology subsystem.)
+ENGINE_VERSION = 2
 
 #: Default location of the persistent point cache, relative to the cwd (the
 #: same convention the runner uses for ``results/experiments``).

@@ -9,11 +9,34 @@ side and checked by tests.
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import Dict, List
 
 from repro.experiments.sweep import FuncPoint, SweepSpec, execute
 from repro.experiments.tables import print_table
-from repro.sim.config import SystemConfig, table1_config
+from repro.sim.config import SystemConfig, TopologyConfig, table1_config
+
+#: Named off-chip topology presets for the Table 1 machine.  ``dancehall``
+#: is the paper's Fig. 9 arrangement (and the default); the others are the
+#: contention-enabled alternatives the topology sensitivity study sweeps.
+TOPOLOGY_PRESETS: Dict[str, TopologyConfig] = {
+    "dancehall": TopologyConfig(),
+    "dancehall-contended": TopologyConfig(name="dancehall", contention=True),
+    "crossbar": TopologyConfig(name="crossbar", contention=True),
+    "mesh": TopologyConfig(name="mesh", contention=True),
+    "torus": TopologyConfig(name="torus", contention=True),
+}
+
+
+def preset_config(n_cores: int, preset: str) -> SystemConfig:
+    """The Table 1 machine with one of :data:`TOPOLOGY_PRESETS` applied."""
+    try:
+        topology = TOPOLOGY_PRESETS[preset]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown topology preset {preset!r}; expected one of "
+            f"{sorted(TOPOLOGY_PRESETS)}"
+        ) from exc
+    return table1_config(n_cores, topology=topology)
 
 
 def rows_for(config: SystemConfig) -> List[dict]:
@@ -46,7 +69,15 @@ def rows_for(config: SystemConfig) -> List[dict]:
         },
         {
             "parameter": "off-chip network",
-            "value": f"dancehall, {config.network.offchip_link_latency}-cycle links",
+            "value": (
+                f"{config.network.topology.name}, "
+                f"{config.network.offchip_link_latency}-cycle links"
+                + (
+                    f", contention on ({config.network.topology.link_bandwidth_bytes_per_cycle:g} B/cycle links)"
+                    if config.network.topology.contention
+                    else ""
+                )
+            ),
         },
         {
             "parameter": "coherence",

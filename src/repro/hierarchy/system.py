@@ -164,6 +164,23 @@ class CacheHierarchy:
         self.memory.reset()
         self.interconnect.reset()
 
+    def network_summary(self) -> Dict[str, object]:
+        """Interconnect topology and traffic digest (diagnostics and tests).
+
+        Includes the per-message-type byte breakdown, and — when the epoch
+        contention model is enabled — whether contention charging is active.
+        Per-link utilization needs the run length and is reported through
+        ``SimulationResult.link_stats`` instead.
+        """
+        traffic = self.interconnect.traffic
+        return {
+            "topology": self.interconnect.topology.name,
+            "contention": self.interconnect.contention is not None,
+            "on_chip_bytes": traffic.on_chip_bytes,
+            "off_chip_bytes": traffic.off_chip_bytes,
+            "bytes_by_type": dict(traffic.bytes_by_type),
+        }
+
     def cache_summary(self) -> Dict[str, float]:
         """Aggregate hit rates per level, for diagnostics and tests."""
 

@@ -1,14 +1,43 @@
-"""Interconnect substrate: message catalogue, topology, traffic accounting."""
+"""Interconnect subsystem: messages, pluggable topologies, contention, traffic.
 
+* :mod:`repro.interconnect.messages` — the coherence message catalogue.
+* :mod:`repro.interconnect.topology` — pluggable off-chip topologies
+  (dancehall, crossbar, 2D mesh, 2D torus) mapping (src, dst) pairs to hop
+  paths over directed links.
+* :mod:`repro.interconnect.contention` — epoch-based link/directory-bank
+  queueing charging M/D/1-style waiting-time surcharges.
+* :mod:`repro.interconnect.network` — the :class:`InterconnectModel` facade
+  the protocol engines use: latency tables, traffic accounting, and the
+  optional contention model.
+"""
+
+from repro.interconnect.contention import ContentionModel
 from repro.interconnect.messages import LinkScope, MessageClass, MessageEvent, MessageType, total_bytes
 from repro.interconnect.network import InterconnectModel, TrafficCounters
+from repro.interconnect.topology import (
+    TOPOLOGIES,
+    Crossbar,
+    Dancehall,
+    Mesh2D,
+    Topology,
+    Torus2D,
+    build_topology,
+)
 
 __all__ = [
+    "TOPOLOGIES",
+    "ContentionModel",
+    "Crossbar",
+    "Dancehall",
     "InterconnectModel",
     "LinkScope",
+    "Mesh2D",
     "MessageClass",
     "MessageEvent",
     "MessageType",
+    "Topology",
+    "Torus2D",
     "TrafficCounters",
+    "build_topology",
     "total_bytes",
 ]

@@ -1,0 +1,279 @@
+"""Epoch-based link and directory-bank contention model.
+
+The timing simulator resolves accesses atomically, so contention cannot be
+modelled by transporting individual flits.  Instead this module accumulates
+*occupancy* per epoch — bytes on every directed link a transfer's route
+crosses, and requests at every L4 directory bank — and charges each off-chip
+transfer an M/D/1-style waiting-time surcharge derived from the **previous**
+epoch's utilization:
+
+    wait(rho) = service_time * rho / (2 * (1 - rho))
+
+with ``rho`` clamped below 1 (``TopologyConfig.max_utilization``).  Using the
+previous epoch's utilization keeps the model causal and deterministic: the
+surcharge a transfer pays never depends on transfers that have not been
+resolved yet, so results are independent of scheduling (``runner --jobs N``
+replays identically).
+
+Two limits anchor the model (pinned by ``tests/interconnect``):
+
+* zero load => zero surcharge — an idle network charges exactly the base
+  topology latency, and
+* utilization -> 1 => monotonically increasing surcharge — the M/D/1 waiting
+  time is strictly increasing in ``rho``.
+
+Per-link byte totals and end-of-run utilizations are kept for the whole run
+and surfaced through ``SimulationResult.link_stats``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.interconnect.topology import Link, Topology, directory_node, link_label
+from repro.sim.config import NetworkConfig, TopologyConfig
+
+
+class ContentionModel:
+    """Per-link and per-directory-bank epoch queueing for one simulation run."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        network: NetworkConfig,
+        l4_banks: int,
+        l4_round_trip_table: Sequence[Sequence[int]],
+        chip_transfer_table: Sequence[Sequence[int]],
+    ) -> None:
+        self.topology = topology
+        config: TopologyConfig = network.topology
+        self.epoch_cycles = float(config.epoch_cycles)
+        self.bandwidth = config.link_bandwidth_bytes_per_cycle
+        self.max_utilization = config.max_utilization
+        #: Cycles to push one data message through a link at full bandwidth;
+        #: the M/D/1 service time for link queueing.
+        self.link_service = network.data_bytes / self.bandwidth
+        self.bank_service = config.bank_service_cycles
+        self._control_bytes = network.control_bytes
+        self._data_bytes = network.data_bytes
+        self._l4_banks = max(1, l4_banks)
+        self._base_l4_rt = l4_round_trip_table
+        self._base_chip = chip_transfer_table
+
+        #: Request/response route per (chip, l4) and (chip, chip) pair,
+        #: precomputed once (routes are hot relative to their count).
+        n_chips = topology.n_chips
+        n_l4 = topology.n_l4_chips
+        self._l4_paths: List[List[Tuple[Tuple[Link, ...], Tuple[Link, ...]]]] = [
+            [
+                (topology.chip_to_l4(chip, l4), topology.l4_to_chip(l4, chip))
+                for l4 in range(n_l4)
+            ]
+            for chip in range(n_chips)
+        ]
+        self._chip_paths: List[List[Tuple[Tuple[Link, ...], Tuple[Link, ...]]]] = [
+            [
+                (topology.chip_to_chip(src, dst), topology.chip_to_chip(dst, src))
+                for dst in range(n_chips)
+            ]
+            for src in range(n_chips)
+        ]
+
+        # -- epoch state ------------------------------------------------------
+        self._epoch = 0
+        self._link_bytes_epoch: Dict[Link, float] = defaultdict(float)
+        self._link_bytes_prev: Dict[Link, float] = {}
+        self._bank_requests_epoch: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._bank_requests_prev: Dict[Tuple[int, int], int] = {}
+
+        # -- whole-run counters ----------------------------------------------
+        self.link_bytes_total: Dict[Link, int] = defaultdict(int)
+        self.bank_requests_total: Dict[Tuple[int, int], int] = defaultdict(int)
+        self.surcharge_cycles = 0.0
+        self.transfers = 0
+
+    # -- epoch bookkeeping ----------------------------------------------------
+
+    def _advance_epoch(self, now: float) -> None:
+        """Roll the epoch windows forward to the epoch containing ``now``."""
+        epoch = int(now // self.epoch_cycles)
+        if epoch == self._epoch:
+            return
+        if epoch == self._epoch + 1:
+            # Adjacent epoch: the finished window becomes the basis for
+            # surcharges in the new one.
+            self._link_bytes_prev = dict(self._link_bytes_epoch)
+            self._bank_requests_prev = dict(self._bank_requests_epoch)
+        else:
+            # The simulation jumped several epochs (a long compute phase):
+            # the most recent complete epoch carried no traffic.
+            self._link_bytes_prev = {}
+            self._bank_requests_prev = {}
+        self._link_bytes_epoch.clear()
+        self._bank_requests_epoch.clear()
+        self._epoch = epoch
+
+    def _link_wait(self, link: Link) -> float:
+        """M/D/1 waiting time on one link from the previous epoch's load."""
+        load = self._link_bytes_prev.get(link)
+        if not load:
+            return 0.0
+        rho = load / (self.bandwidth * self.epoch_cycles)
+        if rho > self.max_utilization:
+            rho = self.max_utilization
+        return self.link_service * rho / (2.0 * (1.0 - rho))
+
+    def _bank_wait(self, bank: Tuple[int, int]) -> float:
+        """M/D/1 waiting time at one directory bank."""
+        requests = self._bank_requests_prev.get(bank)
+        if not requests:
+            return 0.0
+        rho = requests * self.bank_service / self.epoch_cycles
+        if rho > self.max_utilization:
+            rho = self.max_utilization
+        return self.bank_service * rho / (2.0 * (1.0 - rho))
+
+    def _charge_path(
+        self,
+        forward: Tuple[Link, ...],
+        reverse: Tuple[Link, ...],
+        forward_bytes: int,
+        reverse_bytes: int,
+    ) -> float:
+        """Record one exchange's bytes per direction; return the link surcharge."""
+        wait = 0.0
+        epoch_bytes = self._link_bytes_epoch
+        totals = self.link_bytes_total
+        for link in forward:
+            wait += self._link_wait(link)
+            epoch_bytes[link] += forward_bytes
+            totals[link] += forward_bytes
+        for link in reverse:
+            wait += self._link_wait(link)
+            epoch_bytes[link] += reverse_bytes
+            totals[link] += reverse_bytes
+        return wait
+
+    def _l4_exchange(
+        self,
+        chip: int,
+        l4_chip: int,
+        line_addr: int,
+        now: float,
+        forward_bytes: int,
+        reverse_bytes: int,
+    ) -> float:
+        """Common body of the three chip <-> home-L4 exchange kinds."""
+        self._advance_epoch(now)
+        forward, reverse = self._l4_paths[chip][l4_chip]
+        wait = self._charge_path(forward, reverse, forward_bytes, reverse_bytes)
+        bank = (l4_chip, line_addr % self._l4_banks)
+        wait += self._bank_wait(bank)
+        self._bank_requests_epoch[bank] += 1
+        self.bank_requests_total[bank] += 1
+        self.surcharge_cycles += wait
+        self.transfers += 1
+        return self._base_l4_rt[chip][l4_chip] + wait
+
+    # -- protocol-facing charging API -----------------------------------------
+    #
+    # The three L4 exchange kinds share one base latency (the topology's
+    # round-trip table) but differ in the bytes they occupy links with,
+    # mirroring what the traffic accounting records for the same actions.
+
+    def l4_round_trip(self, chip: int, l4_chip: int, line_addr: int, now: float) -> float:
+        """Demand fetch: control-sized request out, data-sized response back.
+
+        Queues at the home directory bank and returns the base topology
+        latency plus the M/D/1 surcharge accumulated from the previous
+        epoch's occupancy.
+        """
+        return self._l4_exchange(
+            chip, l4_chip, line_addr, now, self._control_bytes, self._data_bytes
+        )
+
+    def l4_control_round_trip(
+        self, chip: int, l4_chip: int, line_addr: int, now: float
+    ) -> float:
+        """Control exchange (invalidate/ack, remote op/ack): no data leg."""
+        return self._l4_exchange(
+            chip, l4_chip, line_addr, now, self._control_bytes, self._control_bytes
+        )
+
+    def l4_partial_update(
+        self, chip: int, l4_chip: int, line_addr: int, now: float
+    ) -> float:
+        """Reduction gather: control request out to the chip, data back to L4.
+
+        The directory's reduce request travels L4 -> chip (the *reverse*
+        path of the chip-oriented route pair) and the aggregated partial
+        update carries a data message chip -> L4 (the forward path), so the
+        byte roles are swapped relative to a demand fetch.
+        """
+        return self._l4_exchange(
+            chip, l4_chip, line_addr, now, self._data_bytes, self._control_bytes
+        )
+
+    def chip_transfer(self, src_chip: int, dst_chip: int, now: float) -> float:
+        """Latency of a chip <-> chip exchange (downgrade out, writeback back).
+
+        The base latency is the topology's *one-way* chip-to-chip latency:
+        the legacy model charged its single off-chip round-trip constant for
+        a cross-chip downgrade, which under the dancehall exactly equals the
+        one-way two-link chip-to-chip path — that equivalence is what keeps
+        the default bit-identical, so the one-way convention is kept for
+        every topology.  Occupancy is still charged on both directions
+        (control out, data back), since both messages really traverse.
+        """
+        self._advance_epoch(now)
+        forward, reverse = self._chip_paths[src_chip][dst_chip]
+        wait = self._charge_path(
+            forward, reverse, self._control_bytes, self._data_bytes
+        )
+        self.surcharge_cycles += wait
+        self.transfers += 1
+        return self._base_chip[src_chip][dst_chip] + wait
+
+    # -- reporting -------------------------------------------------------------
+
+    def link_report(self, run_cycles: float) -> dict:
+        """Whole-run per-link utilization and surcharge summary (JSON-native)."""
+        capacity = self.bandwidth * run_cycles if run_cycles > 0 else 0.0
+        links = {
+            link_label(link): {
+                "bytes": total,
+                "utilization": (total / capacity) if capacity else 0.0,
+            }
+            for link, total in sorted(self.link_bytes_total.items())
+        }
+        banks = {
+            f"{directory_node(l4)}.b{bank}": requests
+            for (l4, bank), requests in sorted(self.bank_requests_total.items())
+        }
+        utilizations = [entry["utilization"] for entry in links.values()]
+        return {
+            "topology": self.topology.name,
+            "epoch_cycles": self.epoch_cycles,
+            "link_bandwidth_bytes_per_cycle": self.bandwidth,
+            "links": links,
+            "bank_requests": banks,
+            "max_link_utilization": max(utilizations, default=0.0),
+            "mean_link_utilization": (
+                sum(utilizations) / len(utilizations) if utilizations else 0.0
+            ),
+            "surcharge_cycles": self.surcharge_cycles,
+            "offchip_transfers": self.transfers,
+        }
+
+    def reset(self) -> None:
+        """Forget all epoch state and whole-run counters."""
+        self._epoch = 0
+        self._link_bytes_epoch.clear()
+        self._link_bytes_prev = {}
+        self._bank_requests_epoch.clear()
+        self._bank_requests_prev = {}
+        self.link_bytes_total.clear()
+        self.bank_requests_total.clear()
+        self.surcharge_cycles = 0.0
+        self.transfers = 0

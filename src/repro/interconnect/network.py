@@ -1,23 +1,41 @@
-"""Interconnect model: on-chip crossbar plus off-chip dancehall topology.
+"""Interconnect model: on-chip network plus a pluggable off-chip topology.
 
 The simulated machine (Fig. 9) connects up to eight processor chips to the
-same number of L4/global-directory chips through point-to-point links in a
-dancehall arrangement.  The network model provides two things:
+same number of L4/global-directory chips.  The network model provides:
 
-* **latency helpers** — how many cycles a request/response pair spends on the
-  on-chip network and on the off-chip links, and
+* **latency helpers and tables** — how many cycles a request/response pair
+  spends on the on-chip network and on the off-chip topology.  The off-chip
+  topology is pluggable (:mod:`repro.interconnect.topology`): the default
+  dancehall reproduces the original fixed per-hop constants bit-for-bit,
+  while crossbar/mesh/torus charge per-(src, dst) hop-path latencies;
 * **traffic accounting** — bytes moved on- and off-chip, broken down by
-  message type, which reproduces the Sec. 5.2 traffic-reduction results.
+  message type, which reproduces the Sec. 5.2 traffic-reduction results; and
+* **contention** — an optional epoch-based queueing model
+  (:mod:`repro.interconnect.contention`) charging per-link and
+  per-directory-bank waiting-time surcharges and tracking per-link
+  utilization.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Dict, Iterable, List
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
 
+from repro.interconnect.contention import ContentionModel
 from repro.interconnect.messages import LinkScope, MessageEvent, MessageType
+from repro.interconnect.topology import (
+    Topology,
+    build_topology,
+    directory_node,
+    processor_node,
+)
 from repro.sim.config import NetworkConfig, SystemConfig
+
+
+def _counter() -> Dict[str, int]:
+    """Fresh per-instance counter dict (defaultdict keeps ``+=`` branch-free)."""
+    return defaultdict(int)
 
 
 @dataclass
@@ -26,14 +44,8 @@ class TrafficCounters:
 
     on_chip_bytes: int = 0
     off_chip_bytes: int = 0
-    messages_by_type: Dict[str, int] = None
-    bytes_by_type: Dict[str, int] = None
-
-    def __post_init__(self) -> None:
-        if self.messages_by_type is None:
-            self.messages_by_type = defaultdict(int)
-        if self.bytes_by_type is None:
-            self.bytes_by_type = defaultdict(int)
+    messages_by_type: Dict[str, int] = field(default_factory=_counter)
+    bytes_by_type: Dict[str, int] = field(default_factory=_counter)
 
     @property
     def total_bytes(self) -> int:
@@ -69,6 +81,46 @@ class InterconnectModel:
             msg_type.label: msg_type.size_bytes(config.network)
             for msg_type in MessageType
         }
+        #: Off-chip topology instance (dancehall by default).
+        self.topology: Topology = build_topology(
+            config.network.topology,
+            n_chips=config.n_chips,
+            n_l4_chips=config.n_l4_chips,
+            link_latency=config.network.offchip_link_latency,
+        )
+        #: Per-(chip, L4 chip) round-trip latency: request out, response back.
+        #: Every entry is ``2 * offchip_link_latency`` under the dancehall,
+        #: reproducing the original fixed :meth:`offchip_round_trip` constant.
+        self.l4_round_trip_table: List[List[int]] = [
+            [
+                2 * self.topology.one_way_latency(processor_node(chip), directory_node(l4))
+                for l4 in range(config.n_l4_chips)
+            ]
+            for chip in range(config.n_chips)
+        ]
+        #: Per-(chip, chip) one-way transfer latency.  Under the dancehall a
+        #: chip-to-chip path crosses an L4 chip (two links), matching the
+        #: original :meth:`cross_socket_latency` constant.
+        self.chip_transfer_table: List[List[int]] = [
+            [
+                self.topology.one_way_latency(processor_node(src), processor_node(dst))
+                for dst in range(config.n_chips)
+            ]
+            for src in range(config.n_chips)
+        ]
+        #: Epoch queueing model, or None when contention is disabled (the
+        #: default): the disabled path charges pure table lookups.
+        self.contention: Optional[ContentionModel] = (
+            ContentionModel(
+                self.topology,
+                config.network,
+                l4_banks=config.l4.banks,
+                l4_round_trip_table=self.l4_round_trip_table,
+                chip_transfer_table=self.chip_transfer_table,
+            )
+            if config.network.topology.contention
+            else None
+        )
 
     # -- latency helpers ------------------------------------------------------
 
@@ -129,6 +181,14 @@ class InterconnectModel:
 
     def reset(self) -> None:
         self.traffic = TrafficCounters()
+        if self.contention is not None:
+            self.contention.reset()
+
+    def link_report(self, run_cycles: float) -> Optional[dict]:
+        """Per-link utilization summary, or None when contention is disabled."""
+        if self.contention is None:
+            return None
+        return self.contention.link_report(run_cycles)
 
     # -- topology helpers -----------------------------------------------------
 

@@ -1,0 +1,251 @@
+"""Pluggable off-chip topologies for the interconnect subsystem.
+
+The simulated machine connects ``n_chips`` processor chips to ``n_l4_chips``
+L4/global-directory chips.  A :class:`Topology` maps a (source node,
+destination node) pair to the sequence of directed links a message traverses,
+which gives the contention model per-link occupancy and gives the latency
+model per-pair hop counts.  Four topologies are implemented:
+
+* :class:`Dancehall` — the paper's Fig. 9 machine (the default): every
+  processor chip has a dedicated point-to-point link to every L4 chip, so a
+  chip-to-L4 transfer is one hop and a chip-to-chip transfer crosses an L4
+  chip (two hops).  This reduces exactly to the original fixed-latency
+  constants (``offchip_link_latency`` one way, twice that for a round trip).
+* :class:`Crossbar` — a single central switch; every transfer traverses two
+  port links (ingress + egress) but pays a single link latency, modelling a
+  switch that arbitrates within one link-latency budget.
+* :class:`Mesh2D` — processor and L4 chips interleaved on a near-square 2D
+  grid with dimension-ordered (XY) routing; hop count equals the Manhattan
+  distance between grid coordinates.
+* :class:`Torus2D` — the same grid with wrap-around links; hop count equals
+  the wrapped (toroidal) Manhattan distance.
+
+Nodes are labelled ``p<i>`` (processor chips), ``d<j>`` (L4/directory
+chips), ``x`` (the crossbar switch), and ``r<k>`` (grid routers with no
+attached chip).  Links are directed ``(src_label, dst_label)`` pairs; a
+route's length is its hop count.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, List, Tuple
+
+from repro.sim.config import TOPOLOGY_NAMES, TopologyConfig
+
+#: One directed link, as a (source node label, destination node label) pair.
+Link = Tuple[str, str]
+
+
+def processor_node(chip: int) -> str:
+    """Label of a processor chip's network node."""
+    return f"p{chip}"
+
+
+def directory_node(l4_chip: int) -> str:
+    """Label of an L4/global-directory chip's network node."""
+    return f"d{l4_chip}"
+
+
+def link_label(link: Link) -> str:
+    """Human- and JSON-friendly label of one directed link."""
+    return f"{link[0]}->{link[1]}"
+
+
+class Topology(abc.ABC):
+    """Maps (src node, dst node) pairs to hop paths over directed links."""
+
+    name: str = "abstract"
+
+    def __init__(self, n_chips: int, n_l4_chips: int, link_latency: int) -> None:
+        if n_chips <= 0 or n_l4_chips <= 0:
+            raise ValueError("topologies need at least one chip of each kind")
+        self.n_chips = n_chips
+        self.n_l4_chips = n_l4_chips
+        self.link_latency = link_latency
+
+    # -- routing --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def route(self, src: str, dst: str) -> Tuple[Link, ...]:
+        """Directed links a message traverses from ``src`` to ``dst``."""
+
+    def chip_to_l4(self, chip: int, l4_chip: int) -> Tuple[Link, ...]:
+        """Path from a processor chip to an L4 chip."""
+        return self.route(processor_node(chip), directory_node(l4_chip))
+
+    def l4_to_chip(self, l4_chip: int, chip: int) -> Tuple[Link, ...]:
+        """Path from an L4 chip back to a processor chip."""
+        return self.route(directory_node(l4_chip), processor_node(chip))
+
+    def chip_to_chip(self, src_chip: int, dst_chip: int) -> Tuple[Link, ...]:
+        """Path between two processor chips."""
+        return self.route(processor_node(src_chip), processor_node(dst_chip))
+
+    # -- latency --------------------------------------------------------------
+
+    def hops(self, src: str, dst: str) -> int:
+        """Number of links a ``src`` -> ``dst`` message traverses."""
+        return len(self.route(src, dst))
+
+    def latency_hops(self, src: str, dst: str) -> int:
+        """Hops *charged as latency* for a ``src`` -> ``dst`` traversal.
+
+        Equal to :meth:`hops` for every topology except the crossbar, whose
+        two port links are crossed within a single link-latency budget.
+        """
+        return self.hops(src, dst)
+
+    def one_way_latency(self, src: str, dst: str) -> int:
+        """Cycles for one traversal from ``src`` to ``dst``."""
+        return self.link_latency * self.latency_hops(src, dst)
+
+
+class Dancehall(Topology):
+    """Fig. 9: dedicated point-to-point links between every chip pair.
+
+    ``p<i> -> d<j>`` is always a single dedicated link, so the one-way
+    latency is exactly ``offchip_link_latency`` — the original fixed-latency
+    interconnect.  Chip-to-chip transfers cross the destination's paired L4
+    chip (every chip-to-chip path crosses an L4 chip in a dancehall), so they
+    cost two hops, matching the original ``cross_socket_latency``.
+    """
+
+    name = "dancehall"
+
+    def route(self, src: str, dst: str) -> Tuple[Link, ...]:
+        if src == dst:
+            return ()
+        if src[0] != dst[0]:
+            # processor <-> directory: the dedicated point-to-point link.
+            return ((src, dst),)
+        # Same-kind pair: relay through the destination's paired chip of the
+        # other kind (any relay gives the same hop count; pairing is a
+        # deterministic choice so contention accounting is reproducible).
+        if src[0] == "p":
+            relay = directory_node(int(dst[1:]) % self.n_l4_chips)
+        else:
+            relay = processor_node(int(dst[1:]) % self.n_chips)
+        return ((src, relay), (relay, dst))
+
+
+class Crossbar(Topology):
+    """A single central switch: every node connects to one crossbar node.
+
+    A transfer enters the switch on the source's port link and leaves on the
+    destination's: two links carry the bytes (both are contended), but the
+    switch arbitrates within one link-latency budget, so
+    :meth:`latency_hops` is 1 for any distinct pair.
+    """
+
+    name = "crossbar"
+
+    SWITCH = "x"
+
+    def route(self, src: str, dst: str) -> Tuple[Link, ...]:
+        if src == dst:
+            return ()
+        return ((src, self.SWITCH), (self.SWITCH, dst))
+
+    def latency_hops(self, src: str, dst: str) -> int:
+        return 0 if src == dst else 1
+
+
+class Mesh2D(Topology):
+    """Near-square 2D mesh with dimension-ordered (XY) routing.
+
+    Processor and L4 chips are interleaved along the grid (``p0, d0, p1,
+    d1, ...``) so each processor chip sits next to its paired L4 chip; grid
+    slots beyond the chip count host plain routers (``r<k>``).  A message
+    first travels along X to the destination column, then along Y — the
+    standard deadlock-free dimension order.  Hop count equals the Manhattan
+    distance between the two grid coordinates.
+    """
+
+    name = "mesh"
+
+    def __init__(self, n_chips: int, n_l4_chips: int, link_latency: int) -> None:
+        super().__init__(n_chips, n_l4_chips, link_latency)
+        n_nodes = n_chips + n_l4_chips
+        self.cols = max(1, math.ceil(math.sqrt(n_nodes)))
+        self.rows = max(1, math.ceil(n_nodes / self.cols))
+        #: node label -> (x, y) grid coordinate, chips interleaved.
+        self._coord: Dict[str, Tuple[int, int]] = {}
+        #: (x, y) -> node label (routers fill the slots beyond the chips).
+        self._label: Dict[Tuple[int, int], str] = {}
+        labels: List[str] = []
+        for index in range(max(n_chips, n_l4_chips)):
+            if index < n_chips:
+                labels.append(processor_node(index))
+            if index < n_l4_chips:
+                labels.append(directory_node(index))
+        for index in range(self.rows * self.cols):
+            label = labels[index] if index < len(labels) else f"r{index}"
+            coord = (index % self.cols, index // self.cols)
+            self._label[coord] = label
+            if index < len(labels):
+                self._coord[label] = coord
+
+    def coordinate(self, node: str) -> Tuple[int, int]:
+        """Grid coordinate of a chip's node label."""
+        return self._coord[node]
+
+    def _steps(self, origin: int, target: int, size: int) -> List[int]:
+        """Per-dimension coordinates visited from ``origin`` to ``target``."""
+        step = 1 if target > origin else -1
+        return list(range(origin + step, target + step, step))
+
+    def route(self, src: str, dst: str) -> Tuple[Link, ...]:
+        if src == dst:
+            return ()
+        (x, y), (x2, y2) = self._coord[src], self._coord[dst]
+        path: List[Link] = []
+        here = src
+        for nx in self._steps(x, x2, self.cols):
+            nxt = self._label[(nx, y)]
+            path.append((here, nxt))
+            here = nxt
+        for ny in self._steps(y, y2, self.rows):
+            nxt = self._label[(x2, ny)]
+            path.append((here, nxt))
+            here = nxt
+        return tuple(path)
+
+
+class Torus2D(Mesh2D):
+    """The 2D mesh grid with wrap-around links in both dimensions.
+
+    Routing still goes X then Y, but each dimension independently picks the
+    shorter way around the ring (ties go forward), so hop count equals the
+    wrapped Manhattan distance.
+    """
+
+    name = "torus"
+
+    def _steps(self, origin: int, target: int, size: int) -> List[int]:
+        if origin == target:
+            return []
+        forward = (target - origin) % size
+        backward = (origin - target) % size
+        step = 1 if forward <= backward else -1
+        distance = forward if forward <= backward else backward
+        return [(origin + step * offset) % size for offset in range(1, distance + 1)]
+
+
+#: Topology name -> implementation class.
+TOPOLOGIES = {
+    Dancehall.name: Dancehall,
+    Crossbar.name: Crossbar,
+    Mesh2D.name: Mesh2D,
+    Torus2D.name: Torus2D,
+}
+
+assert set(TOPOLOGIES) == set(TOPOLOGY_NAMES), "registry out of sync with config"
+
+
+def build_topology(
+    config: TopologyConfig, n_chips: int, n_l4_chips: int, link_latency: int
+) -> Topology:
+    """Instantiate the topology a :class:`TopologyConfig` names."""
+    return TOPOLOGIES[config.name](n_chips, n_l4_chips, link_latency)

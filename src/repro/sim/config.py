@@ -46,6 +46,54 @@ class CacheConfig:
             raise ValueError("cache size must be a multiple of ways * line size")
 
 
+#: Off-chip topologies the interconnect subsystem implements
+#: (:mod:`repro.interconnect.topology` keeps its registry in sync with this).
+TOPOLOGY_NAMES = ("dancehall", "crossbar", "mesh", "torus")
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Off-chip topology selection and the contention model's knobs.
+
+    The defaults — the Fig. 9 dancehall with contention disabled — reproduce
+    the original fixed-latency interconnect bit-for-bit; every golden
+    fingerprint is pinned against this configuration.  Enabling ``contention``
+    activates the epoch-based queueing model of
+    :mod:`repro.interconnect.contention`: per-link and per-directory-bank
+    occupancy is accumulated per epoch and an M/D/1-style waiting-time
+    surcharge is folded into every off-chip transfer's latency.
+    """
+
+    #: One of :data:`TOPOLOGY_NAMES`.
+    name: str = "dancehall"
+    #: Whether the epoch queueing model charges contention surcharges.
+    contention: bool = False
+    #: Peak bytes per cycle one directed off-chip link can move.
+    link_bandwidth_bytes_per_cycle: float = 16.0
+    #: Epoch length (cycles) over which link/bank occupancy is accumulated;
+    #: the previous epoch's utilization drives the current surcharge.
+    epoch_cycles: int = 2048
+    #: Directory-bank service time per request (cycles) for bank queueing.
+    bank_service_cycles: float = 4.0
+    #: Utilization clamp: queueing delay diverges as utilization approaches
+    #: 1, so observed utilization is capped here before the M/D/1 formula.
+    max_utilization: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.name not in TOPOLOGY_NAMES:
+            raise ValueError(
+                f"unknown topology {self.name!r}; expected one of {TOPOLOGY_NAMES}"
+            )
+        if self.link_bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("link bandwidth must be positive")
+        if self.epoch_cycles <= 0:
+            raise ValueError("epoch_cycles must be positive")
+        if self.bank_service_cycles < 0:
+            raise ValueError("bank_service_cycles must be non-negative")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError("max_utilization must be in (0, 1)")
+
+
 @dataclass(frozen=True)
 class NetworkConfig:
     """On-chip and off-chip interconnect latencies and message sizes."""
@@ -58,6 +106,9 @@ class NetworkConfig:
     control_bytes: int = 8
     #: Size of a full data message in bytes (line + header).
     data_bytes: int = 72
+    #: Off-chip topology and contention model (dancehall, no contention by
+    #: default — the original fixed-latency interconnect).
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
 
 
 @dataclass(frozen=True)
@@ -194,8 +245,18 @@ class SystemConfig:
         """A copy of this configuration with a different reduction unit."""
         return dataclasses.replace(self, reduction_unit=unit)
 
+    def with_topology(self, topology: TopologyConfig) -> "SystemConfig":
+        """A copy of this configuration with a different off-chip topology."""
+        return dataclasses.replace(
+            self, network=dataclasses.replace(self.network, topology=topology)
+        )
 
-def table1_config(n_cores: int = 128, reduction_unit: Optional[ReductionUnitConfig] = None) -> SystemConfig:
+
+def table1_config(
+    n_cores: int = 128,
+    reduction_unit: Optional[ReductionUnitConfig] = None,
+    topology: Optional[TopologyConfig] = None,
+) -> SystemConfig:
     """The paper's Table 1 machine at a given core count.
 
     The paper scales the number of processor and L4 chips with the core count
@@ -205,6 +266,8 @@ def table1_config(n_cores: int = 128, reduction_unit: Optional[ReductionUnitConf
     config = SystemConfig(n_cores=n_cores)
     if reduction_unit is not None:
         config = config.with_reduction_unit(reduction_unit)
+    if topology is not None:
+        config = config.with_topology(topology)
     return config
 
 

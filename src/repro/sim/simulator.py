@@ -594,7 +594,8 @@ class MulticoreSimulator:
             stats.finish_time = cursor.clock
 
         run_cycles = max((stats.finish_time for stats in core_stats), default=0.0)
-        traffic = self.protocol.interconnect.traffic
+        interconnect = self.protocol.interconnect
+        traffic = interconnect.traffic
         reductions = self.protocol.stat_full_reductions
         partials = self.protocol.stat_partial_reductions
 
@@ -612,6 +613,8 @@ class MulticoreSimulator:
             downgrades=self.protocol.stat_downgrades,
             final_values=dict(self.protocol.memory_image) if self.track_values else None,
             params=dict(workload.params),
+            bytes_by_type=dict(traffic.bytes_by_type),
+            link_stats=interconnect.link_report(run_cycles),
         )
 
     @staticmethod

@@ -137,6 +137,11 @@ class SimulationResult:
     downgrades: int = 0
     final_values: Optional[dict] = None
     params: dict = field(default_factory=dict)
+    #: Off-chip + on-chip bytes broken down by coherence message type.
+    bytes_by_type: Optional[Dict[str, int]] = None
+    #: Per-link utilization report from the interconnect contention model
+    #: (None unless the run had contention enabled).
+    link_stats: Optional[dict] = None
 
     @property
     def total_accesses(self) -> int:
@@ -202,7 +207,7 @@ class SimulationResult:
 
     def summary(self) -> dict:
         """Compact dictionary used by experiment tables and EXPERIMENTS.md."""
-        return {
+        result = {
             "protocol": self.protocol,
             "workload": self.workload,
             "n_cores": self.n_cores,
@@ -214,6 +219,13 @@ class SimulationResult:
             "partial_reductions": self.partial_reductions,
             "invalidations": self.invalidations,
         }
+        if self.bytes_by_type is not None:
+            result["bytes_by_type"] = dict(self.bytes_by_type)
+        if self.link_stats is not None:
+            result["max_link_utilization"] = self.link_stats.get("max_link_utilization")
+            result["mean_link_utilization"] = self.link_stats.get("mean_link_utilization")
+            result["contention_surcharge_cycles"] = self.link_stats.get("surcharge_cycles")
+        return result
 
 
 def speedup_curve(

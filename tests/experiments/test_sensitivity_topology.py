@@ -1,0 +1,105 @@
+"""Topology sensitivity experiment: grid shape, baseline identity, trace reuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENT_MODULES,
+    figure11_amat,
+    figure11_amat_contention,
+    sensitivity_topology,
+    settings,
+)
+from repro.sim.config import TOPOLOGY_NAMES
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    """Shrink the workloads so the whole module runs in seconds."""
+    monkeypatch.setattr(settings, "_scale", 0.03)
+    monkeypatch.setattr(settings, "_max_cores", 8)
+    yield
+
+
+class TestSensitivityTopology:
+    def test_grid_covers_every_topology_and_protocol(self):
+        results = sensitivity_topology.run(benchmarks=["hist"], n_cores=4)
+        rows = results["hist"]
+        seen = {(row["protocol"], row["topology"]) for row in rows}
+        expected = {
+            (protocol, column)
+            for protocol in ("COUP", "MESI")
+            for column in (sensitivity_topology.BASELINE, *TOPOLOGY_NAMES)
+        }
+        assert seen == expected
+        for row in rows:
+            if row["topology"] == sensitivity_topology.BASELINE:
+                assert row["max_link_utilization"] == 0.0
+                assert row["slowdown_vs_baseline"] == 1.0
+            else:
+                # Contended columns may legitimately be faster OR slower than
+                # the dancehall baseline (crossbar halves chip-to-chip hops);
+                # what must hold is that they ran and charged contention.
+                assert row["slowdown_vs_baseline"] > 0.0
+                assert row["max_link_utilization"] > 0.0
+
+    def test_baseline_column_matches_legacy_path(self):
+        results = sensitivity_topology.run(benchmarks=["hist"], n_cores=4)
+        sensitivity_topology.baseline_matches_legacy(results)
+
+    def test_baseline_check_detects_divergence(self):
+        results = sensitivity_topology.run(benchmarks=["hist"], n_cores=4)
+        for row in sensitivity_topology.baseline_rows(results):
+            row["run_cycles"] += 1.0
+        with pytest.raises(AssertionError):
+            sensitivity_topology.baseline_matches_legacy(results)
+
+    def test_points_share_one_trace_per_benchmark_and_protocol(self):
+        """All topology columns of one (benchmark, protocol) reuse one trace."""
+        spec = sensitivity_topology.sweep_spec(benchmarks=["hist"], n_cores=4)
+        keys = {
+            point.key: point.workload.key(point.n_cores) for point in spec.points
+        }
+        for protocol in ("COUP", "MESI"):
+            trace_keys = {
+                trace_key
+                for point_key, trace_key in keys.items()
+                if point_key.endswith(f"/{protocol}")
+            }
+            assert len(trace_keys) == 1
+
+    def test_registered_with_the_runner(self):
+        assert "sensitivity-topology" in EXPERIMENT_MODULES
+        assert "figure11-contention" in EXPERIMENT_MODULES
+
+
+class TestFigure11ContentionMode:
+    def test_rows_report_topology_and_utilization(self):
+        results = figure11_amat_contention.run(["hist"], [4])
+        rows = results["hist"]
+        assert rows
+        for row in rows:
+            assert row["topology"] == "dancehall"
+            assert "max_link_utilization" in row
+
+    def test_default_mode_rows_are_unchanged(self):
+        """Without a topology override the rows carry no new keys."""
+        rows = figure11_amat.run_benchmark("hist", [4])
+        assert all("topology" not in row for row in rows)
+
+    def test_contention_amat_tracks_baseline_from_above(self):
+        """Contention adds latency overall; per-point dips stay marginal.
+
+        Surcharges only ever *add* to an individual transfer, but delaying a
+        core reshuffles the interleaving, which can shave a fraction of a
+        percent off one point's AMAT (fewer directory conflicts observed).
+        The aggregate must still not improve, and no point may improve by
+        more than a rounding-sized margin.
+        """
+        baseline = figure11_amat.run(["hist"], [4])["hist"]
+        loaded = figure11_amat_contention.run(["hist"], [4])["hist"]
+        by_key = {(r["protocol"], r["n_cores"]): r["amat"] for r in baseline}
+        for row in loaded:
+            assert row["amat"] >= by_key[(row["protocol"], row["n_cores"])] * 0.99
+            assert row["max_link_utilization"] > 0.0  # contention really charged

@@ -68,6 +68,17 @@ class TestInterconnectModel:
         assert model.is_offchip(0, 1)
         assert not model.is_offchip(2, 2)
 
+    def test_counters_get_independent_default_dicts(self):
+        """The dataclass defaults must be per-instance factories, not None."""
+        a = TrafficCounters()
+        b = TrafficCounters()
+        assert a.messages_by_type == {} and a.bytes_by_type == {}
+        a.messages_by_type["Data"] += 1  # defaultdict semantics preserved
+        a.bytes_by_type["Data"] += 72
+        assert b.messages_by_type == {} and b.bytes_by_type == {}
+        # Annotated type is honest now: instantiation never yields None.
+        assert TrafficCounters(on_chip_bytes=1).messages_by_type is not None
+
     def test_counters_merge(self):
         a = TrafficCounters(on_chip_bytes=10, off_chip_bytes=20)
         b = TrafficCounters(on_chip_bytes=1, off_chip_bytes=2)
@@ -77,3 +88,21 @@ class TestInterconnectModel:
         assert a.off_chip_bytes == 22
         assert a.messages_by_type["Data"] == 4
         assert a.as_dict()["total_bytes"] == 33
+
+
+class TestNetworkSummary:
+    def test_hierarchy_summary_matches_simulation_traffic(self):
+        from repro.sim.config import small_test_config
+        from repro.sim.simulator import MulticoreSimulator, make_protocol
+        from repro.workloads.synthetic import SharedCounterWorkload
+
+        config = small_test_config(4)
+        engine = make_protocol("MESI", config, track_values=False)
+        simulator = MulticoreSimulator(config, engine, track_values=False)
+        result = simulator.run(SharedCounterWorkload(updates_per_core=50).generate(4))
+        summary = engine.hierarchy.network_summary()
+        assert summary["topology"] == "dancehall"
+        assert summary["contention"] is False
+        assert summary["off_chip_bytes"] == result.offchip_bytes
+        assert summary["on_chip_bytes"] == result.onchip_bytes
+        assert summary["bytes_by_type"] == result.bytes_by_type

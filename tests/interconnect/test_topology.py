@@ -1,0 +1,157 @@
+"""Topology path enumeration: routes, hop counts, and the dancehall baseline.
+
+Pins the properties the latency tables and the contention model rely on:
+
+* dancehall paths reduce to the original fixed-latency constants,
+* mesh hop counts equal the Manhattan distance between grid coordinates and
+  torus hop counts equal the wrapped (toroidal) Manhattan distance,
+* routes are symmetric in length (XY out, YX back: same hop count), and
+* every route is contiguous (each link starts where the previous one ended).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.interconnect.network import InterconnectModel
+from repro.interconnect.topology import (
+    TOPOLOGIES,
+    Crossbar,
+    Mesh2D,
+    Topology,
+    Torus2D,
+    build_topology,
+    directory_node,
+    processor_node,
+)
+from repro.sim.config import TOPOLOGY_NAMES, TopologyConfig, table1_config
+
+LINK_LATENCY = 40
+
+
+def make(name: str, n_chips: int = 8, n_l4: int = 8) -> Topology:
+    return TOPOLOGIES[name](n_chips, n_l4, LINK_LATENCY)
+
+
+def all_node_pairs(topology: Topology):
+    nodes = [processor_node(i) for i in range(topology.n_chips)] + [
+        directory_node(j) for j in range(topology.n_l4_chips)
+    ]
+    return [(a, b) for a in nodes for b in nodes if a != b]
+
+
+class TestDancehallBaseline:
+    """The default topology must reproduce the original constants."""
+
+    def test_chip_to_l4_is_one_dedicated_link(self):
+        topo = make("dancehall")
+        for chip in range(topo.n_chips):
+            for l4 in range(topo.n_l4_chips):
+                path = topo.chip_to_l4(chip, l4)
+                assert path == ((processor_node(chip), directory_node(l4)),)
+                assert topo.one_way_latency(processor_node(chip), directory_node(l4)) == LINK_LATENCY
+
+    def test_chip_to_chip_crosses_an_l4_chip(self):
+        topo = make("dancehall")
+        path = topo.chip_to_chip(0, 3)
+        assert len(path) == 2
+        assert path[0][1].startswith("d") and path[1][0].startswith("d")
+        assert topo.one_way_latency(processor_node(0), processor_node(3)) == 2 * LINK_LATENCY
+
+    def test_directory_to_directory_relays_through_a_processor(self):
+        topo = make("dancehall")
+        path = topo.route(directory_node(0), directory_node(3))
+        assert len(path) == 2
+        assert path[0][0] == directory_node(0) and path[1][1] == directory_node(3)
+        relay = path[0][1]
+        assert relay.startswith("p") and path[1][0] == relay  # no self-loops
+
+    def test_interconnect_tables_match_legacy_constants(self):
+        """The precomputed latency tables equal the old fixed helpers."""
+        model = InterconnectModel(table1_config(128))
+        round_trip = model.offchip_round_trip()
+        for row in model.l4_round_trip_table:
+            assert all(entry == round_trip for entry in row)
+        for src, row in enumerate(model.chip_transfer_table):
+            for dst, entry in enumerate(row):
+                expected = 0 if src == dst else model.cross_socket_latency()
+                assert entry == expected
+
+    def test_contention_disabled_by_default(self):
+        model = InterconnectModel(table1_config(64))
+        assert model.contention is None
+        assert model.link_report(1000.0) is None
+        assert model.topology.name == "dancehall"
+
+
+class TestCrossbar:
+    def test_two_port_links_one_latency_hop(self):
+        topo = make("crossbar")
+        path = topo.chip_to_l4(2, 5)
+        assert path == ((processor_node(2), Crossbar.SWITCH), (Crossbar.SWITCH, directory_node(5)))
+        assert topo.latency_hops(processor_node(2), directory_node(5)) == 1
+        assert topo.one_way_latency(processor_node(2), directory_node(5)) == LINK_LATENCY
+
+
+class TestGridTopologies:
+    @pytest.mark.parametrize("cls", [Mesh2D, Torus2D])
+    def test_routes_are_contiguous(self, cls):
+        topo = cls(8, 8, LINK_LATENCY)
+        for src, dst in all_node_pairs(topo):
+            path = topo.route(src, dst)
+            assert path, f"no path {src}->{dst}"
+            assert path[0][0] == src and path[-1][1] == dst
+            for (_, mid), (nxt, _) in zip(path, path[1:]):
+                assert mid == nxt
+
+    def test_mesh_hops_match_manhattan_distance(self):
+        topo = Mesh2D(8, 8, LINK_LATENCY)
+        for src, dst in all_node_pairs(topo):
+            (x1, y1), (x2, y2) = topo.coordinate(src), topo.coordinate(dst)
+            assert topo.hops(src, dst) == abs(x1 - x2) + abs(y1 - y2)
+
+    def test_torus_hops_match_wrapped_distance(self):
+        topo = Torus2D(8, 8, LINK_LATENCY)
+        for src, dst in all_node_pairs(topo):
+            (x1, y1), (x2, y2) = topo.coordinate(src), topo.coordinate(dst)
+            dx = min(abs(x1 - x2), topo.cols - abs(x1 - x2))
+            dy = min(abs(y1 - y2), topo.rows - abs(y1 - y2))
+            assert topo.hops(src, dst) == dx + dy
+
+    def test_torus_never_longer_than_mesh(self):
+        mesh = Mesh2D(8, 8, LINK_LATENCY)
+        torus = Torus2D(8, 8, LINK_LATENCY)
+        for src, dst in all_node_pairs(mesh):
+            assert torus.hops(src, dst) <= mesh.hops(src, dst)
+
+    @pytest.mark.parametrize("name", ["mesh", "torus"])
+    def test_routes_symmetric_hop_counts(self, name):
+        topo = make(name)
+        for src, dst in all_node_pairs(topo):
+            assert topo.hops(src, dst) == topo.hops(dst, src)
+
+    def test_grid_links_connect_adjacent_slots_only(self):
+        """Every mesh link spans exactly one grid step (no shortcuts)."""
+        topo = Mesh2D(6, 6, LINK_LATENCY)
+        coords = {label: coord for coord, label in topo._label.items()}
+        for src, dst in all_node_pairs(topo):
+            for a, b in topo.route(src, dst):
+                (x1, y1), (x2, y2) = coords[a], coords[b]
+                assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+
+class TestRegistry:
+    def test_every_config_name_builds(self):
+        for name in TOPOLOGY_NAMES:
+            topo = build_topology(TopologyConfig(name=name), 4, 4, LINK_LATENCY)
+            assert topo.name == name
+
+    def test_unknown_name_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(name="hypercube")
+
+    @pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+    def test_self_route_is_empty(self, name):
+        topo = make(name)
+        assert topo.route(processor_node(1), processor_node(1)) == ()
+        assert topo.one_way_latency(processor_node(1), processor_node(1)) == 0
