@@ -51,22 +51,62 @@ BENCH_REPEATS = 3
 MAX_TRAJECTORY_ENTRIES = 200
 
 
+def timed_modes(modes, repeats: int = BENCH_REPEATS, *, estimator=None, warmup=True):
+    """Shared timing core: ``{name: (estimate_s, times, last_result)}``.
+
+    ``modes`` is a sequence of ``(name, zero-arg callable)`` pairs.  Rounds
+    are *interleaved* (one timing of every mode per round, optionally after
+    one untimed warm-up round) so slow drift of the machine's speed — CPU
+    frequency scaling, a sibling job winding down — hits all modes equally
+    instead of biasing whichever phase ran later.  ``estimator`` folds each
+    mode's timings into the reported estimate: ``min`` for comparing
+    near-identical code paths (noise-robust), median (the default) for
+    absolute wall-clock trajectories.
+
+    This is the one timing helper behind every benchmark in this suite
+    (test_sweep.py, test_columnar.py, test_network_contention.py,
+    test_kernel.py); keep refinements here rather than per-file.
+    """
+    import statistics
+    import time
+
+    if estimator is None:
+        estimator = statistics.median
+    times = {name: [] for name, _ in modes}
+    results = {}
+    if warmup:  # imports, allocator, branch caches
+        for name, fn in modes:
+            results[name] = fn()
+    for _ in range(repeats):
+        for name, fn in modes:
+            start = time.perf_counter()
+            results[name] = fn()
+            times[name].append(time.perf_counter() - start)
+    return {name: (estimator(times[name]), times[name], results[name]) for name, _ in modes}
+
+
 def median_time(fn, repeats: int = BENCH_REPEATS):
     """``(median_seconds, all_seconds, last_result)`` over timed repeats.
 
     Single-shot wall-clock numbers on shared machines swing by tens of
     percent; every benchmark records the median of ``repeats`` runs.
+    (Single-mode wrapper around :func:`timed_modes`; no warm-up round, so
+    existing trajectory semantics are unchanged.)
     """
-    import statistics
-    import time
+    estimate, times, result = timed_modes(
+        (("fn", fn),), repeats, warmup=False
+    )["fn"]
+    return estimate, times, result
 
-    times = []
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        times.append(time.perf_counter() - start)
-    return statistics.median(times), times, result
+
+def interleaved_best_times(modes, repeats: int = BENCH_REPEATS):
+    """``{name: (min_seconds, all_seconds, last_result)}`` per mode.
+
+    Min-of-N over interleaved rounds with one warm-up round: the right
+    estimator when the modes execute near-identical work and the question
+    is which code path is cheaper.
+    """
+    return timed_modes(modes, repeats, estimator=min, warmup=True)
 
 
 def append_trajectory(path: str, entry: dict, max_entries: int = MAX_TRAJECTORY_ENTRIES) -> None:

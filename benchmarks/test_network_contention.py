@@ -21,10 +21,9 @@ trajectory lands in ``benchmarks/BENCH_network.json``.
 from __future__ import annotations
 
 import os
-import time
 from datetime import datetime, timezone
 
-from conftest import BENCH_REPEATS, append_trajectory, run_once
+from conftest import BENCH_REPEATS, append_trajectory, interleaved_best_times, run_once
 
 from repro.experiments import settings
 from repro.experiments.paper_workloads import make_hist
@@ -54,26 +53,6 @@ def _simulate(trace, config, *, legacy: bool = False):
     return MulticoreSimulator(config, engine, track_values=False).run(trace)
 
 
-def _interleaved_best_times(modes, repeats: int = REPEATS):
-    """``{name: (min_seconds, all_seconds, last_result)}`` per mode.
-
-    Rounds are *interleaved* (one timing of every mode per round, after one
-    untimed warm-up round) so slow drift of the machine's speed — CPU
-    frequency scaling, a sibling job winding down — hits all modes equally
-    instead of biasing whichever phase ran later.
-    """
-    times = {name: [] for name, _ in modes}
-    results = {}
-    for name, fn in modes:  # warm-up: imports, allocator, branch caches
-        results[name] = fn()
-    for _ in range(repeats):
-        for name, fn in modes:
-            start = time.perf_counter()
-            results[name] = fn()
-            times[name].append(time.perf_counter() - start)
-    return {name: (min(times[name]), times[name], results[name]) for name, _ in modes}
-
-
 def test_network_contention_overhead(benchmark):
     n_cores = min(16, settings.max_cores())
     config = table1_config(n_cores)
@@ -82,12 +61,13 @@ def test_network_contention_overhead(benchmark):
     )
     trace = make_hist(UpdateStyle.COMMUTATIVE).generate(n_cores)
 
-    timings = _interleaved_best_times(
+    timings = interleaved_best_times(
         [
             ("legacy", lambda: _simulate(trace, config, legacy=True)),
             ("disabled", lambda: _simulate(trace, config)),
             ("enabled", lambda: _simulate(trace, contended)),
-        ]
+        ],
+        repeats=REPEATS,
     )
     legacy_s, legacy_times, legacy_result = timings["legacy"]
     disabled_s, disabled_times, disabled_result = timings["disabled"]

@@ -91,35 +91,49 @@ def collect_point_records(results_dir: str, *, scale: float, max_cores: int) -> 
             record["experiment_id"],
             {"n_points": 0, "n_cached": 0, "n_failed": 0, "elapsed_s": 0.0, "points": []},
         )
-        digest["n_points"] += 1
-        digest["n_cached"] += int(bool(record.get("cached")))
-        digest["n_failed"] += int(record.get("status") != "ok")
-        digest["elapsed_s"] = round(digest["elapsed_s"] + float(record.get("elapsed_s", 0.0)), 3)
-        point = {
-            "point": record["point"],
-            "status": record.get("status"),
-            "cached": bool(record.get("cached")),
-            "elapsed_s": record.get("elapsed_s"),
-        }
-        if "summary" in record:
-            point["summary"] = record["summary"]
-            # Fold the interconnect statistics the summaries carry instead of
-            # dropping them: the per-message-type byte breakdown is summed
-            # across the experiment's points, and the peak link utilization
-            # (contention-enabled sweeps only) is tracked as a maximum.
-            point_summary = record["summary"]
-            if isinstance(point_summary, dict):
-                bytes_by_type = point_summary.get("bytes_by_type")
-                if isinstance(bytes_by_type, dict):
-                    totals = digest.setdefault("bytes_by_type", {})
-                    for label, count in bytes_by_type.items():
-                        totals[label] = totals.get(label, 0) + count
-                utilization = point_summary.get("max_link_utilization")
-                if utilization is not None:
-                    digest["max_link_utilization"] = max(
-                        digest.get("max_link_utilization", 0.0), utilization
-                    )
-        digest["points"].append(point)
+        # Records written before the interconnect subsystem existed carry no
+        # `bytes_by_type`/`link_stats`-derived keys (and may hold nulls where
+        # newer records hold numbers).  A `--resume` over an old results or
+        # cache directory must fold what it can and never abort the summary,
+        # so each record's statistics are folded defensively.
+        try:
+            elapsed = float(record.get("elapsed_s") or 0.0)
+            digest["n_points"] += 1
+            digest["n_cached"] += int(bool(record.get("cached")))
+            digest["n_failed"] += int(record.get("status") != "ok")
+            digest["elapsed_s"] = round(digest["elapsed_s"] + elapsed, 3)
+            point = {
+                "point": record["point"],
+                "status": record.get("status"),
+                "cached": bool(record.get("cached")),
+                "elapsed_s": record.get("elapsed_s"),
+            }
+            if "summary" in record:
+                point["summary"] = record["summary"]
+                # Fold the interconnect statistics the summaries carry instead
+                # of dropping them: the per-message-type byte breakdown is
+                # summed across the experiment's points, and the peak link
+                # utilization (contention-enabled sweeps only) is tracked as a
+                # maximum.  Both keys are absent from pre-topology records.
+                point_summary = record["summary"]
+                if isinstance(point_summary, dict):
+                    bytes_by_type = point_summary.get("bytes_by_type")
+                    if isinstance(bytes_by_type, dict):
+                        totals = digest.setdefault("bytes_by_type", {})
+                        for label, count in bytes_by_type.items():
+                            if isinstance(count, (int, float)):
+                                totals[label] = totals.get(label, 0) + count
+                    utilization = point_summary.get("max_link_utilization")
+                    if isinstance(utilization, (int, float)):
+                        digest["max_link_utilization"] = max(
+                            digest.get("max_link_utilization", 0.0), utilization
+                        )
+            digest["points"].append(point)
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"skipping malformed point record {path}: {exc!r}", file=sys.stderr
+            )
+            continue
     return folded
 
 

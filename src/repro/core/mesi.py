@@ -43,6 +43,10 @@ class MesiProtocol(CoherenceProtocol):
 
     name = "MESI"
     SUPPORTS_INLINE_FAST_PATH = True
+    #: The batched columnar kernel may classify chunks against this engine's
+    #: tables (the generic ``CoherenceProtocol.hot_mask`` implements the MESI
+    #: family's rules; MEUSI and RMO inherit both flag and mask).
+    SUPPORTS_BATCH_KERNEL = True
     HOT_COMMUTATIVE = "atomic"
 
     #: Per-sharer serialization when the home must invalidate several caches.
@@ -63,6 +67,15 @@ class MesiProtocol(CoherenceProtocol):
         return self.core_states[core_id].get(line_addr, StableState.INVALID)
 
     def _set_state(self, core_id: int, line_addr: int, state: StableState) -> None:
+        # Every slow-path stable-state mutation funnels through here (the
+        # simulator's inline hit paths write ``core_states`` directly, but
+        # only for E->M upgrades, which no batch classification depends on).
+        # When the batched kernel runs, it registers a set to learn which
+        # (core, line) pairs a transaction touched so it can repair their
+        # tag mirrors incrementally and invalidate chunk classifications.
+        touched = self.touched_cores
+        if touched is not None:
+            touched.add((core_id, line_addr))
         if state is StableState.INVALID:
             self.core_states[core_id].pop(line_addr, None)
         else:

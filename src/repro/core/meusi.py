@@ -23,7 +23,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.commutative import CommutativeOp, DeltaBuffer
+from repro.core.commutative import ALL_OPS, CommutativeOp, DeltaBuffer
+
+#: Op -> index in :data:`ALL_OPS`, for the batch-classification contract.
+_OP_INDEX = {op: index for index, op in enumerate(ALL_OPS)}
 from repro.core.mesi import MesiProtocol
 from repro.core.protocol import AccessOutcome
 from repro.core.states import LineMode, StableState
@@ -64,6 +67,29 @@ class MeusiProtocol(MesiProtocol):
         if self.track_values and access.value is not None:
             buffer = self._buffer_for(core_id, line_addr, access.op)
             buffer.update(access.address, access.value)
+
+    def batch_uop_code(self, core_id: int, line_addr: int) -> int:
+        """Op index under which the batched kernel may classify a U line hot.
+
+        Part of the batch-classification contract (see
+        :meth:`CoherenceProtocol.hot_mask`): a commutative or remote update
+        to a line this core holds in U is a pure local hit only when the
+        directory entry carries the same op.  One extra guard keeps batching
+        bit-identical when values are tracked: the core's delta buffer for
+        the line must already exist.  Creating a buffer inserts a key into
+        ``delta_buffers``, and ``finalize`` commits buffers in insertion
+        order — floating-point reductions make that order observable — so
+        first-buffering updates are deliberately sent through the globally
+        ordered slow/inline path instead of a reordered hit-run.  Returns
+        the op's :data:`~repro.core.commutative.ALL_OPS` index, or 255
+        (``UOP_NONE``) when the line must classify slow.
+        """
+        entry = self.directory.peek(line_addr)
+        if entry is None or entry.op is None:
+            return 255
+        if self.track_values and (core_id, line_addr) not in self.delta_buffers:
+            return 255
+        return _OP_INDEX[entry.op]
 
     def _commit_buffer(self, core_id: int, line_addr: int) -> int:
         """Fold one core's delta buffer into the memory image.

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
+
+import numpy as np
 
 from repro.core.commutative import CommutativeOp
 from repro.core.directory import Directory
@@ -56,6 +58,13 @@ class CoherenceProtocol(abc.ABC):
     #: Whether the timing simulator may resolve private hits against this
     #: engine's tables inline (see :meth:`resolve_slow` for the contract).
     SUPPORTS_INLINE_FAST_PATH: bool = False
+
+    #: Whether the batched columnar kernel (:mod:`repro.sim.kernel`) may
+    #: classify whole chunks of accesses against this engine's tables via
+    #: :meth:`hot_mask` and advance hit-runs without per-access protocol
+    #: calls.  Requires :attr:`SUPPORTS_INLINE_FAST_PATH` (the kernel drops
+    #: into the same inline/`resolve_slow` machinery at run boundaries).
+    SUPPORTS_BATCH_KERNEL: bool = False
 
     #: How the hot path treats commutative/remote updates: ``"atomic"`` folds
     #: them into atomic read-modify-writes (MESI), ``"local"`` applies COUP's
@@ -130,6 +139,13 @@ class CoherenceProtocol(abc.ABC):
         }
         #: Functional memory image: word address -> value.
         self.memory_image: Dict[int, object] = {}
+        #: When the batched kernel runs, this holds a set that every
+        #: cross-core stable-state mutation (``MesiProtocol._set_state``)
+        #: records ``(core_id, line_addr)`` pairs into, so the kernel knows
+        #: which tag-mirror entries and chunk classifications a slow-path
+        #: action invalidated.  ``None`` (the default) disables the
+        #: bookkeeping for the scalar paths.
+        self.touched_cores: Optional[Set] = None
         #: Simulator time of the access currently being resolved; protocol
         #: engines set this at the top of :meth:`access` so internal helpers
         #: (evictions, reductions) can schedule shared resources correctly.
@@ -203,6 +219,70 @@ class CoherenceProtocol(abc.ABC):
         per access.
         """
         raise NotImplementedError
+
+    def hot_mask(
+        self,
+        kinds: np.ndarray,
+        member: np.ndarray,
+        states: np.ndarray,
+        uops: Optional[np.ndarray],
+        op_index: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized twin of the inline private-hit rules (batch contract).
+
+        Given one chunk of a core's columnar trace, return a boolean array
+        marking the accesses the engine would satisfy entirely within the
+        core's private L1 with **no** protocol action — exactly the accesses
+        the simulator's inline fast path resolves without calling
+        :meth:`resolve_slow`.  Inputs are parallel arrays over the chunk:
+
+        ``kinds``
+            Access kind per :data:`repro.sim.columnar.CODE_KIND`.
+        ``member``
+            Whether the line is L1-resident (from the core's
+            :class:`~repro.hierarchy.cache.TagArray` mirror).
+        ``states``
+            The core's stable-state code for the line
+            (``repro.hierarchy.cache.STATE_*``; 0 when absent/untracked).
+        ``uops``
+            For ``STATE_UPDATE`` lines, the directory entry's op index when
+            same-type updates may buffer locally (else ``UOP_NONE``).
+            ``None`` unless :attr:`HOT_COMMUTATIVE` is ``"local"``.
+        ``op_index``
+            The access's own op index (:data:`repro.sim.columnar.CODE_OP_INDEX`).
+
+        The generic implementation is driven by :attr:`HOT_COMMUTATIVE`, the
+        same switch the inline path uses, so the MESI family shares it:
+        loads hit on S/E/M, stores and atomics on E/M, and commutative or
+        remote updates follow the engine's folding rule.  MEUSI's
+        update-state lines classify hot only for matching-op buffering;
+        everything touching reduction units classifies slow.  Engines with
+        different stable-state semantics must override this together with
+        :attr:`SUPPORTS_BATCH_KERNEL`.
+        """
+        from repro.hierarchy.cache import (
+            STATE_EXCLUSIVE,
+            STATE_MODIFIED,
+            STATE_UPDATE,
+            UOP_NONE,
+        )
+        from repro.sim.columnar import KIND_LOAD, KIND_COMMUTATIVE
+
+        writable = member & ((states == STATE_EXCLUSIVE) | (states == STATE_MODIFIED))
+        readable = member & (states != 0) & (states != STATE_UPDATE)
+        hot = np.where(kinds == KIND_LOAD, readable, writable)
+        commutative = kinds >= KIND_COMMUTATIVE
+        if self.HOT_COMMUTATIVE == "never":
+            hot &= ~commutative
+        elif self.HOT_COMMUTATIVE == "local":
+            update_ok = (
+                member
+                & (states == STATE_UPDATE)
+                & (uops != UOP_NONE)
+                & (uops == op_index)
+            )
+            hot |= commutative & update_ok
+        return hot
 
     def finalize(self) -> None:
         """Flush protocol state at the end of a run.

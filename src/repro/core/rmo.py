@@ -29,6 +29,11 @@ class RmoProtocol(MesiProtocol):
     """MESI plus remote update operations executed at the home L3/L4 bank."""
 
     name = "RMO"
+    #: Remote/commutative updates always travel to the home bank, so the
+    #: batched kernel's hot mask (``HOT_COMMUTATIVE = "never"``) classifies
+    #: every update slow; only loads and stores batch into hit-runs.  The
+    #: bank-ALU queue (``_bank_busy_until``) is therefore only touched from
+    #: the globally ordered slow path, which keeps batching bit-identical.
     HOT_COMMUTATIVE = "never"
 
     #: Cycles the home bank ALU is occupied per remote update.

@@ -66,8 +66,10 @@ from repro.software.privatization import PrivatizationLevel
 from repro.workloads.base import Workload
 
 #: Bumped whenever a change invalidates previously cached point results.
-#: (2: SystemConfig fingerprints gained the network topology subsystem.)
-ENGINE_VERSION = 2
+#: (2: SystemConfig fingerprints gained the network topology subsystem.
+#:  3: SimulationResult.to_jsonable emits final_values in canonical sorted
+#:     order — required for batched-kernel/scalar cache-record equality.)
+ENGINE_VERSION = 3
 
 #: Default location of the persistent point cache, relative to the cwd (the
 #: same convention the runner uses for ``results/experiments``).

@@ -151,6 +151,36 @@ assert CODE_ACCESS_TYPE[N_CODES - 1] is AccessType.REMOTE_UPDATE
 #: NumPy lookup table: code -> value kind, for vectorized value decoding.
 _VK_LUT = np.array(CODE_VALUE_KIND, dtype=np.uint8)
 
+#: Access-kind slots used by the batched simulation kernel's vectorized
+#: dispatch: 0=LOAD, 1=STORE, 2=ATOMIC_RMW, 3=COMMUTATIVE, 4=REMOTE.
+KIND_LOAD, KIND_STORE, KIND_ATOMIC, KIND_COMMUTATIVE, KIND_REMOTE = range(5)
+
+_KIND_OF_TYPE = {
+    AccessType.LOAD: KIND_LOAD,
+    AccessType.STORE: KIND_STORE,
+    AccessType.ATOMIC_RMW: KIND_ATOMIC,
+    AccessType.COMMUTATIVE_UPDATE: KIND_COMMUTATIVE,
+    AccessType.REMOTE_UPDATE: KIND_REMOTE,
+}
+
+#: NumPy lookup table: code -> access kind (``KIND_*``), for the batched
+#: kernel's vectorized classification (`kinds = CODE_KIND[codes]`).
+CODE_KIND = np.array(
+    [_KIND_OF_TYPE[access_type] for access_type in CODE_ACCESS_TYPE], dtype=np.uint8
+)
+
+#: Sentinel for "no commutative op" in :data:`CODE_OP_INDEX`.
+NO_OP_INDEX = 255
+
+#: NumPy lookup table: code -> index into :data:`ALL_OPS` (or
+#: :data:`NO_OP_INDEX` for loads/stores).  The batched kernel compares these
+#: against the directory entry's op index to vectorize MEUSI's
+#: same-update-type rule for U-state lines.
+CODE_OP_INDEX = np.array(
+    [ALL_OPS.index(op) if op is not None else NO_OP_INDEX for op in CODE_OP],
+    dtype=np.uint8,
+)
+
 
 def encode_value(value) -> Tuple[int, int]:
     """``(value_kind, value_delta)`` for one operand value."""

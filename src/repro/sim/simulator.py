@@ -41,6 +41,16 @@ from repro.sim.core_model import CoreTimingModel
 from repro.sim.stats import CoreStats, SimulationResult
 
 
+#: Consecutive private hits (across all cores) after which the scalar
+#: columnar loop hands control back to the batched kernel: a long global
+#: streak means every core is in the kernel's hit-run regime.
+REENTER_STREAK = 512
+
+#: Upper bound on batched-kernel stints per run, so a workload oscillating
+#: near the batch/scalar break-even settles in the scalar loop.
+MAX_KERNEL_STINTS = 3
+
+
 #: Registry of protocol engines selectable by name.
 PROTOCOLS: Dict[str, Type[CoherenceProtocol]] = {
     "MESI": MesiProtocol,
@@ -328,16 +338,17 @@ class MulticoreSimulator:
         return self._finish(workload, cursors, core_stats)
 
     def _run_columnar(self, workload: ColumnarTrace) -> SimulationResult:
-        """Columnar twin of :meth:`run`: cursor-indexed raw columns.
+        """Simulate a columnar trace via the batched kernel or the scalar loop.
 
-        The control flow, arithmetic, and protocol interactions are kept
-        line-for-line equivalent to the object loop — only the per-access
-        representation differs.  ``MemoryAccess`` objects are materialized
-        lazily, and only for the protocol calls whose signatures take one
-        (``resolve_slow``/``access_hot`` and the functional-update helpers);
-        every private hit resolves against raw ints and floats.  Any change
-        here must be mirrored in :meth:`run` (and vice versa); the
-        golden-equivalence suite pins the two paths bit-identical.
+        The three-tier hot path: the batched kernel (:mod:`repro.sim.kernel`)
+        advances whole hit-runs with vectorized scans, dropping into the
+        inline per-access probe at run boundaries, which in turn drops into
+        :meth:`CoherenceProtocol.resolve_slow` for protocol action.  The
+        kernel is used when the engine opts in (``SUPPORTS_BATCH_KERNEL``)
+        and ``REPRO_SIM_KERNEL`` allows it; in ``auto`` mode it bails out to
+        the scalar loop mid-run on workloads whose hit-runs are too short to
+        batch profitably.  All paths are bit-identical (golden suite plus
+        the batch-boundary grids in tests/sim/test_batch_kernel.py).
         """
         if workload.n_cores > self.config.n_cores:
             raise ValueError(
@@ -346,9 +357,86 @@ class MulticoreSimulator:
             )
         workload.validate()
 
+        from repro.sim.kernel import BatchedKernel, kernel_mode
+
+        mode = kernel_mode()
+        if (
+            mode == "scalar"
+            or not self.protocol.SUPPORTS_BATCH_KERNEL
+            or not self.protocol.SUPPORTS_INLINE_FAST_PATH
+        ):
+            return self._run_columnar_scalar(workload)
+
+        # The two loops alternate on the same exact state: the kernel bails
+        # to the scalar loop when a stretch of the workload is too slow-heavy
+        # to batch, and the scalar loop hands back when it observes a long
+        # run of consecutive private hits (the kernel's regime).  Stints are
+        # capped so a workload oscillating near break-even settles in the
+        # scalar loop.
+        force = mode == "batch"
+        state = None
+        scratch: dict = {}
+        stints = 1
+        while True:
+            kernel = BatchedKernel(self, workload, force=force, resume=state)
+            state = kernel.run()
+            if state is None:
+                self.protocol.touched_cores = None
+                cursors = [
+                    _CoreCursor(
+                        core_id=core.core_id,
+                        clock=core.clock,
+                        next_index=core.next_index,
+                        phase=core.phase,
+                    )
+                    for core in kernel.cores
+                ]
+                return self._finish(workload, cursors, kernel.core_stats)
+            outcome = self._run_columnar_scalar(
+                workload,
+                resume=state,
+                scratch=scratch,
+                reenter=stints < MAX_KERNEL_STINTS,
+            )
+            if isinstance(outcome, SimulationResult):
+                return outcome
+            state = outcome
+            stints += 1
+
+    def _run_columnar_scalar(
+        self, workload: ColumnarTrace, resume=None, scratch=None, reenter=False
+    ):
+        """Columnar twin of :meth:`run`: cursor-indexed raw columns.
+
+        The control flow, arithmetic, and protocol interactions are kept
+        line-for-line equivalent to the object loop — only the per-access
+        representation differs.  ``MemoryAccess`` objects are materialized
+        lazily, and only for the protocol calls whose signatures take one
+        (``resolve_slow``/``access_hot`` and the functional-update helpers);
+        every private hit resolves against raw ints and floats.  Any change
+        here must be mirrored in :meth:`run` and in the batched kernel's
+        boundary path (``BatchedKernel._execute_one``); the golden
+        equivalence suite pins all paths bit-identical.
+
+        ``resume`` is a handoff from a bailed-out batched-kernel run:
+        ``(per-core (clock, next_index, phase), core_stats, heap entries,
+        barrier-waiter ids)``.  The kernel maintains exactly this loop's
+        state, so resuming mid-run continues the identical simulation.  With
+        ``reenter``, a run of :data:`REENTER_STREAK` consecutive private
+        hits returns the same handoff shape instead of a result, so
+        :meth:`_run_columnar` can hand the hot stretch back to the kernel;
+        ``scratch`` caches the decoded columns across such alternations.
+        """
         n_cores = workload.n_cores
-        cursors = [_CoreCursor(core_id=i) for i in range(n_cores)]
-        core_stats = [CoreStats(core_id=i) for i in range(n_cores)]
+        if resume is None:
+            cursors = [_CoreCursor(core_id=i) for i in range(n_cores)]
+            core_stats = [CoreStats(core_id=i) for i in range(n_cores)]
+        else:
+            cursor_state, core_stats, _, _ = resume
+            cursors = [
+                _CoreCursor(core_id=i, clock=clock, next_index=next_index, phase=phase)
+                for i, (clock, next_index, phase) in enumerate(cursor_state)
+            ]
         phase_boundaries = workload.phase_boundaries or []
         n_phases = len(phase_boundaries)
 
@@ -358,10 +446,17 @@ class MulticoreSimulator:
         # (``gap * cpi`` is bit-identical to ``int_think * cpi`` because every
         # gap is an exact small integer), and operand values are decoded by
         # kind in one vectorized pass per core.
-        codes_pc = [column["type_code"].tolist() for column in workload.columns]
-        addrs_pc = [column["address"].tolist() for column in workload.columns]
-        gaps_pc = [column["compute_gap"].tolist() for column in workload.columns]
-        values_pc = [decode_values(column) for column in workload.columns]
+        columns = scratch.get("columns") if scratch is not None else None
+        if columns is None:
+            columns = (
+                [column["type_code"].tolist() for column in workload.columns],
+                [column["address"].tolist() for column in workload.columns],
+                [column["compute_gap"].tolist() for column in workload.columns],
+                [decode_values(column) for column in workload.columns],
+            )
+            if scratch is not None:
+                scratch["columns"] = columns
+        codes_pc, addrs_pc, gaps_pc, values_pc = columns
         trace_lens = [len(codes) for codes in codes_pc]
 
         # -- hot-loop constants, hoisted out of the per-access path -----------
@@ -407,9 +502,14 @@ class MulticoreSimulator:
 
         # Same deterministic (clock, core_id) heap as the object loop: equal
         # clocks always pop in ascending core-id order.
-        heap: List[tuple] = [(0.0, i) for i in range(n_cores)]
+        if resume is None:
+            heap: List[tuple] = [(0.0, i) for i in range(n_cores)]
+            barrier_waiters: List[int] = []
+        else:
+            heap = list(resume[2])
+            barrier_waiters = list(resume[3])
         heapq.heapify(heap)
-        barrier_waiters: List[int] = []
+        hit_streak = 0
 
         while heap or barrier_waiters:
             if not heap:
@@ -578,6 +678,21 @@ class MulticoreSimulator:
             stats.memory_cycles += latency
 
             heappush(heap, (issue_time + overhead + latency, core_id))
+
+            if hit_level:
+                hit_streak += 1
+                if hit_streak == REENTER_STREAK and reenter:
+                    # Every core is hitting: hand the hot stretch back to the
+                    # batched kernel.  The heap carries the live clocks.
+                    for entry_clock, entry_id in heap:
+                        cursors[entry_id].clock = entry_clock
+                    cursor_state = [
+                        (cursor.clock, cursor.next_index, cursor.phase)
+                        for cursor in cursors
+                    ]
+                    return cursor_state, core_stats, list(heap), list(barrier_waiters)
+            else:
+                hit_streak = 0
 
         return self._finish(workload, cursors, core_stats)
 

@@ -172,14 +172,18 @@ class SimulationResult:
         through :meth:`from_jsonable` is bit-identical because JSON keeps
         ints exact and floats via shortest-repr.  ``final_values`` keys are
         int addresses, which JSON objects cannot hold, so they are stored as
-        ``[address, value]`` pairs.
+        ``[address, value]`` pairs — sorted by address, so the serialized
+        form is canonical: the memory image's dict insertion order depends
+        on which simulation path ran (the batched kernel may interleave
+        cores' first writes differently from the scalar loop), but the
+        per-address values are pinned identical.
         """
         from dataclasses import asdict
 
         data = asdict(self)  # recurses into CoreStats and LatencyBreakdown
         if self.final_values is not None:
             data["final_values"] = [
-                [address, value] for address, value in self.final_values.items()
+                [address, value] for address, value in sorted(self.final_values.items())
             ]
         return data
 

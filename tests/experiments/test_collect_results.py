@@ -1,0 +1,158 @@
+"""scripts/collect_results.py folding tolerance.
+
+``--resume`` sweeps routinely fold point records written by older engine
+versions: pre-topology records carry no ``bytes_by_type`` or
+``max_link_utilization`` keys, and may hold nulls where newer records hold
+numbers.  Folding must take what it can and never raise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "scripts",
+    "collect_results.py",
+)
+
+
+@pytest.fixture(scope="module")
+def collect_results():
+    spec = importlib.util.spec_from_file_location("collect_results", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    previous = sys.modules.get("collect_results")
+    sys.modules["collect_results"] = module
+    try:
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        if previous is None:
+            sys.modules.pop("collect_results", None)
+        else:
+            sys.modules["collect_results"] = previous
+
+
+def _write_point(results_dir, experiment_id, stem, record):
+    directory = os.path.join(results_dir, "points", experiment_id)
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, f"{stem}.json"), "w") as handle:
+        json.dump(record, handle)
+
+
+def test_folds_pre_topology_records_without_link_stats(tmp_path, collect_results):
+    results_dir = str(tmp_path)
+    base = {"scale": 0.35, "max_cores": 32, "status": "ok", "cached": False}
+    # A pre-PR-4 record: summary has neither bytes_by_type nor
+    # max_link_utilization, and elapsed_s is null.
+    _write_point(
+        results_dir,
+        "figure10",
+        "old",
+        {
+            **base,
+            "experiment_id": "figure10",
+            "point": "hist/1/MESI",
+            "elapsed_s": None,
+            "summary": {"run_cycles": 123.0, "amat": 4.5},
+        },
+    )
+    # A current record with full interconnect statistics.
+    _write_point(
+        results_dir,
+        "figure10",
+        "new",
+        {
+            **base,
+            "experiment_id": "figure10",
+            "point": "hist/8/COUP",
+            "elapsed_s": 1.25,
+            "summary": {
+                "run_cycles": 456.0,
+                "bytes_by_type": {"DATA_RESPONSE": 100, "ACK": 8},
+                "max_link_utilization": 0.25,
+            },
+        },
+    )
+    folded = collect_results.collect_point_records(
+        results_dir, scale=0.35, max_cores=32
+    )
+    digest = folded["figure10"]
+    assert digest["n_points"] == 2
+    assert digest["n_failed"] == 0
+    assert digest["elapsed_s"] == 1.25  # null elapsed folds as zero
+    assert digest["bytes_by_type"] == {"DATA_RESPONSE": 100, "ACK": 8}
+    assert digest["max_link_utilization"] == 0.25
+
+
+def test_malformed_record_is_skipped_not_fatal(tmp_path, collect_results, capsys):
+    results_dir = str(tmp_path)
+    base = {"scale": 0.35, "max_cores": 32, "status": "ok", "cached": False}
+    # `point` key missing entirely: filtered by the shape guard.
+    _write_point(
+        results_dir, "traffic", "no-point", {**base, "experiment_id": "traffic"}
+    )
+    # Null summary values where numbers are expected must not abort folding.
+    _write_point(
+        results_dir,
+        "traffic",
+        "nulls",
+        {
+            **base,
+            "experiment_id": "traffic",
+            "point": "spmv/8/COUP",
+            "elapsed_s": "not-a-number",
+            "summary": {
+                "bytes_by_type": {"ACK": None},
+                "max_link_utilization": None,
+            },
+        },
+    )
+    _write_point(
+        results_dir,
+        "traffic",
+        "good",
+        {
+            **base,
+            "experiment_id": "traffic",
+            "point": "spmv/1/MESI",
+            "elapsed_s": 0.5,
+            "summary": {"run_cycles": 1.0},
+        },
+    )
+    folded = collect_results.collect_point_records(
+        results_dir, scale=0.35, max_cores=32
+    )
+    digest = folded["traffic"]
+    # The good record folded; the null-laden one was tolerated or skipped
+    # with a message, and nothing raised.
+    assert any(p["point"] == "spmv/1/MESI" for p in digest["points"])
+    assert digest.get("bytes_by_type", {}).get("ACK") is None
+    err = capsys.readouterr().err
+    assert "skipping malformed point record" in err
+
+
+def test_wrong_scale_records_ignored(tmp_path, collect_results):
+    results_dir = str(tmp_path)
+    _write_point(
+        results_dir,
+        "figure11",
+        "stale",
+        {
+            "experiment_id": "figure11",
+            "point": "bfs/8/COUP",
+            "status": "ok",
+            "scale": 0.05,
+            "max_cores": 8,
+            "elapsed_s": 1.0,
+        },
+    )
+    assert (
+        collect_results.collect_point_records(results_dir, scale=0.35, max_cores=32)
+        == {}
+    )

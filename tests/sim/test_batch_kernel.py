@@ -1,0 +1,254 @@
+"""Batched-kernel equivalence: batch-boundary grids and fallback paths.
+
+The batched columnar kernel (:mod:`repro.sim.kernel`) must be bit-identical
+to the scalar columnar loop for every chunking of the trace: window edges,
+single-access windows, and windows longer than the trace all exercise
+different scheduling interleavings of hit-run application and boundary
+accesses.  ``SimulationResult.to_jsonable()`` is compared verbatim (it
+covers run cycles, per-core statistics, traffic, and the functional memory
+image), per the ISSUE 5 acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.hierarchy.cache import (
+    STATE_EXCLUSIVE,
+    STATE_MODIFIED,
+    TagArray,
+    UOP_NONE,
+)
+from repro.sim.columnar import ColumnarTrace
+from repro.sim.config import small_test_config
+from repro.sim.kernel import BatchedKernel, batch_size, kernel_mode
+from repro.sim.simulator import MulticoreSimulator, make_protocol, simulate
+from repro.workloads.base import UpdateStyle
+from repro.workloads.histogram import HistogramWorkload
+from repro.workloads.synthetic import (
+    MultiCounterWorkload,
+    ScalarReductionWorkload,
+    SharedCounterWorkload,
+)
+
+N_CORES = 8
+
+PROTOCOLS = ("MESI", "COUP", "RMO")
+
+#: At least three workloads spanning load/store/atomic/commutative/remote
+#: traffic, phase barriers (scalar reduction), and U-state buffering.
+WORKLOADS = {
+    "hist": lambda: HistogramWorkload(
+        n_bins=32, n_items=400, update_style=UpdateStyle.COMMUTATIVE
+    ),
+    "multi-counter": lambda: MultiCounterWorkload(
+        n_counters=32, updates_per_core=150, hot_fraction=0.3
+    ),
+    "scalar-reduction": lambda: ScalarReductionWorkload(items_per_core=200),
+    "shared-counter-remote": lambda: SharedCounterWorkload(
+        updates_per_core=120, update_style=UpdateStyle.REMOTE
+    ),
+}
+
+
+def _simulate(trace, protocol, monkeypatch, mode, chunk=None):
+    monkeypatch.setenv("REPRO_SIM_KERNEL", mode)
+    if chunk is None:
+        monkeypatch.delenv("REPRO_BATCH_SIZE", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_BATCH_SIZE", str(chunk))
+    config = small_test_config(N_CORES)
+    return simulate(trace, config, protocol, track_values=True)
+
+
+def _columnar(factory) -> ColumnarTrace:
+    return factory().generate_columnar(N_CORES)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: _columnar(factory) for name, factory in WORKLOADS.items()}
+
+
+@pytest.fixture(scope="module")
+def scalar_results(traces):
+    import os
+
+    previous = os.environ.get("REPRO_SIM_KERNEL")
+    os.environ["REPRO_SIM_KERNEL"] = "scalar"
+    try:
+        results = {}
+        for name, trace in traces.items():
+            for protocol in PROTOCOLS:
+                config = small_test_config(N_CORES)
+                results[(name, protocol)] = simulate(
+                    trace, config, protocol, track_values=True
+                ).to_jsonable()
+        return results
+    finally:
+        if previous is None:
+            del os.environ["REPRO_SIM_KERNEL"]
+        else:
+            os.environ["REPRO_SIM_KERNEL"] = previous
+
+
+def _chunk_sizes(trace: ColumnarTrace):
+    """Chunk sizes 1, 7, exact trace length, and trace length + 1."""
+    trace_len = max(len(column) for column in trace.columns)
+    return (1, 7, trace_len, trace_len + 1)
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_batched_bit_identical_across_chunk_sizes(
+    workload_name, protocol, traces, scalar_results, monkeypatch
+):
+    """Forced-batch runs match the scalar path for every chunk boundary."""
+    trace = traces[workload_name]
+    reference = scalar_results[(workload_name, protocol)]
+    for chunk in _chunk_sizes(trace):
+        result = _simulate(trace, protocol, monkeypatch, "batch", chunk=chunk)
+        assert result.to_jsonable() == reference, (
+            f"{workload_name}/{protocol} diverges at REPRO_BATCH_SIZE={chunk}"
+        )
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_auto_mode_bit_identical(
+    workload_name, protocol, traces, scalar_results, monkeypatch
+):
+    """The default auto mode (bail-out and re-entry included) matches too."""
+    trace = traces[workload_name]
+    result = _simulate(trace, protocol, monkeypatch, "auto")
+    assert result.to_jsonable() == scalar_results[(workload_name, protocol)]
+
+
+def test_non_dyadic_config_uses_fold_pipeline(monkeypatch):
+    """A non-dyadic CPI forces the sequential-fold path; results still match."""
+    config = small_test_config(4)
+    config = dataclasses.replace(
+        config, core=dataclasses.replace(config.core, cycles_per_instruction=0.3)
+    )
+    trace = HistogramWorkload(
+        n_bins=16, n_items=200, update_style=UpdateStyle.COMMUTATIVE
+    ).generate_columnar(4)
+
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "scalar")
+    reference = simulate(trace, config, "COUP", track_values=True)
+
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "batch")
+    engine = make_protocol("COUP", config, track_values=True)
+    simulator = MulticoreSimulator(config, engine, track_values=True)
+    kernel = BatchedKernel(simulator, trace, force=True)
+    assert not kernel._exact  # 0.3 is not a dyadic rational
+    batched = simulator.run(trace)
+    assert batched.to_jsonable() == reference.to_jsonable()
+
+
+def test_kernel_bails_to_scalar_and_results_match(monkeypatch):
+    """A hand-forced bail-out mid-run resumes the scalar loop exactly."""
+    trace = _columnar(WORKLOADS["hist"])
+    config = small_test_config(N_CORES)
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "scalar")
+    reference = simulate(trace, config, "MESI", track_values=True)
+
+    engine = make_protocol("MESI", config, track_values=True)
+    simulator = MulticoreSimulator(config, engine, track_values=True)
+    kernel = BatchedKernel(simulator, trace)
+    # Make the very first probation check fail unconditionally.
+    kernel._bail_next = 1
+    kernel._bail_time_mark = -1e9
+    kernel._bail_strikes = 10**9
+    handoff = kernel.run()
+    assert handoff is not None, "kernel did not bail"
+    result = simulator._run_columnar_scalar(trace, resume=handoff)
+    assert result.to_jsonable() == reference.to_jsonable()
+
+
+def test_scalar_reenters_kernel_on_hit_streak(monkeypatch):
+    """The scalar loop hands hot stretches back to the kernel (and matches)."""
+    import repro.sim.simulator as sim_module
+
+    trace = SharedCounterWorkload(
+        updates_per_core=3000, update_style=UpdateStyle.COMMUTATIVE
+    ).generate_columnar(4)
+    config = small_test_config(4)
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "scalar")
+    reference = simulate(trace, config, "COUP", track_values=True)
+
+    # Shrink the streak threshold so re-entry definitely triggers, and make
+    # the kernel bail instantly so the run alternates several times.
+    monkeypatch.setattr(sim_module, "REENTER_STREAK", 64)
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "auto")
+    import repro.sim.kernel as kernel_module
+
+    monkeypatch.setattr(kernel_module, "BAIL_INTERVAL", 4)
+    monkeypatch.setattr(kernel_module, "BAIL_SCALAR_HIT_S", 0.0)
+    monkeypatch.setattr(kernel_module, "BAIL_SCALAR_SLOW_S", 0.0)
+    result = simulate(trace, config, "COUP", track_values=True)
+    assert result.to_jsonable() == reference.to_jsonable()
+
+
+def test_env_knob_parsing(monkeypatch):
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "BATCH")
+    assert kernel_mode() == "batch"
+    monkeypatch.setenv("REPRO_SIM_KERNEL", "bogus")
+    assert kernel_mode() == "auto"
+    monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+    assert kernel_mode() == "auto"
+    monkeypatch.setenv("REPRO_BATCH_SIZE", "7")
+    assert batch_size() == 7
+    monkeypatch.setenv("REPRO_BATCH_SIZE", "0")
+    assert batch_size() == 1
+    monkeypatch.setenv("REPRO_BATCH_SIZE", "not-a-number")
+    assert batch_size() > 1
+
+
+class TestTagArray:
+    """The flat L1 mirror used by the kernel's vectorized classification."""
+
+    def _config(self):
+        return small_test_config(2).l1d
+
+    def test_place_and_remove(self):
+        tags = TagArray(self._config())
+        assert tags.place(0x40, STATE_EXCLUSIVE, UOP_NONE)
+        assert tags.resident(0x40)
+        tags.update_line(0x40, STATE_MODIFIED, UOP_NONE)
+        assert tags.resident(0x40)
+        tags.update_line(0x40, 0, UOP_NONE)  # STATE_ABSENT removes
+        assert not tags.resident(0x40)
+
+    def test_place_with_victim_replaces_way(self):
+        config = self._config()
+        tags = TagArray(config)
+        num_sets = config.num_sets
+        first = num_sets  # both map to set 0
+        second = 2 * num_sets
+        assert tags.place(first, STATE_EXCLUSIVE, UOP_NONE)
+        assert tags.place(second, STATE_MODIFIED, UOP_NONE, victim_addr=first)
+        assert not tags.resident(first)
+        assert tags.resident(second)
+
+    def test_place_fails_when_no_slot(self):
+        config = self._config()
+        tags = TagArray(config)
+        num_sets = config.num_sets
+        for way in range(config.ways):
+            assert tags.place((way + 1) * num_sets, STATE_EXCLUSIVE, UOP_NONE)
+        # Set 0 is full and the victim is not resident: must report failure.
+        missing_victim = (config.ways + 5) * num_sets
+        assert not tags.place(
+            (config.ways + 1) * num_sets,
+            STATE_EXCLUSIVE,
+            UOP_NONE,
+            victim_addr=missing_victim,
+        )
+
+    def test_update_absent_line_is_noop(self):
+        tags = TagArray(self._config())
+        tags.update_line(0x99, STATE_MODIFIED, UOP_NONE)  # must not raise
+        assert not tags.resident(0x99)
