@@ -236,6 +236,7 @@ class DeltaBuffer:
     def merge_into(self, line_values: dict) -> dict:
         """Fold this buffer into ``line_values`` (offset -> word value)."""
         merged = dict(line_values)
+        # repro-lint: disable=D102(per-offset fold of a commutative op; the merged dict is compared by value, never by order)
         for offset, delta in self._deltas.items():
             base = merged.get(offset, self.op.identity)
             merged[offset] = self.op.apply(base, delta)

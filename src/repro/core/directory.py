@@ -72,6 +72,8 @@ class Directory:
     footprint rather than the address space.
     """
 
+    __slots__ = ("_entries",)
+
     def __init__(self) -> None:
         self._entries: Dict[int, DirectoryEntry] = {}
 
@@ -161,6 +163,7 @@ class Directory:
 
     def check_invariants(self) -> None:
         """Raise if any entry violates its internal invariants."""
+        # repro-lint: disable=D102(pure invariant assertion pass; raises or does nothing, no result flows out)
         for entry in self._entries.values():
             if not entry.is_consistent():
                 raise AssertionError(f"inconsistent directory entry: {entry}")

@@ -402,6 +402,7 @@ class MesiProtocol(CoherenceProtocol):
 
         if level and state is not None:
             if access_type is AccessType.LOAD:
+                # repro-lint: disable=P203(shared MESI-family fast path also services MEUSI U lines via inheritance; plain MESI never reaches this state)
                 if state is not StableState.UPDATE:  # S/E/M can satisfy a load
                     return level
             elif (

@@ -161,6 +161,7 @@ class MeusiProtocol(MesiProtocol):
 
         critical_path = 0.0
         total_partials = 0
+        # repro-lint: disable=D102(chips is keyed by ascending core id so view order is deterministic; the loop accumulates order-insensitive sums and maxima)
         for chip, cores in chips.items():
             # Invalidation fan-out within the chip plus local gather.
             local_latency = (
@@ -448,6 +449,7 @@ class MeusiProtocol(MesiProtocol):
         would see after a full reduction, which is what result-checking tests
         compare against.
         """
+        # repro-lint: disable=D102(buffers commit independently per line; insertion order is the deterministic trace order, pinned by golden fingerprints)
         for (core_id, line_addr) in list(self.delta_buffers.keys()):
             self._commit_buffer(core_id, line_addr)
 

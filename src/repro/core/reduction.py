@@ -20,7 +20,7 @@ from repro.core.commutative import CommutativeOp, DeltaBuffer, reduce_partial_up
 from repro.sim.config import ReductionUnitConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class ReductionTiming:
     """Timing outcome of a reduction at one reduction unit."""
 
@@ -42,6 +42,8 @@ class ReductionUnit:
     ``latency_per_line + (k - 1) * cycles_per_line`` cycles of critical-path
     latency when pipelined (or ``k * latency_per_line`` when not).
     """
+
+    __slots__ = ("config", "name", "busy_until", "lines_reduced", "reductions")
 
     def __init__(self, config: Optional[ReductionUnitConfig] = None, name: str = "rdu") -> None:
         self.config = config or ReductionUnitConfig()

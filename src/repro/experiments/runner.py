@@ -49,12 +49,27 @@ import sys
 import time
 import traceback
 from dataclasses import asdict, dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
 
 from repro.experiments import EXPERIMENT_MODULES, settings, sweep
 
 #: Default directory for per-experiment JSON records.
 DEFAULT_RESULTS_DIR = os.path.join("results", "experiments")
+
+#: One point-granularity work item shipped to a worker: (experiment id,
+#: point key, base seed, scale, max cores, cache dir, resume flag, shm
+#: handle for the point's trace or None).
+_PointTask = Tuple[
+    str, str, int, float, int, Optional[str], bool, Optional["sweep.ShmTraceHandle"]
+]
+#: A completed point: (experiment id, point key, status, elapsed seconds,
+#: replayed-from-cache flag, result payload or traceback text, stderr text).
+_PointDone = Tuple[str, str, str, float, bool, object, str]
+#: One whole-experiment work item: (experiment id, base seed, scale, max cores).
+_WholeTask = Tuple[str, int, float, int]
 
 
 @dataclass
@@ -143,7 +158,7 @@ def run_experiment(experiment_id: str, base_seed: int = 0) -> ExperimentOutcome:
     )
 
 
-def _run_captured(args: Tuple[str, int, float, int]) -> Tuple[ExperimentOutcome, str, str]:
+def _run_captured(args: _WholeTask) -> Tuple[ExperimentOutcome, str, str]:
     """Run one whole experiment with stdout/stderr captured.
 
     The parent's scale/max_cores settings travel in ``args`` and are applied
@@ -181,7 +196,7 @@ def _build_spec(experiment_id: str) -> Optional[sweep.SweepSpec]:
 #: Worker-side memo of attached shared-memory traces, keyed by segment name:
 #: each worker maps a published trace at most once and reuses the view for
 #: every sweep point that needs it.
-_attached_traces: Dict[str, "sweep.ColumnarTrace"] = {}
+_attached_traces: Dict[str, sweep.ColumnarTrace] = {}
 
 
 def _trace_store_dir(cache_dir: Optional[str]) -> Optional[str]:
@@ -189,9 +204,7 @@ def _trace_store_dir(cache_dir: Optional[str]) -> Optional[str]:
     return os.path.join(cache_dir, "traces") if cache_dir else None
 
 
-def _run_point_task(
-    args: Tuple[str, str, int, float, int, Optional[str], bool, object]
-) -> Tuple[str, str, str, float, bool, object, str]:
+def _run_point_task(args: _PointTask) -> _PointDone:
     """Worker entry point: execute one sweep point.
 
     Returns ``(experiment_id, point_key, status, elapsed_s, cached,
@@ -211,6 +224,13 @@ def _run_point_task(
             spec = _worker_specs.get(experiment_id)
             if spec is None:
                 spec = _build_spec(experiment_id)
+                if spec is None:
+                    # The parent only schedules point tasks for experiments
+                    # with a sweep spec; a worker-side rebuild losing it
+                    # means the experiment module changed under our feet.
+                    raise RuntimeError(
+                        f"{experiment_id} no longer exposes a sweep spec"
+                    )
                 _worker_specs[experiment_id] = spec
             point = spec.point(point_key)
             if handle is not None:
@@ -267,7 +287,7 @@ def _write_point_record(
     directory = os.path.join(results_dir, "points", experiment_id)
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{_sanitize_point_key(point_key)}.json")
-    record = {
+    record: Dict[str, object] = {
         "experiment_id": experiment_id,
         "point": point_key,
         "status": status,
@@ -283,7 +303,7 @@ def _write_point_record(
     if callable(summary):
         record["summary"] = summary()
     with open(path, "w") as handle:
-        json.dump(record, handle, indent=2)
+        json.dump(record, handle, indent=2, sort_keys=True)
     return path
 
 
@@ -291,10 +311,10 @@ def _write_record(results_dir: str, outcome: ExperimentOutcome, output: str) -> 
     """Write one experiment's structured JSON record; returns the path."""
     os.makedirs(results_dir, exist_ok=True)
     path = os.path.join(results_dir, f"{outcome.experiment_id}.json")
-    record = asdict(outcome)
+    record: Dict[str, object] = asdict(outcome)
     record["output"] = output
     with open(path, "w") as handle:
-        json.dump(record, handle, indent=2)
+        json.dump(record, handle, indent=2, sort_keys=True)
     return path
 
 
@@ -309,22 +329,25 @@ def _assemble_experiment(
 ) -> Tuple[ExperimentOutcome, str, str]:
     """Fold one experiment's point results into its rows and printed table."""
     seed = _experiment_seed(base_seed, experiment_id)
-    common = dict(
-        experiment_id=experiment_id,
-        seed=seed,
-        scale=settings.scale(),
-        max_cores=settings.max_cores(),
-        n_points=len(spec.points),
-        cached_points=cached_points,
-    )
+
+    def _outcome(status: str, error: Optional[str] = None) -> ExperimentOutcome:
+        return ExperimentOutcome(
+            experiment_id=experiment_id,
+            status=status,
+            elapsed_s=elapsed_s,
+            seed=seed,
+            scale=settings.scale(),
+            max_cores=settings.max_cores(),
+            error=error,
+            n_points=len(spec.points),
+            cached_points=cached_points,
+        )
+
     if point_errors:
         failed = ", ".join(sorted(point_errors))
         error = f"sweep points failed: {failed}\n" + "\n".join(point_errors.values())
         err_text = f"[{experiment_id}] FAILED after {elapsed_s:.1f}s\n" + error
-        outcome = ExperimentOutcome(
-            status="error", elapsed_s=elapsed_s, error=error, **common
-        )
-        return outcome, "", err_text
+        return _outcome("error", error), "", err_text
 
     out = io.StringIO()
     err = io.StringIO()
@@ -337,12 +360,8 @@ def _assemble_experiment(
     except Exception:
         error = traceback.format_exc()
         err_text = err.getvalue() + f"[{experiment_id}] FAILED after {elapsed_s:.1f}s\n" + error
-        outcome = ExperimentOutcome(
-            status="error", elapsed_s=elapsed_s, error=error, **common
-        )
-        return outcome, out.getvalue(), err_text
-    outcome = ExperimentOutcome(status="ok", elapsed_s=elapsed_s, **common)
-    return outcome, out.getvalue(), err.getvalue()
+        return _outcome("error", error), out.getvalue(), err_text
+    return _outcome("ok"), out.getvalue(), err.getvalue()
 
 
 def run_parallel(
@@ -384,8 +403,8 @@ def run_parallel(
             specs[experiment_id] = None
             spec_errors[experiment_id] = traceback.format_exc()
 
-    trace_handles: Dict[tuple, Optional[sweep.ShmTraceHandle]] = {}
-    shm_segments = []
+    trace_handles: Dict[Tuple[object, ...], Optional[sweep.ShmTraceHandle]] = {}
+    shm_segments: List["SharedMemory"] = []
     if use_shm:
         parent_cache = sweep.shared_trace_cache()
         parent_cache.store_dir = _trace_store_dir(cache_dir)
@@ -393,7 +412,7 @@ def run_parallel(
         sweep.ResultCache(cache_dir, read=True) if (resume and cache_dir) else None
     )
 
-    def _handle_for(point) -> Optional[sweep.ShmTraceHandle]:
+    def _handle_for(point: sweep.SweepPoint) -> Optional[sweep.ShmTraceHandle]:
         if not use_shm or not isinstance(point, sweep.SimPoint):
             return None
         if resume_cache is not None and resume_cache.contains(point):
@@ -418,8 +437,8 @@ def run_parallel(
                 trace_handles[key] = None  # publish failed: regenerate in workers
         return trace_handles[key]
 
-    point_tasks = []
-    whole_tasks = []
+    point_tasks: List[_PointTask] = []
+    whole_tasks: List[_WholeTask] = []
     for experiment_id in experiment_ids:
         if experiment_id in spec_errors:
             continue

@@ -12,18 +12,91 @@ by a single knob:
 
 Both can be set as environment variables or overridden programmatically via
 :func:`set_scale` / :func:`set_max_cores`.
+
+This module also hosts :data:`ENV_KNOBS`, the registry of **every**
+``REPRO_*`` environment knob the reproduction honours — including knobs
+consumed elsewhere (the kernel's ``REPRO_SIM_KERNEL`` / ``REPRO_BATCH_SIZE``).
+The registry is the single source of truth: the static checker
+(``python -m repro.lint``, rule H303) rejects any ``REPRO_*`` read whose
+name is not registered here, and requires each registered knob to be
+documented in README.md.
 """
 
 from __future__ import annotations
 
 import os
-from typing import List, Sequence
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class EnvKnob:
+    """One registered ``REPRO_*`` environment knob."""
+
+    #: Environment variable name (``REPRO_...``).
+    name: str
+    #: Default value, as the string the environment would carry.
+    default: str
+    #: Human-readable value domain (for docs and error messages).
+    domain: str
+    #: One-line description (mirrored in README.md, enforced by lint H303).
+    description: str
+    #: Dotted module that reads the knob.
+    consumer: str
+
+
+#: The complete environment surface of the reproduction.  Add new knobs
+#: here FIRST; rule H303 makes unregistered ``REPRO_*`` reads a lint error.
+ENV_KNOBS: Tuple[EnvKnob, ...] = (
+    EnvKnob(
+        name="REPRO_SCALE",
+        default="1.0",
+        domain="positive float",
+        description="Workload scale multiplier applied to every experiment grid.",
+        consumer="repro.experiments.settings",
+    ),
+    EnvKnob(
+        name="REPRO_MAX_CORES",
+        default="64",
+        domain="positive int",
+        description="Cap on the largest simulated core count.",
+        consumer="repro.experiments.settings",
+    ),
+    EnvKnob(
+        name="REPRO_SIM_KERNEL",
+        default="auto",
+        domain="auto | batch | scalar",
+        description="Simulation kernel selection: batched, scalar, or adaptive.",
+        consumer="repro.sim.kernel",
+    ),
+    EnvKnob(
+        name="REPRO_BATCH_SIZE",
+        default="4096",
+        domain="positive int",
+        description="Upper bound on the batched kernel's per-window access count.",
+        consumer="repro.sim.kernel",
+    ),
+)
+
+
+def registered_env_knobs() -> Tuple[EnvKnob, ...]:
+    """The registry, for consumers that want a stable accessor."""
+    return ENV_KNOBS
+
+
+def env_knob(name: str) -> EnvKnob:
+    """Look up one registered knob by name; raises ``KeyError`` if absent."""
+    for knob in ENV_KNOBS:
+        if knob.name == name:
+            return knob
+    raise KeyError(f"unregistered environment knob: {name}")
+
 
 _DEFAULT_SCALE = 1.0
 _DEFAULT_MAX_CORES = 64
 
-_scale: float = float(os.environ.get("REPRO_SCALE", _DEFAULT_SCALE))
-_max_cores: int = int(os.environ.get("REPRO_MAX_CORES", _DEFAULT_MAX_CORES))
+_scale: float = float(os.environ.get("REPRO_SCALE", str(_DEFAULT_SCALE)))
+_max_cores: int = int(os.environ.get("REPRO_MAX_CORES", str(_DEFAULT_MAX_CORES)))
 
 
 def scale() -> float:
@@ -71,7 +144,7 @@ def core_sweep(paper_points: Sequence[int] = (1, 32, 64, 96, 128)) -> List[int]:
     return points
 
 
-def sweep_with_baseline(core_counts: "Sequence[int] | None" = None) -> List[int]:
+def sweep_with_baseline(core_counts: Sequence[int] | None = None) -> List[int]:
     """The given core counts (default :func:`core_sweep`) with the 1-core
     baseline always present.
 

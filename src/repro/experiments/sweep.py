@@ -49,7 +49,10 @@ from collections import OrderedDict
 
 import numpy as np
 from functools import partial
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from multiprocessing import shared_memory
 
 from repro.experiments import settings
 from repro.sim.access import WorkloadTrace
@@ -307,7 +310,9 @@ class ShmTraceHandle:
     key_digest: str
 
 
-def publish_trace_shm(trace: ColumnarTrace, key: Tuple):
+def publish_trace_shm(
+    trace: ColumnarTrace, key: Tuple
+) -> Tuple[ShmTraceHandle, "shared_memory.SharedMemory"]:
     """Copy a columnar trace into a shared-memory segment.
 
     Returns ``(handle, segment)``; the caller owns the segment and must
@@ -612,7 +617,7 @@ class ResultCache:
             path = self._path(fingerprint)
             fd, tmp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             with os.fdopen(fd, "w") as handle:
-                json.dump(record, handle)
+                json.dump(record, handle, sort_keys=True)
             os.replace(tmp_path, path)  # atomic: concurrent workers write identical content
         except (TypeError, OSError):
             if tmp_path is not None:

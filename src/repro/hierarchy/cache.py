@@ -134,6 +134,7 @@ class SetAssociativeCache:
             # loop; a min() with a key lambda costs a call per resident line).
             victim_addr = -1
             best_use = None
+            # repro-lint: disable=D102(LRU tie-break deliberately follows set insertion order; golden fingerprints pin this exact victim choice)
             for addr, info in cache_set.items():
                 last_use = info.last_use
                 if best_use is None or last_use < best_use:
@@ -157,6 +158,7 @@ class SetAssociativeCache:
 
     def resident_lines(self) -> Iterator[CacheLineInfo]:
         """Iterate over all resident lines (order unspecified)."""
+        # repro-lint: disable=D102(documented order-unspecified iterator; consumers aggregate order-insensitively)
         for cache_set in self._sets.values():
             yield from cache_set.values()
 

@@ -26,6 +26,14 @@ class MemoryAccessTiming:
 class MainMemoryModel:
     """Per-L4-chip DRAM channels with a simple occupancy-based queue model."""
 
+    __slots__ = (
+        "config",
+        "mem",
+        "_channel_busy_until",
+        "accesses",
+        "bytes_transferred",
+    )
+
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.mem: MemoryConfig = config.memory

@@ -18,7 +18,7 @@ from repro.interconnect.network import InterconnectModel
 from repro.sim.config import SystemConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class PrivateLookupResult:
     """Where an access hit in the private hierarchy."""
 
@@ -29,7 +29,7 @@ class PrivateLookupResult:
         return self.level is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class EvictionNotice:
     """A line displaced from a private cache by a capacity eviction."""
 
@@ -40,6 +40,8 @@ class EvictionNotice:
 
 class CacheHierarchy:
     """All cache arrays of the simulated machine plus placement helpers."""
+
+    __slots__ = ("config", "l1", "l2", "l3", "l4", "memory", "interconnect")
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config

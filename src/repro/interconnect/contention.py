@@ -251,6 +251,7 @@ class ContentionModel:
             f"{directory_node(l4)}.b{bank}": requests
             for (l4, bank), requests in sorted(self.bank_requests_total.items())
         }
+        # repro-lint: disable=D102(links is built from sorted items above, so its view order is canonical)
         utilizations = [entry["utilization"] for entry in links.values()]
         return {
             "topology": self.topology.name,

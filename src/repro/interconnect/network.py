@@ -54,8 +54,10 @@ class TrafficCounters:
     def merge(self, other: "TrafficCounters") -> None:
         self.on_chip_bytes += other.on_chip_bytes
         self.off_chip_bytes += other.off_chip_bytes
+        # repro-lint: disable=D102(additive counter merge; per-key sums are order-insensitive)
         for key, value in other.messages_by_type.items():
             self.messages_by_type[key] += value
+        # repro-lint: disable=D102(additive counter merge; per-key sums are order-insensitive)
         for key, value in other.bytes_by_type.items():
             self.bytes_by_type[key] += value
 

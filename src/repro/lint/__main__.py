@@ -1,0 +1,117 @@
+"""``python -m repro.lint`` — the repro-lint command line.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint import budget as budget_mod
+from repro.lint.engine import (
+    apply_suppressions,
+    discover_files,
+    load_source_module,
+    run_rules,
+)
+from repro.lint.context import ProjectContext
+from repro.lint.rules import all_rules, rule_catalogue
+from repro.lint.violations import Violation, to_jsonable
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint", description=__doc__
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--project-root",
+        default=None,
+        metavar="DIR",
+        help="project root for relative paths, README and the budget "
+        "(default: current directory)",
+    )
+    parser.add_argument(
+        "--budget",
+        default=None,
+        metavar="FILE",
+        help=f"suppression budget file (default: <root>/{budget_mod.BUDGET_FILENAME} "
+        "when it exists)",
+    )
+    parser.add_argument(
+        "--no-budget",
+        action="store_true",
+        help="skip the suppression-budget audit",
+    )
+    parser.add_argument(
+        "--write-budget",
+        action="store_true",
+        help="rewrite the budget file from the suppressions actually used "
+        "(for reviewed waiver changes), then audit against it",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for entry in rule_catalogue():
+            print(f"{entry['code']}[{entry['symbol']}]  {entry['description']}")
+        return 0
+
+    root = os.path.abspath(args.project_root or os.getcwd())
+    ctx = ProjectContext(root)
+    paths = args.paths or [os.path.join(root, "src", "repro")]
+    files = discover_files(paths, ctx)
+    if not files:
+        print("repro-lint: no Python files found", file=sys.stderr)
+        return 2
+
+    rules = all_rules()
+    modules = [load_source_module(full, rel) for full, rel in files]
+    raw, _classdb = run_rules(modules, rules, ctx)
+    report = apply_suppressions(modules, raw, rules)
+
+    budget_path = args.budget or os.path.join(root, budget_mod.BUDGET_FILENAME)
+    if args.write_budget:
+        budget_mod.dump(report.used_suppression_counts(), budget_path)
+    if not args.no_budget and os.path.exists(budget_path):
+        report.violations.extend(budget_mod.audit(budget_path, report, root=root))
+        report.violations.sort(key=Violation.sort_key)
+
+    if args.format == "json":
+        payload = {
+            "files": len(report.files),
+            "violations": [to_jsonable(v) for v in report.violations],
+            "suppressed": len(report.suppressed),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for violation in report.violations:
+            print(violation.render())
+        summary = (
+            f"repro-lint: {len(report.files)} file(s), "
+            f"{len(report.violations)} finding(s), "
+            f"{len(report.suppressed)} suppressed"
+        )
+        print(summary, file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

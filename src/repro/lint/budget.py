@@ -1,0 +1,107 @@
+"""The audited suppression budget.
+
+``lint-budget.json`` at the project root declares every inline suppression
+the tree is allowed to carry, as ``{path, code, count}`` entries.  The
+engine compares the budget against the suppressions *actually present and
+used* in the linted tree, in both directions:
+
+* a used suppression with no budget entry (or above its count) is a new,
+  unreviewed waiver -> ``X103``;
+* a budget entry above the real count is stale -> ``X103``.
+
+So growing or shrinking the waiver surface always shows up as a diff to a
+tracked file that reviewers see, and the meta-test in
+``tests/lint/test_budget.py`` pins the two in lockstep.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.lint.engine import LintReport
+from repro.lint.violations import Violation
+
+#: Default budget file name, looked up at the project root.
+BUDGET_FILENAME = "lint-budget.json"
+
+
+def load(path: str) -> Dict[Tuple[str, str], int]:
+    """Load the budget as a ``(path, code) -> count`` mapping."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    entries = data.get("suppressions", [])
+    budget: Dict[Tuple[str, str], int] = {}
+    for entry in entries:
+        key = (entry["path"], entry["code"])
+        budget[key] = budget.get(key, 0) + int(entry.get("count", 1))
+    return budget
+
+
+def dump(budget: Dict[Tuple[str, str], int], path: str) -> None:
+    """Write a budget mapping in the canonical (sorted) file form."""
+    entries = [
+        {"path": file_path, "code": code, "count": count}
+        for (file_path, code), count in sorted(budget.items())
+    ]
+    payload = {
+        "_comment": (
+            "Audited repro-lint suppression budget: every inline "
+            "'# repro-lint: disable=...' in the tree must be declared here. "
+            "Regenerate with: python -m repro.lint --write-budget"
+        ),
+        "suppressions": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def audit(budget_path: str, report: LintReport, root: str) -> List[Violation]:
+    """Compare the report's used suppressions against the budget file."""
+    budget = load(budget_path)
+    actual = report.used_suppression_counts()
+    budget_rel = os.path.relpath(os.path.abspath(budget_path), root).replace(
+        os.sep, "/"
+    )
+    violations: List[Violation] = []
+    linted = set(report.files)
+
+    for (path, code), count in sorted(actual.items()):
+        allowed = budget.get((path, code), 0)
+        if count > allowed:
+            violations.append(
+                Violation(
+                    path=path,
+                    line=1,
+                    col=0,
+                    code="X103",
+                    symbol="budget-mismatch",
+                    message=(
+                        f"{count} used suppression(s) of {code} but the budget "
+                        f"allows {allowed} — update {budget_rel} if reviewed"
+                    ),
+                )
+            )
+    for (path, code), allowed in sorted(budget.items()):
+        if path not in linted:
+            # Budget entries for files outside this run are not auditable
+            # here; the full-tree run (CI / the meta-test) covers them.
+            continue
+        count = actual.get((path, code), 0)
+        if count < allowed:
+            violations.append(
+                Violation(
+                    path=budget_rel,
+                    line=1,
+                    col=0,
+                    code="X103",
+                    symbol="budget-mismatch",
+                    message=(
+                        f"stale budget entry: {path} allows {allowed} "
+                        f"suppression(s) of {code} but only {count} are used"
+                    ),
+                )
+            )
+    return violations

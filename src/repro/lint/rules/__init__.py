@@ -1,0 +1,71 @@
+"""Rule registry: the catalogue of all repro-lint rules."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lint.engine import Rule
+from repro.lint.rules.determinism import (
+    UnorderedIterationRule,
+    UnseededRngRule,
+    UnsortedSerializationRule,
+    WallClockRule,
+)
+from repro.lint.rules.hygiene import (
+    AttrOutsideInitRule,
+    EnvRegistryRule,
+    SlotsRequiredRule,
+)
+from repro.lint.rules.protocol import (
+    BatchContractRule,
+    StateAlphabetRule,
+    UnknownEnumMemberRule,
+)
+
+#: Engine meta-findings (not suppressible, not rule classes).
+META_CODES: Dict[str, str] = {
+    "X100": "unknown-rule",
+    "X101": "malformed-suppression",
+    "X102": "unused-suppression",
+    "X103": "budget-mismatch",
+    "X104": "syntax-error",
+}
+
+_RULE_CLASSES = (
+    UnseededRngRule,
+    UnorderedIterationRule,
+    WallClockRule,
+    UnsortedSerializationRule,
+    UnknownEnumMemberRule,
+    BatchContractRule,
+    StateAlphabetRule,
+    SlotsRequiredRule,
+    AttrOutsideInitRule,
+    EnvRegistryRule,
+)
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    return [rule_cls() for rule_cls in _RULE_CLASSES]
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """The rule table for ``--list-rules`` and the README."""
+    catalogue = [
+        {
+            "code": rule.code,
+            "symbol": rule.symbol,
+            "description": rule.description,
+        }
+        for rule in all_rules()
+    ]
+    catalogue.extend(
+        {
+            "code": code,
+            "symbol": symbol,
+            "description": "engine meta-finding (not suppressible)",
+        }
+        for code, symbol in sorted(META_CODES.items())
+    )
+    return catalogue

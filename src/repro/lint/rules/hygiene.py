@@ -1,0 +1,229 @@
+"""Hot-path hygiene rules (H3xx)."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from repro.lint.classdb import ClassDb
+from repro.lint.context import (
+    HOT_ATTR_MODULES,
+    HOT_SLOTS_MODULES,
+    ProjectContext,
+)
+from repro.lint.engine import Rule, SourceModule
+from repro.lint.rules.common import build_import_map, call_name, dotted_name
+from repro.lint.violations import Violation
+
+
+class SlotsRequiredRule(Rule):
+    """H301: hot-path classes must declare ``__slots__``.
+
+    The modules in :data:`~repro.lint.context.HOT_SLOTS_MODULES` define the
+    objects the simulator allocates per access, per line, or per run; an
+    unslotted class there pays a per-instance ``__dict__`` and lets typo'd
+    attribute writes silently create state.  Dataclasses must pass
+    ``slots=True``; enums, exceptions, Protocols and NamedTuples are exempt
+    (slots are meaningless or implied there).
+    """
+
+    code = "H301"
+    symbol = "missing-slots"
+    description = (
+        "classes in hot-path modules must declare __slots__ "
+        "(dataclasses: slots=True)"
+    )
+
+    def applies(self, relpath: str) -> bool:
+        return relpath in HOT_SLOTS_MODULES
+
+    def check(self, module: SourceModule, ctx: ProjectContext) -> List[Violation]:
+        from repro.lint.classdb import class_info
+
+        findings: List[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = class_info(node, module.relpath)
+            if (
+                info.is_enum
+                or info.is_exception
+                or info.is_protocol_or_abc
+                or info.is_namedtuple
+            ):
+                continue
+            if info.is_dataclass:
+                if not info.dataclass_slots:
+                    findings.append(
+                        self.violation(
+                            module,
+                            node,
+                            f"hot-path dataclass {node.name} must pass "
+                            "slots=True",
+                        )
+                    )
+            elif not info.has_slots:
+                findings.append(
+                    self.violation(
+                        module,
+                        node,
+                        f"hot-path class {node.name} must declare __slots__",
+                    )
+                )
+        return findings
+
+
+class AttrOutsideInitRule(Rule):
+    """H302: no instance-attribute creation outside ``__init__``.
+
+    In the hot-path and protocol-engine modules, every ``self.X = ...`` in
+    an ordinary method must assign an attribute already declared (in
+    ``__slots__``, the class body, or the ``__init__`` family — including
+    inherited ones, resolved across modules).  Creating attributes late
+    defeats ``__slots__``, hides state from readers of ``__init__``, and is
+    exactly how resync bookkeeping goes stale during refactors.
+    """
+
+    code = "H302"
+    symbol = "attr-outside-init"
+    description = (
+        "hot-path classes must declare every instance attribute in __init__ "
+        "(or __slots__); methods may only rebind declared attributes"
+    )
+
+    def applies(self, relpath: str) -> bool:
+        # Work happens in finalize (needs the cross-module class DB).
+        return False
+
+    def finalize(
+        self,
+        modules: Sequence[SourceModule],
+        ctx: ProjectContext,
+        classdb: ClassDb,
+    ) -> List[Violation]:
+        findings: List[Violation] = []
+        for module in modules:
+            if module.relpath not in HOT_ATTR_MODULES or module.tree is None:
+                continue
+            module_name = classdb.module_name(module.relpath)
+            for (owner, _name), info in sorted(classdb.classes.items()):
+                if owner != module_name or not info.late_assignments:
+                    continue
+                declared = classdb.declared_attrs(info)
+                if declared is None:
+                    # A base outside the run: cannot prove anything.
+                    continue
+                for attr, line in info.late_assignments:
+                    if attr not in declared:
+                        findings.append(
+                            Violation(
+                                path=module.relpath,
+                                line=line,
+                                col=0,
+                                code=self.code,
+                                symbol=self.symbol,
+                                message=(
+                                    f"{info.name}.{attr} is created outside "
+                                    "__init__ — declare it in __init__ (or "
+                                    "__slots__) and rebind here"
+                                ),
+                            )
+                        )
+        return findings
+
+
+class EnvRegistryRule(Rule):
+    """H303: every ``REPRO_*`` env read must be a registered knob.
+
+    :data:`repro.experiments.settings.ENV_KNOBS` is the single source of
+    truth for the reproduction's environment surface; reading an
+    unregistered ``REPRO_*`` name creates an undocumented, untested knob.
+    A run-level check also verifies each registered knob is documented in
+    the README.
+    """
+
+    code = "H303"
+    symbol = "unregistered-env-knob"
+    description = (
+        "REPRO_* environment reads must name a knob registered in "
+        "repro.experiments.settings.ENV_KNOBS and documented in README.md"
+    )
+
+    #: Call targets that read the environment: (qualified name, arg index).
+    _ENV_READERS = {
+        "os.getenv": 0,
+        "os.environ.get": 0,
+        "environ.get": 0,
+    }
+
+    def check(self, module: SourceModule, ctx: ProjectContext) -> List[Violation]:
+        imports = build_import_map(module.tree)
+        findings: List[Violation] = []
+        for node in ast.walk(module.tree):
+            name: str | None = None
+            if isinstance(node, ast.Call):
+                qualified = call_name(node, imports)
+                if qualified is None:
+                    continue
+                # Normalize os.environ.get resolved through aliases.
+                if qualified.endswith(".environ.get"):
+                    qualified = "os.environ.get"
+                index = self._ENV_READERS.get(qualified)
+                if index is None or len(node.args) <= index:
+                    continue
+                arg = node.args[index]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    name = arg.value
+                    anchor: ast.AST = arg
+            elif isinstance(node, ast.Subscript):
+                target = dotted_name(node.value)
+                if target is None or not target.endswith("environ"):
+                    continue
+                key = node.slice
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    name = key.value
+                    anchor = key
+            if name is None or not name.startswith("REPRO_"):
+                continue
+            if name not in ctx.registered_knobs:
+                registered = ", ".join(sorted(ctx.registered_knobs))
+                findings.append(
+                    self.violation(
+                        module,
+                        anchor,
+                        f"{name} is not registered in "
+                        "repro.experiments.settings.ENV_KNOBS "
+                        f"(registered: {registered})",
+                    )
+                )
+        return findings
+
+    def finalize(
+        self,
+        modules: Sequence[SourceModule],
+        ctx: ProjectContext,
+        classdb: ClassDb,
+    ) -> List[Violation]:
+        # Documentation check: only when the registry itself is in the run
+        # (i.e. a real-tree lint, not a fixture suite).
+        linted = {module.relpath for module in modules}
+        if "src/repro/experiments/settings.py" not in linted:
+            return []
+        readme = ctx.readme_text
+        findings: List[Violation] = []
+        for name in sorted(ctx.registered_knobs):
+            if name not in readme:
+                findings.append(
+                    Violation(
+                        path="src/repro/experiments/settings.py",
+                        line=1,
+                        col=0,
+                        code=self.code,
+                        symbol=self.symbol,
+                        message=(
+                            f"registered knob {name} is not documented in "
+                            "README.md"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,195 @@
+"""Inline suppression comments: ``# repro-lint: disable=CODE(reason)``.
+
+A suppression waives findings of one rule on one line.  The reason is
+mandatory — a bare ``disable=D103`` or ``disable=D103()`` is itself a
+finding (``X101``) — and suppressions that waive nothing are reported as
+``X102`` so stale allowlists rot away instead of accumulating.
+
+Placement:
+
+* trailing a code line — applies to findings on that line;
+* on a standalone comment line — applies to the next code line (useful
+  when the offending line is already long).
+
+Multiple rules may be waived in one comment, comma-separated::
+
+    # repro-lint: disable=D102(order cannot leak), H302(mirror cache)
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.lint.violations import Violation
+
+#: The directive marker; anything after ``disable=`` is the item list.
+_DIRECTIVE_RE = re.compile(r"#\s*repro-lint:\s*(.*)$")
+_DISABLE_RE = re.compile(r"disable\s*=\s*(.*)$")
+#: One suppression item: a rule code or symbol, with a mandatory reason.
+_ITEM_RE = re.compile(r"([A-Z]\d{3}|[a-z][a-z0-9-]*)\s*\(([^()]*)\)")
+#: Used to detect leftover junk between/after items.
+_ITEM_SPLIT_RE = re.compile(r"\s*,\s*")
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed ``disable=`` item."""
+
+    #: Rule code or symbol exactly as written in the comment.
+    key: str
+    #: The free-text justification (mandatory, non-empty).
+    reason: str
+    #: Line the comment itself sits on.
+    comment_line: int
+    #: Line whose findings this suppression waives.
+    target_line: int
+    #: Set by the engine when the suppression waived at least one finding.
+    used: bool = field(default=False)
+    #: Canonical rule code of the waived finding (set alongside ``used``),
+    #: so budget accounting is stable whether the source wrote the code or
+    #: the symbol form.
+    resolved_code: Optional[str] = field(default=None)
+
+
+def scan(source: str, path: str) -> Tuple[List[Suppression], List[Violation]]:
+    """Extract suppressions (and malformed-directive findings) from a file.
+
+    Returns ``(suppressions, violations)`` where violations are ``X101``
+    findings for directives that do not parse or lack a reason.
+    """
+    suppressions: List[Suppression] = []
+    violations: List[Violation] = []
+    lines = source.splitlines()
+    pending: List[Tuple[int, str]] = []  # standalone comments awaiting a code line
+
+    def flush_pending(code_line: int) -> None:
+        for comment_line, items in pending:
+            _parse_items(items, path, comment_line, code_line, suppressions, violations)
+        pending.clear()
+
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # The AST parse will report the syntax error; nothing to scan.
+        return [], []
+
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            match = _DIRECTIVE_RE.search(token.string)
+            if match is None:
+                continue
+            body = match.group(1).strip()
+            disable = _DISABLE_RE.match(body)
+            if disable is None:
+                violations.append(
+                    _malformed(path, token.start[0], f"unrecognized directive {body!r}")
+                )
+                continue
+            line_no = token.start[0]
+            before = lines[line_no - 1][: token.start[1]] if line_no <= len(lines) else ""
+            if before.strip():
+                # Trailing comment: applies to this line.
+                _parse_items(
+                    disable.group(1), path, line_no, line_no, suppressions, violations
+                )
+            else:
+                # Standalone comment: applies to the next code line.
+                pending.append((line_no, disable.group(1)))
+        elif token.type not in (
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENDMARKER,
+        ):
+            if pending:
+                flush_pending(token.start[0])
+    # Standalone directives at EOF waive nothing; report them as malformed.
+    for comment_line, _items in pending:
+        violations.append(
+            _malformed(path, comment_line, "standalone suppression with no following code line")
+        )
+    return suppressions, violations
+
+
+def _parse_items(
+    items: str,
+    path: str,
+    comment_line: int,
+    target_line: int,
+    suppressions: List[Suppression],
+    violations: List[Violation],
+) -> None:
+    items = items.strip()
+    if not items:
+        violations.append(_malformed(path, comment_line, "empty disable= list"))
+        return
+    consumed_any = False
+    leftover = items
+    for match in _ITEM_RE.finditer(items):
+        consumed_any = True
+        key, reason = match.group(1), match.group(2).strip()
+        leftover = leftover.replace(match.group(0), "", 1)
+        if not reason:
+            violations.append(
+                _malformed(
+                    path,
+                    comment_line,
+                    f"suppression of {key} has no reason — write {key}(why this is safe)",
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                key=key,
+                reason=reason,
+                comment_line=comment_line,
+                target_line=target_line,
+            )
+        )
+    leftover = leftover.replace(",", "").strip()
+    if not consumed_any or leftover:
+        detail = leftover if leftover else items
+        violations.append(
+            _malformed(
+                path,
+                comment_line,
+                f"cannot parse {detail!r} — expected CODE(reason)[, CODE(reason)...]",
+            )
+        )
+
+
+def _malformed(path: str, line: int, detail: str) -> Violation:
+    return Violation(
+        path=path,
+        line=line,
+        col=0,
+        code="X101",
+        symbol="malformed-suppression",
+        message=f"malformed repro-lint directive: {detail}",
+    )
+
+
+def match_suppression(
+    suppressions: List[Suppression],
+    violation: Violation,
+    symbol_of_code: dict,
+    code_of_symbol: dict,
+) -> Optional[Suppression]:
+    """The first suppression that waives ``violation``, if any."""
+    for suppression in suppressions:
+        if suppression.target_line != violation.line:
+            continue
+        key = suppression.key
+        if key == violation.code or key == violation.symbol:
+            return suppression
+        # Allow the symbol form for a code key and vice versa.
+        if symbol_of_code.get(key) == violation.symbol:
+            return suppression
+        if code_of_symbol.get(key) == violation.code:
+            return suppression
+    return None

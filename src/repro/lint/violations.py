@@ -1,0 +1,42 @@
+"""Finding record shared by every rule and the engine itself."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One finding: a contract violation at a specific source location."""
+
+    #: Project-relative POSIX path of the offending file.
+    path: str
+    #: 1-indexed source line the finding anchors to.
+    line: int
+    #: 0-indexed column offset.
+    col: int
+    #: Per-rule code (``D101`` ... ``X103``).
+    code: str
+    #: Stable human-readable slug for the rule (``unseeded-rng``).
+    symbol: str
+    #: One-sentence description of the specific violation.
+    message: str
+
+    def render(self) -> str:
+        """The one-line ``path:line:col: CODE[symbol] message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code}[{self.symbol}] {self.message}"
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+def to_jsonable(violation: Violation) -> dict:
+    """JSON-serializable form of a violation (stable key order)."""
+    return {
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "code": violation.code,
+        "symbol": violation.symbol,
+        "message": violation.message,
+    }

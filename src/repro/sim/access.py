@@ -189,7 +189,7 @@ class MemoryAccess:
 Trace = List[MemoryAccess]
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkloadTrace:
     """Traces for all cores plus workload metadata.
 

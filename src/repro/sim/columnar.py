@@ -533,7 +533,7 @@ class ColumnarTrace:
         if extra_meta:
             meta["extra"] = extra_meta
         payload = {f"core_{i}": column for i, column in enumerate(self.columns)}
-        payload["meta"] = np.array(json.dumps(meta))
+        payload["meta"] = np.array(json.dumps(meta, sort_keys=True))
         if self.phase_boundaries is not None:
             payload["boundaries"] = np.asarray(self.phase_boundaries, dtype=np.int64)
         directory = os.path.dirname(os.path.abspath(path))

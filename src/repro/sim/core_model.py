@@ -10,17 +10,20 @@ register result but keep the implicit fence for TSO, Sec. 5.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.sim.access import AccessType, MemoryAccess
 from repro.sim.config import CoreConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreTimingModel:
     """Charges compute cycles for the non-memory part of the instruction stream."""
 
     config: CoreConfig
+    cycles_per_instruction: float = field(init=False)
+    atomic_overhead: float = field(init=False)
+    commutative_overhead: float = field(init=False)
 
     def __post_init__(self) -> None:
         # Hot-path constants: the simulator inlines the per-access timing

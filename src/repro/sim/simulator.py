@@ -87,6 +87,8 @@ class _CoreCursor:
 class MulticoreSimulator:
     """Runs one workload trace under one protocol on one machine config."""
 
+    __slots__ = ("config", "protocol", "core_model", "track_values")
+
     def __init__(
         self,
         config: SystemConfig,

@@ -120,7 +120,7 @@ class CoreStats:
         return self.latency.total / self.accesses if self.accesses else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class SimulationResult:
     """Outcome of one simulation run."""
 

@@ -1,0 +1,63 @@
+"""Helpers and fixtures for the repro-lint tests.
+
+Imported by filename (pytest's prepend import mode puts this directory on
+``sys.path``); deliberately NOT a ``conftest.py`` — the benchmarks suite
+imports its own ``conftest`` by module name, which a second non-package
+conftest would shadow during whole-repo collection.
+
+Rules scope purely on project-relative paths, so fixtures are plain source
+strings written under a pretend relpath (``src/repro/sim/fixture.py`` puts a
+fixture inside the result-affecting + hot-path scope, ``src/repro/plots.py``
+outside it) without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.lint.context import ProjectContext
+from repro.lint.engine import (
+    LintReport,
+    Rule,
+    SourceModule,
+    apply_suppressions,
+    load_source_module,
+    run_rules,
+)
+from repro.lint.rules import all_rules
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+@pytest.fixture()
+def lint_sources(tmp_path):
+    """Lint ``{relpath: source}`` fixtures through the full engine."""
+
+    def run(
+        sources: Dict[str, str],
+        rules: Optional[Sequence[Rule]] = None,
+    ) -> LintReport:
+        modules: List[SourceModule] = []
+        for index, (relpath, source) in enumerate(sorted(sources.items())):
+            path = tmp_path / f"fixture_{index}.py"
+            path.write_text(source)
+            modules.append(load_source_module(str(path), relpath))
+        ctx = ProjectContext(REPO_ROOT)
+        active = list(rules) if rules is not None else all_rules()
+        raw, _classdb = run_rules(modules, active, ctx)
+        return apply_suppressions(modules, raw, active)
+
+    return run
+
+
+def codes(report: LintReport) -> List[str]:
+    return [violation.code for violation in report.violations]
+
+
+def lines_of(report: LintReport, code: str) -> List[int]:
+    return [v.line for v in report.violations if v.code == code]

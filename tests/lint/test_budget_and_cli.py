@@ -1,0 +1,155 @@
+"""Budget audit, CLI behaviour, and the shipped tree's cleanliness."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.lint import budget as budget_mod
+from repro.lint import lint_paths
+
+from lint_helpers import REPO_ROOT
+
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+BUDGET = os.path.join(REPO_ROOT, budget_mod.BUDGET_FILENAME)
+
+SUPPRESSED_CLOCK = (
+    "import time\n"
+    "# repro-lint: disable=D103(fixture reason)\n"
+    "stamp = time.perf_counter()\n"
+)
+
+
+def _project(tmp_path, source=SUPPRESSED_CLOCK):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "fixture.py").write_text(source)
+    return tmp_path
+
+
+class TestBudgetAudit:
+    def test_matching_budget_passes(self, tmp_path):
+        root = _project(tmp_path)
+        budget_path = root / "lint-budget.json"
+        budget_mod.dump(
+            {("src/repro/sim/fixture.py", "D103"): 1}, str(budget_path)
+        )
+        report = lint_paths(
+            [str(root / "src" / "repro")],
+            root=str(root),
+            budget_path=str(budget_path),
+        )
+        assert report.ok
+
+    def test_undeclared_suppression_is_x103(self, tmp_path):
+        root = _project(tmp_path)
+        budget_path = root / "lint-budget.json"
+        budget_mod.dump({}, str(budget_path))
+        report = lint_paths(
+            [str(root / "src" / "repro")],
+            root=str(root),
+            budget_path=str(budget_path),
+        )
+        assert [v.code for v in report.violations] == ["X103"]
+
+    def test_stale_budget_entry_is_x103(self, tmp_path):
+        root = _project(tmp_path, source="x = 1\n")
+        budget_path = root / "lint-budget.json"
+        budget_mod.dump(
+            {("src/repro/sim/fixture.py", "D103"): 1}, str(budget_path)
+        )
+        report = lint_paths(
+            [str(root / "src" / "repro")],
+            root=str(root),
+            budget_path=str(budget_path),
+        )
+        assert [v.code for v in report.violations] == ["X103"]
+
+    def test_dump_is_canonical(self, tmp_path):
+        path = tmp_path / "budget.json"
+        counts = {("b.py", "D103"): 1, ("a.py", "D102"): 2}
+        budget_mod.dump(counts, str(path))
+        payload = json.loads(path.read_text())
+        entries = payload["suppressions"]
+        assert entries == sorted(
+            entries, key=lambda e: (e["path"], e["code"])
+        )
+        assert budget_mod.load(str(path)) == counts
+
+
+def run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+    )
+
+
+class TestCli:
+    def test_clean_fixture_exits_zero(self, tmp_path):
+        root = _project(tmp_path, source="x = 1\n")
+        proc = run_cli(["--no-budget"], cwd=str(root))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_findings_exit_one(self, tmp_path):
+        root = _project(
+            tmp_path, source="import time\nstamp = time.perf_counter()\n"
+        )
+        proc = run_cli(["--no-budget"], cwd=str(root))
+        assert proc.returncode == 1
+        assert "D103" in proc.stdout
+
+    def test_no_files_exit_two(self, tmp_path):
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        proc = run_cli(["--no-budget"], cwd=str(tmp_path))
+        assert proc.returncode == 2
+
+    def test_json_format(self, tmp_path):
+        root = _project(
+            tmp_path, source="import time\nstamp = time.perf_counter()\n"
+        )
+        proc = run_cli(["--no-budget", "--format", "json"], cwd=str(root))
+        payload = json.loads(proc.stdout)
+        assert payload["files"] == 1
+        assert [v["code"] for v in payload["violations"]] == ["D103"]
+
+    def test_list_rules(self, tmp_path):
+        proc = run_cli(["--list-rules"], cwd=str(tmp_path))
+        assert proc.returncode == 0
+        for code in ("D101", "D104", "P202", "H303", "X103"):
+            assert code in proc.stdout
+
+    def test_write_budget_round_trips(self, tmp_path):
+        root = _project(tmp_path)
+        proc = run_cli(["--write-budget"], cwd=str(root))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads((root / "lint-budget.json").read_text())
+        assert payload["suppressions"] == [
+            {"code": "D103", "count": 1, "path": "src/repro/sim/fixture.py"}
+        ]
+
+
+class TestShippedTree:
+    """The acceptance gate: the real tree lints clean under its budget."""
+
+    def test_tree_is_clean(self):
+        report = lint_paths([SRC_REPRO], root=REPO_ROOT, budget_path=BUDGET)
+        assert report.ok, "\n".join(v.render() for v in report.violations)
+
+    def test_budget_matches_actual_suppressions(self):
+        """Meta-test: lint-budget.json equals the suppressions actually
+        used, bidirectionally — no stale waivers, no undeclared ones."""
+        report = lint_paths([SRC_REPRO], root=REPO_ROOT, budget_path=BUDGET)
+        declared = budget_mod.load(BUDGET)
+        assert report.used_suppression_counts() == declared
+
+    def test_every_suppression_carries_a_reason(self):
+        report = lint_paths([SRC_REPRO], root=REPO_ROOT, budget_path=BUDGET)
+        for path, suppression in report.suppressions:
+            assert suppression.reason.strip(), (
+                f"{path}:{suppression.comment_line} has an empty reason"
+            )

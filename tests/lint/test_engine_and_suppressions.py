@@ -1,0 +1,116 @@
+"""Engine behaviour: suppression directives, meta-findings, rule registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.rules import META_CODES, all_rules, rule_catalogue
+from repro.lint.rules.determinism import WallClockRule
+
+from lint_helpers import codes, lint_sources  # noqa: F401 (fixture)
+
+SIM = "src/repro/sim/fixture.py"
+
+CLOCK = "import time\nstamp = time.perf_counter()"
+
+
+class TestRuleRegistry:
+    def test_codes_and_symbols_unique(self):
+        rules = all_rules()
+        assert len({r.code for r in rules}) == len(rules)
+        assert len({r.symbol for r in rules}) == len(rules)
+        assert not ({r.code for r in rules} & set(META_CODES))
+
+    def test_catalogue_covers_rules_and_meta(self):
+        entries = {e["code"] for e in rule_catalogue()}
+        assert {r.code for r in all_rules()} <= entries
+        assert set(META_CODES) <= entries
+
+
+class TestSuppressions:
+    def test_trailing_suppression_waives(self, lint_sources):
+        source = (
+            "import time\n"
+            "stamp = time.perf_counter()  "
+            "# repro-lint: disable=D103(fixture reason)\n"
+        )
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert report.ok
+        assert [v.code for v in report.suppressed] == ["D103"]
+
+    def test_standalone_suppression_covers_next_line(self, lint_sources):
+        source = (
+            "import time\n"
+            "# repro-lint: disable=D103(fixture reason)\n"
+            "stamp = time.perf_counter()\n"
+        )
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_symbol_name_suppression_resolves_to_code(self, lint_sources):
+        source = (
+            "import time\n"
+            "# repro-lint: disable=wall-clock(fixture reason)\n"
+            "stamp = time.perf_counter()\n"
+        )
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert report.ok
+        counts = report.used_suppression_counts()
+        assert counts == {(SIM, "D103"): 1}
+
+    def test_suppression_does_not_leak_to_other_lines(self, lint_sources):
+        source = (
+            "import time\n"
+            "# repro-lint: disable=D103(fixture reason)\n"
+            "a = time.perf_counter()\n"
+            "b = time.perf_counter()\n"
+        )
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert codes(report) == ["D103"]
+        assert report.violations[0].line == 4
+
+    def test_missing_reason_is_malformed(self, lint_sources):
+        source = (
+            "import time\n"
+            "stamp = time.perf_counter()  # repro-lint: disable=D103\n"
+        )
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        # The directive is rejected (X101) and therefore waives nothing.
+        assert sorted(codes(report)) == ["D103", "X101"]
+
+    def test_unknown_rule_reported(self, lint_sources):
+        source = "x = 1  # repro-lint: disable=D999(no such rule)\n"
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert "X100" in codes(report)
+
+    def test_unused_suppression_reported(self, lint_sources):
+        source = "# repro-lint: disable=D103(nothing here reads the clock)\nx = 1\n"
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert codes(report) == ["X102"]
+
+    def test_meta_findings_not_suppressible(self, lint_sources):
+        # An unused suppression cannot be waived by another suppression:
+        # the audit trail must not be able to silence itself.
+        source = (
+            "# repro-lint: disable=X102(quiet please)\n"
+            "# repro-lint: disable=D103(nothing here reads the clock)\n"
+            "x = 1\n"
+        )
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert "X100" in codes(report) or "X102" in codes(report)
+        assert not report.ok
+
+    def test_syntax_error_is_x104(self, lint_sources):
+        report = lint_sources({SIM: "def broken(:\n"}, rules=[WallClockRule()])
+        assert codes(report) == ["X104"]
+
+
+@pytest.mark.parametrize("comment", [
+    "# repro-lint: disable=",
+    "# repro-lint: disable=D103(unbalanced",
+    "# repro-lint: enable=D103(no such verb)",
+])
+def test_malformed_directives_are_x101(lint_sources, comment):
+    report = lint_sources({SIM: comment + "\nx = 1\n"}, rules=[WallClockRule()])
+    assert "X101" in codes(report)

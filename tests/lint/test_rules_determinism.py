@@ -1,0 +1,131 @@
+"""Fixture suites for the determinism rules (D101-D104)."""
+
+from __future__ import annotations
+
+from repro.lint.rules.determinism import (
+    UnorderedIterationRule,
+    UnseededRngRule,
+    UnsortedSerializationRule,
+    WallClockRule,
+)
+
+from lint_helpers import codes, lines_of, lint_sources  # noqa: F401 (fixture)
+
+SIM = "src/repro/sim/fixture.py"
+PLOTS = "src/repro/plots.py"  # outside the result-affecting scope
+
+
+class TestD101UnseededRng:
+    def test_global_draw_fires(self, lint_sources):
+        report = lint_sources(
+            {SIM: "import random\nx = random.random()\n"},
+            rules=[UnseededRngRule()],
+        )
+        assert codes(report) == ["D101"]
+        assert lines_of(report, "D101") == [2]
+
+    def test_numpy_global_draw_fires(self, lint_sources):
+        source = "import numpy as np\nnp.random.shuffle([1, 2])\n"
+        report = lint_sources({SIM: source}, rules=[UnseededRngRule()])
+        assert codes(report) == ["D101"]
+
+    def test_unseeded_constructor_fires(self, lint_sources):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        report = lint_sources({SIM: source}, rules=[UnseededRngRule()])
+        assert codes(report) == ["D101"]
+
+    def test_seeded_generators_pass(self, lint_sources):
+        source = (
+            "import random\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "r = random.Random(7)\n"
+            "x = rng.normal()\n"
+            "y = r.randint(0, 3)\n"
+        )
+        report = lint_sources({SIM: source}, rules=[UnseededRngRule()])
+        assert report.ok
+
+    def test_applies_everywhere(self, lint_sources):
+        # D101 is not scoped to result-affecting modules: a global draw in
+        # an experiment script is just as unreproducible.
+        report = lint_sources(
+            {PLOTS: "import random\nrandom.random()\n"},
+            rules=[UnseededRngRule()],
+        )
+        assert codes(report) == ["D101"]
+
+
+class TestD102UnorderedIteration:
+    def test_dict_values_loop_fires(self, lint_sources):
+        source = "def f(d):\n    for v in d.values():\n        print(v)\n"
+        report = lint_sources({SIM: source}, rules=[UnorderedIterationRule()])
+        assert codes(report) == ["D102"]
+        assert lines_of(report, "D102") == [2]
+
+    def test_set_literal_fires(self, lint_sources):
+        source = "def f():\n    return [x for x in {3, 1, 2}]\n"
+        report = lint_sources({SIM: source}, rules=[UnorderedIterationRule()])
+        assert codes(report) == ["D102"]
+
+    def test_transparent_wrapper_fires(self, lint_sources):
+        source = "def f(d):\n    for v in list(d.items()):\n        print(v)\n"
+        report = lint_sources({SIM: source}, rules=[UnorderedIterationRule()])
+        assert codes(report) == ["D102"]
+
+    def test_sorted_wrap_passes(self, lint_sources):
+        source = "def f(d):\n    for v in sorted(d.values()):\n        print(v)\n"
+        report = lint_sources({SIM: source}, rules=[UnorderedIterationRule()])
+        assert report.ok
+
+    def test_order_insensitive_reducer_passes(self, lint_sources):
+        source = (
+            "def f(d, s):\n"
+            "    total = sum(len(v) for v in d.values())\n"
+            "    flag = all(x > 0 for x in s)\n"
+            "    return total, flag\n"
+        )
+        report = lint_sources({SIM: source}, rules=[UnorderedIterationRule()])
+        assert report.ok
+
+    def test_out_of_scope_module_passes(self, lint_sources):
+        source = "def f(d):\n    for v in d.values():\n        print(v)\n"
+        report = lint_sources({PLOTS: source}, rules=[UnorderedIterationRule()])
+        assert report.ok
+
+
+class TestD103WallClock:
+    def test_perf_counter_fires(self, lint_sources):
+        source = "import time\ndef f():\n    return time.perf_counter()\n"
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert codes(report) == ["D103"]
+        assert lines_of(report, "D103") == [3]
+
+    def test_datetime_now_fires(self, lint_sources):
+        source = "from datetime import datetime\nstamp = datetime.now()\n"
+        report = lint_sources({SIM: source}, rules=[WallClockRule()])
+        assert codes(report) == ["D103"]
+
+    def test_out_of_scope_module_passes(self, lint_sources):
+        # Experiment drivers legitimately time themselves for reporting.
+        source = "import time\nelapsed = time.perf_counter()\n"
+        report = lint_sources({PLOTS: source}, rules=[WallClockRule()])
+        assert report.ok
+
+
+class TestD104UnsortedSerialization:
+    def test_dumps_without_sort_keys_fires(self, lint_sources):
+        source = "import json\npayload = json.dumps({'b': 1, 'a': 2})\n"
+        report = lint_sources({PLOTS: source}, rules=[UnsortedSerializationRule()])
+        assert codes(report) == ["D104"]
+        assert lines_of(report, "D104") == [2]
+
+    def test_sort_keys_false_fires(self, lint_sources):
+        source = "import json\npayload = json.dumps({}, sort_keys=False)\n"
+        report = lint_sources({PLOTS: source}, rules=[UnsortedSerializationRule()])
+        assert codes(report) == ["D104"]
+
+    def test_sort_keys_true_passes(self, lint_sources):
+        source = "import json\npayload = json.dumps({}, sort_keys=True)\n"
+        report = lint_sources({PLOTS: source}, rules=[UnsortedSerializationRule()])
+        assert report.ok

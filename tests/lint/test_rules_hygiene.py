@@ -1,0 +1,167 @@
+"""Fixture suites for the hot-path hygiene rules (H301-H303)."""
+
+from __future__ import annotations
+
+from repro.lint.rules.hygiene import (
+    AttrOutsideInitRule,
+    EnvRegistryRule,
+    SlotsRequiredRule,
+)
+
+from lint_helpers import codes, lines_of, lint_sources  # noqa: F401 (fixture)
+
+HOT = "src/repro/sim/kernel.py"  # a hot-path slots module
+COLD = "src/repro/experiments/fixture.py"
+
+
+class TestH301SlotsRequired:
+    def test_unslotted_class_fires(self, lint_sources):
+        source = "class PerAccessState:\n    def __init__(self):\n        self.x = 0\n"
+        report = lint_sources({HOT: source}, rules=[SlotsRequiredRule()])
+        assert codes(report) == ["H301"]
+        assert lines_of(report, "H301") == [1]
+
+    def test_unslotted_dataclass_fires(self, lint_sources):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class PerAccessState:\n"
+            "    x: int = 0\n"
+        )
+        report = lint_sources({HOT: source}, rules=[SlotsRequiredRule()])
+        assert codes(report) == ["H301"]
+
+    def test_slotted_forms_pass(self, lint_sources):
+        source = (
+            "from dataclasses import dataclass\n"
+            "class Plain:\n"
+            "    __slots__ = ('x',)\n"
+            "@dataclass(slots=True)\n"
+            "class Data:\n"
+            "    x: int = 0\n"
+        )
+        report = lint_sources({HOT: source}, rules=[SlotsRequiredRule()])
+        assert report.ok
+
+    def test_exempt_kinds_pass(self, lint_sources):
+        source = (
+            "import enum\n"
+            "from typing import NamedTuple, Protocol\n"
+            "class Kind(enum.Enum):\n"
+            "    A = 1\n"
+            "class Oops(Exception):\n"
+            "    pass\n"
+            "class Point(NamedTuple):\n"
+            "    x: int\n"
+            "class Reader(Protocol):\n"
+            "    def read(self) -> int: ...\n"
+        )
+        report = lint_sources({HOT: source}, rules=[SlotsRequiredRule()])
+        assert report.ok
+
+    def test_cold_module_out_of_scope(self, lint_sources):
+        source = "class Anything:\n    pass\n"
+        report = lint_sources({COLD: source}, rules=[SlotsRequiredRule()])
+        assert report.ok
+
+
+class TestH302AttrOutsideInit:
+    def test_late_attribute_fires(self, lint_sources):
+        source = (
+            "class Engine:\n"
+            "    __slots__ = ('x', 'y')\n"
+            "    def __init__(self):\n"
+            "        self.x = 0\n"
+            "    def step(self):\n"
+            "        self.y = 1\n"
+            "        self.z = 2\n"
+        )
+        report = lint_sources({HOT: source}, rules=[AttrOutsideInitRule()])
+        # self.y rebinds a slot; self.z invents new state.
+        assert codes(report) == ["H302"]
+        assert lines_of(report, "H302") == [7]
+
+    def test_declared_rebinds_pass(self, lint_sources):
+        source = (
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "    def step(self):\n"
+            "        self.count += 1\n"
+            "        self.count = 2\n"
+        )
+        report = lint_sources({HOT: source}, rules=[AttrOutsideInitRule()])
+        assert report.ok
+
+    def test_inherited_attr_resolves_across_modules(self, lint_sources):
+        base = (
+            "class Base:\n"
+            "    def __init__(self):\n"
+            "        self.shared = 0\n"
+        )
+        child = (
+            "from repro.sim.fixture_base import Base\n"
+            "class Child(Base):\n"
+            "    def step(self):\n"
+            "        self.shared = 1\n"
+        )
+        report = lint_sources(
+            {
+                "src/repro/sim/fixture_base.py": base,
+                HOT: child,
+            },
+            rules=[AttrOutsideInitRule()],
+        )
+        assert report.ok
+
+    def test_unresolvable_base_is_exempt(self, lint_sources):
+        # A base class outside the linted set: nothing can be proven, so
+        # the class is skipped rather than flagged.
+        source = (
+            "from repro.vendor import Mystery\n"
+            "class Child(Mystery):\n"
+            "    def step(self):\n"
+            "        self.whatever = 1\n"
+        )
+        report = lint_sources({HOT: source}, rules=[AttrOutsideInitRule()])
+        assert report.ok
+
+
+class TestH303EnvRegistry:
+    def test_unregistered_knob_fires(self, lint_sources):
+        source = "import os\nvalue = os.environ.get('REPRO_TURBO', '1')\n"
+        report = lint_sources({COLD: source}, rules=[EnvRegistryRule()])
+        assert codes(report) == ["H303"]
+        assert lines_of(report, "H303") == [2]
+
+    def test_subscript_read_fires(self, lint_sources):
+        source = "import os\nvalue = os.environ['REPRO_TURBO']\n"
+        report = lint_sources({COLD: source}, rules=[EnvRegistryRule()])
+        assert codes(report) == ["H303"]
+
+    def test_getenv_of_registered_knob_passes(self, lint_sources):
+        source = (
+            "import os\n"
+            "scale = os.environ.get('REPRO_SCALE', '1.0')\n"
+            "kernel = os.getenv('REPRO_SIM_KERNEL', 'auto')\n"
+        )
+        report = lint_sources({COLD: source}, rules=[EnvRegistryRule()])
+        assert report.ok
+
+    def test_non_repro_names_ignored(self, lint_sources):
+        source = "import os\nhome = os.environ.get('HOME', '')\n"
+        report = lint_sources({COLD: source}, rules=[EnvRegistryRule()])
+        assert report.ok
+
+    def test_registered_knobs_are_documented(self):
+        """Every registered knob must appear in README.md (the run-level
+        check fires only when settings.py is part of the linted set)."""
+        import os
+
+        from lint_helpers import REPO_ROOT
+        from repro.experiments.settings import ENV_KNOBS
+
+        with open(os.path.join(REPO_ROOT, "README.md")) as handle:
+            readme = handle.read()
+        for knob in ENV_KNOBS:
+            assert knob.name in readme, f"{knob.name} missing from README.md"

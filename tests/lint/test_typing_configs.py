@@ -1,0 +1,60 @@
+"""The strict-typing lane: configs exist and (when installed) the tools run.
+
+mypy and ruff are CI-lane dependencies, deliberately absent from the
+minimal tier-1 image; their smoke tests skip when the tools are missing.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+from lint_helpers import REPO_ROOT
+
+PYPROJECT = os.path.join(REPO_ROOT, "pyproject.toml")
+
+
+def _has(tool: str) -> bool:
+    return importlib.util.find_spec(tool) is not None
+
+
+def test_pyproject_configures_the_lane():
+    with open(PYPROJECT) as handle:
+        text = handle.read()
+    assert "[tool.mypy]" in text
+    assert "strict = true" in text
+    assert "[tool.ruff" in text
+
+
+def test_package_ships_py_typed():
+    assert os.path.exists(os.path.join(REPO_ROOT, "src", "repro", "py.typed"))
+
+
+@pytest.mark.skipif(not _has("mypy"), reason="mypy not installed (CI-only lane)")
+def test_mypy_strict_settings_and_runner():
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "mypy", "--strict",
+            "src/repro/experiments/settings.py",
+            "src/repro/lint",
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout
+
+
+@pytest.mark.skipif(not _has("ruff"), reason="ruff not installed (CI-only lane)")
+def test_ruff_clean():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout
