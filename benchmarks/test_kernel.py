@@ -9,15 +9,22 @@ Two measurements, both pinned bit-identical and recorded in
   the suite gates a >=3x geomean wall-clock speedup of the default ``auto``
   kernel over the forced-scalar loop.
 * **Paper workload grid** — the five Table 2 benchmarks under MESI (atomic)
-  and COUP (commutative).  These are slow-path-dominated (every boundary
-  access still runs the full protocol machinery, by design — bit-identity),
-  so the kernel's auto mode is expected to *bail out* and track the scalar
-  loop; the gate here is the fallback bargain: total auto wall-clock within
-  ``MAX_FALLBACK_OVERHEAD_PCT`` of forced-scalar, and every point
-  bit-identical.
+  and COUP (commutative).  These are slow-path-dominated, which is exactly
+  the regime group retirement targets: the kernel merges independent slow
+  accesses fleet-wide in canonical ``(clock, core id)`` order instead of
+  paying per-event dispatch.  The gates are (a) a grid-wide geomean
+  speedup of ``auto`` over forced-scalar of at least ``MIN_GRID_GEOMEAN``,
+  and (b) a per-point regression floor ``MIN_POINT_SPEEDUP``: on
+  conflict-dense points where the merge's entry gate declines (cross-op
+  stretches, reduction triggers), ``auto`` bails out early and must track
+  the scalar loop.  Every point is always asserted bit-identical.
 
 Timings use min-of-N over interleaved rounds (the two modes execute the
 same simulation, so min is the noise-robust estimator of true cost).
+Single-point wall-clock on shared CI hosts still jitters by several
+percent between rounds, which is why the per-point floor is looser than
+the geomean gate and skips points below ``MIN_GATED_POINT_SECONDS``: the
+geomean averages the jitter away, a per-point assertion cannot.
 """
 
 from __future__ import annotations
@@ -48,9 +55,22 @@ REPEATS = max(BENCH_REPEATS, 3)
 #: Geomean gate on the hit-run microbenchmark (ISSUE 5 acceptance).
 MIN_MICRO_SPEEDUP = 3.0
 
-#: Gate on the scalar fallback: auto mode (which bails out on these
-#: slow-path-dominated grid points) must stay within this total overhead.
-MAX_FALLBACK_OVERHEAD_PCT = 5.0
+#: Geomean gate on the paper grid: group retirement must keep ``auto``
+#: ahead of the scalar loop across the ten (workload, protocol) points.
+#: Measured headroom at scale 1.0 on the reference host is ~1.15-1.25x.
+MIN_GRID_GEOMEAN = 1.02
+
+#: Per-point regression floor: no grid point may lose more than this to
+#: the scalar loop.  Points where the merge's entry gate declines cost one
+#: probed kernel stint (a handful of slow events) plus a few self-limited
+#: merge attempts; the rest is host timing jitter.
+MIN_POINT_SPEEDUP = 0.85
+
+#: Points whose forced-scalar run is shorter than this are recorded but
+#: exempt from the per-point floor: min-of-N cannot average enough work on
+#: a ~0.1 s point for an 0.85x assertion to separate regression from
+#: jitter.  The geomean gate still includes every point.
+MIN_GATED_POINT_SECONDS = 0.2
 
 #: Timing gates need enough simulated work to measure: the bail-out
 #: probation is a fixed few milliseconds per run, so on sub-second totals
@@ -157,6 +177,13 @@ def test_kernel_speedup_and_fallback(benchmark):
                 }
             )
     grid_geomean = statistics.geometric_mean(row["speedup"] for row in grid_rows)
+    grid_min_speedup = min(row["speedup"] for row in grid_rows)
+    floor_rows = [
+        row for row in grid_rows if row["scalar_s"] >= MIN_GATED_POINT_SECONDS
+    ]
+    grid_min_gated_speedup = (
+        min(row["speedup"] for row in floor_rows) if floor_rows else None
+    )
     fallback_overhead_pct = (grid_auto_total / grid_scalar_total - 1.0) * 100.0
 
     # One representative run under pytest-benchmark for the report.
@@ -175,6 +202,12 @@ def test_kernel_speedup_and_fallback(benchmark):
         "micro_gated": micro_gated,
         "grid": grid_rows,
         "grid_geomean_speedup": round(grid_geomean, 3),
+        "grid_min_speedup": round(grid_min_speedup, 3),
+        "grid_min_gated_speedup": (
+            round(grid_min_gated_speedup, 3)
+            if grid_min_gated_speedup is not None
+            else None
+        ),
         "grid_scalar_total_s": round(grid_scalar_total, 3),
         "grid_fallback_overhead_pct": round(fallback_overhead_pct, 2),
         "grid_gated": grid_gated,
@@ -187,7 +220,12 @@ def test_kernel_speedup_and_fallback(benchmark):
             f"below the {MIN_MICRO_SPEEDUP}x gate: {entry}"
         )
     if grid_gated:
-        assert fallback_overhead_pct < MAX_FALLBACK_OVERHEAD_PCT, (
-            f"auto-mode fallback costs {fallback_overhead_pct:.2f}% on the "
-            f"slow-path-dominated grid (limit {MAX_FALLBACK_OVERHEAD_PCT}%): {entry}"
+        assert grid_geomean >= MIN_GRID_GEOMEAN, (
+            f"group-retirement grid speedup geomean {grid_geomean:.2f}x "
+            f"below the {MIN_GRID_GEOMEAN}x gate: {entry}"
         )
+        if grid_min_gated_speedup is not None:
+            assert grid_min_gated_speedup >= MIN_POINT_SPEEDUP, (
+                f"worst timeable grid point at {grid_min_gated_speedup:.2f}x "
+                f"is below the {MIN_POINT_SPEEDUP}x regression floor: {entry}"
+            )

@@ -17,8 +17,10 @@ from __future__ import annotations
 
 from typing import Dict
 
+import numpy as np
+
 from repro.core.mesi import MesiProtocol
-from repro.core.protocol import AccessOutcome
+from repro.core.protocol import SHAPE_CONFLICT, AccessOutcome
 from repro.interconnect.messages import LinkScope, MessageType
 from repro.sim.access import AccessType, MemoryAccess
 from repro.sim.config import SystemConfig
@@ -35,6 +37,13 @@ class RmoProtocol(MesiProtocol):
     #: bank-ALU queue (``_bank_busy_until``) is therefore only touched from
     #: the globally ordered slow path, which keeps batching bit-identical.
     HOT_COMMUTATIVE = "never"
+    #: The bank-ALU queue serializes every update at its home bank, and even
+    #: loads/stores can race with `_remote_update`'s requester-copy
+    #: invalidations, so no RMO transaction shape is independent: group
+    #: retirement stays disabled and every slow access takes the exact
+    #: scalar heap order.
+    SUPPORTS_SLOW_BATCH = False
+    SLOW_SHAPE_TABLE = np.full((4, 5), SHAPE_CONFLICT, dtype=np.uint8)
 
     #: Cycles the home bank ALU is occupied per remote update.
     REMOTE_ALU_CYCLES = 4.0

@@ -76,6 +76,13 @@ ENV_KNOBS: Tuple[EnvKnob, ...] = (
         description="Upper bound on the batched kernel's per-window access count.",
         consumer="repro.sim.kernel",
     ),
+    EnvKnob(
+        name="REPRO_SLOW_BATCH",
+        default="auto",
+        domain="auto | off",
+        description="Group retirement of slow accesses: merged fleet or one-at-a-time.",
+        consumer="repro.sim.kernel",
+    ),
 )
 
 

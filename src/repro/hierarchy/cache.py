@@ -13,7 +13,7 @@ per-line records are slotted plain objects rather than dataclasses.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -109,6 +109,21 @@ class SetAssociativeCache:
         """Return the line's info without touching LRU or statistics."""
         cache_set = self._sets.get(line_addr % self._num_sets)
         return cache_set.get(line_addr) if cache_set is not None else None
+
+    def probe_parts(self) -> Tuple[Dict[int, Dict[int, CacheLineInfo]], int]:
+        """``(sets, num_sets)`` for hoisted inline probes (flattened engines).
+
+        The retirement engines resolve millions of lookups per run, so they
+        hoist the set dictionary and modulus once and inline the two-step
+        probe (``sets.get(addr % num_sets)`` then ``.get(addr)``) instead of
+        paying a method call per access.  Contract for callers: a *hit*
+        must replay :meth:`lookup` exactly — increment :attr:`hits`,
+        advance the LRU clock (``_tick``), and stamp ``info.last_use`` —
+        and a *miss* must increment :attr:`misses`; otherwise LRU order and
+        hit statistics drift from the scalar path and bit-identity breaks.
+        The returned dictionary is live shared state, never a copy.
+        """
+        return self._sets, self._num_sets
 
     def insert(self, line_addr: int, metadata: Optional[dict] = None) -> Optional[CacheLineInfo]:
         """Insert a line, returning the victim's info if an eviction occurred.

@@ -81,6 +81,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.directory import DirectoryArray
+from repro.core.protocol import SHAPE_CONFLICT, SHAPE_OP_DEPENDENT
 from repro.core.states import StableState
 from repro.hierarchy.cache import (
     STATE_ABSENT,
@@ -149,6 +151,15 @@ BAIL_SCALAR_SLOW_S = 12e-6
 BAIL_MARGIN = 1.15
 BAIL_STRIKES = 2
 
+#: The very first probation check of a stint fires after this many slow
+#: events instead of a full ``BAIL_INTERVAL``: a stint entering a
+#: conflict-dense stretch (group retirement's entry gate failing, every
+#: boundary access paying full mask-repair cost) should hand off after a
+#: handful of events, not sixty-four of them.  A productive group-retirement
+#: call resets probation to the full interval, so healthy stints are never
+#: judged on the short window.
+BAIL_PROBE = 16
+
 #: The scalar-cost constants above were calibrated on one machine; a host
 #: whose interpreter is uniformly slower runs both loops slower, which would
 #: otherwise make the kernel look like it is losing and bail spuriously.
@@ -193,6 +204,54 @@ def batch_size() -> int:
     except ValueError:
         return DEFAULT_BATCH_SIZE
     return max(1, size)
+
+
+_SLOW_BATCH_MODES = ("auto", "off")
+
+#: Minimum number of *independence-classified* parked slow events (the best
+#: event plus at least one other) before the group-retirement merge is
+#: entered; with a single pending event the scalar boundary path is already
+#: optimal and the merge's per-call setup would be pure overhead.
+FLEET_MIN_PARKED = 2
+
+#: Consecutive hit retirements after which the merge returns (scaled up with
+#: the slot count): hit-dense stretches belong to the vectorized window
+#: pipeline, which retires them an order of magnitude faster than the
+#: merge's inline probe.
+FLEET_STREAK_BASE = 64
+
+#: Upper bound on one merge call, so the kernel's bail heuristic keeps
+#: sampling wall-clock at a bounded period.
+FLEET_MAX_RETIRE = 65536
+
+#: Slow events per participating slot a merge call must retire to count as
+#: productive.  An unproductive call (hit-dense or conflict-dense stretch)
+#: starts a cooldown — the merge is not attempted again for the next
+#: ``_fleet_backoff`` slow events — and the backoff doubles up to
+#: :data:`FLEET_COOLDOWN_MAX` while calls stay unproductive, so a workload
+#: phase the merge cannot help costs a geometrically vanishing overhead.
+FLEET_MIN_YIELD = 4
+FLEET_COOLDOWN = 64
+FLEET_COOLDOWN_MAX = 4096
+
+#: Cooldown after the vectorized entry gate predicts a conflict.  The gate
+#: itself is a few microseconds of numpy, so unlike a wasted engine call it
+#: earns only a small flat cooldown: conflict predictions are transient
+#: (one reduction, one cross-op stretch) and backing off exponentially was
+#: measured to starve the merge on workloads that alternate regimes.
+FLEET_GATE_COOLDOWN = 8
+
+
+def slow_batch_mode() -> str:
+    """Group retirement from ``REPRO_SLOW_BATCH`` (``auto`` when unset).
+
+    ``auto`` retires independent slow accesses in groups via
+    :meth:`CoherenceProtocol.resolve_slow_batch` whenever the engine declares
+    support; ``off`` forces the exact one-at-a-time boundary path.  Both are
+    bit-identical — the switch exists for A/B timing and debugging.
+    """
+    mode = os.environ.get("REPRO_SLOW_BATCH", "auto").strip().lower()
+    return mode if mode in _SLOW_BATCH_MODES else "auto"
 
 
 def _dyadic(value: float, bits: int = 8) -> bool:
@@ -330,6 +389,13 @@ class BatchedKernel:
         "_comm_local",
         "_comm_never",
         "_resolve_slow",
+        "_slow_batch",
+        "_resolve_slow_batch",
+        "_shape_table",
+        "_dir_array",
+        "_dir_stale",
+        "_fleet_cooldown",
+        "_fleet_backoff",
         "_max_window",
         "_min_window",
         "_exact",
@@ -338,6 +404,7 @@ class BatchedKernel:
         "_hits_batched",
         "_bail_next",
         "_bail_hits_mark",
+        "_bail_slow_mark",
         "_bail_time_mark",
         "_bail_strikes",
     )
@@ -422,6 +489,28 @@ class BatchedKernel:
         self._comm_local = protocol.HOT_COMMUTATIVE == "local"
         self._comm_never = protocol.HOT_COMMUTATIVE == "never"
         self._resolve_slow = protocol.resolve_slow
+
+        # Group retirement (slow-path batching): engines that declare
+        # independence-classified transaction shapes retire whole stretches
+        # of the simulation — all runnable cores merged in exact
+        # (clock, core_id) heap order — in one flattened call, with the
+        # vectorized directory mirror gating entry (see _retire_fleet).
+        self._slow_batch = slow_batch_mode() != "off" and protocol.slow_batch_ready()
+        if self._slow_batch:
+            protocol.slow_batch_begin(
+                self._cpi, self._atomic_overhead, self._commutative_overhead
+            )
+            self._resolve_slow_batch = protocol.resolve_slow_batch
+            self._shape_table = protocol.SLOW_SHAPE_TABLE
+            self._dir_array = DirectoryArray(n_cores)
+        else:
+            self._resolve_slow_batch = None
+            self._shape_table = None
+            self._dir_array = None
+        self._dir_stale: set = set()
+        self._fleet_cooldown = 0
+        self._fleet_backoff = FLEET_COOLDOWN
+
         self._max_window = batch_size()
         self._min_window = min(MIN_WINDOW, self._max_window)
         for core in self.cores:
@@ -449,8 +538,9 @@ class BatchedKernel:
         # Bail-out accounting (per-interval wall-clock vs scalar estimate).
         self._slow_events = 0
         self._hits_batched = 0
-        self._bail_next = BAIL_INTERVAL
+        self._bail_next = BAIL_PROBE
         self._bail_hits_mark = 0
+        self._bail_slow_mark = 0
         # repro-lint: disable=D103(documented bail heuristic; wall time only decides kernel-vs-scalar dispatch, both paths are bit-identical)
         self._bail_time_mark = time.perf_counter()
         self._bail_strikes = 0
@@ -611,7 +701,7 @@ class BatchedKernel:
         # boundary keeps receding, and chunking caps the number of pipeline
         # invocations at O(log window) while over-cleaning at most as much
         # as the run it exposes.
-        chunk = 64
+        chunk = 8
         while True:
             low = max(core.clean_hi, offset)
             bound = min(end + 1, core.win_len)
@@ -1118,6 +1208,11 @@ class BatchedKernel:
             # (invalidations, downgrades) — all reported via _set_state as
             # (core, line) pairs, repaired way-in-place.
             self_sets = {line_addr % self._l1_num_sets}
+            if self._slow_batch:
+                dir_stale = self._dir_stale
+                dir_stale.add(line_addr)
+                for _touched_id, touched_line in touched:
+                    dir_stale.add(touched_line)
             if touched:
                 cores = self.cores
                 n_cores = self.n_cores
@@ -1250,13 +1345,28 @@ class BatchedKernel:
                 self._release_barrier(waiters)
                 continue
 
-            if not self.force and self._slow_events >= self._bail_next:
+            if (
+                not self.force
+                and self._slow_events >= self._bail_next
+                and (not self._slow_batch or self._fleet_cooldown > 0)
+            ):
+                # Probation is deferred while a group-retirement attempt is
+                # pending (cooldown expired): a productive merge vindicates
+                # the interval, and judging the stint before the entry gate
+                # has even ruled would bail exactly the runs the merge wins.
+                # A failed gate or unproductive merge sets a cooldown, so the
+                # check resumes on the next iteration for hostile stretches.
                 # repro-lint: disable=D103(documented bail heuristic; wall time only decides kernel-vs-scalar dispatch, both paths are bit-identical)
                 now = time.perf_counter()
                 interval_hits = self._hits_batched - self._bail_hits_mark
+                # Group retirement advances _slow_events by whole groups, so
+                # the interval can hold more than BAIL_INTERVAL slow events;
+                # estimate from the actual count or the comparison is unfair
+                # to the kernel exactly when it is winning the most.
+                interval_slow = self._slow_events - self._bail_slow_mark
                 scalar_estimate = _interpreter_speed_factor() * (
                     interval_hits * BAIL_SCALAR_HIT_S
-                    + BAIL_INTERVAL * BAIL_SCALAR_SLOW_S
+                    + interval_slow * BAIL_SCALAR_SLOW_S
                 )
                 elapsed = now - self._bail_time_mark
                 if elapsed > scalar_estimate * BAIL_MARGIN:
@@ -1269,6 +1379,7 @@ class BatchedKernel:
                 else:
                     self._bail_strikes = 0
                 self._bail_hits_mark = self._hits_batched
+                self._bail_slow_mark = self._slow_events
                 self._bail_time_mark = now
                 self._bail_next = self._slow_events + BAIL_INTERVAL
 
@@ -1307,10 +1418,21 @@ class BatchedKernel:
                 self._classify(best)
                 continue
 
-            # A real slow access at (best_clock, best_id).  Advance every
-            # other core through exactly the hits that precede it; a window
-            # reload along the way can reveal an even earlier event, in which
-            # case restart the selection.
+            # A real slow access at (best_clock, best_id).  If at least one
+            # other parked event is independence-classified too, hand the
+            # whole fleet of runnable cores to the engine's k-way merge,
+            # which replays the exact (clock, core_id) heap order across
+            # them in one flattened call (see _retire_fleet).
+            if self._slow_batch:
+                if self._fleet_cooldown > 0:
+                    self._fleet_cooldown -= 1
+                elif self._retire_fleet(runnable, best):
+                    continue
+
+            # Scalar boundary path: advance every other core through exactly
+            # the hits that precede the event; a window reload along the way
+            # can reveal an even earlier event, in which case restart the
+            # selection.
             best_clock = best.slow_priority
             best_id = best.core_id
             earlier_event = False
@@ -1349,6 +1471,180 @@ class BatchedKernel:
             self._apply(best, best.hot_len)
             self._execute_one(best)
             self._slow_events += 1
+
+    def _retire_fleet(self, runnable: List[_BatchCore], best: _BatchCore) -> bool:
+        """Merge-retire every runnable core's pending accesses in one call.
+
+        The scheduler found a real slow event at ``best``; instead of walking
+        the boundary one event at a time, hand the whole fleet of runnable
+        cores to the engine's ``resolve_slow_batch``, which replays the exact
+        scalar ``(clock, core_id)`` heap order across them with a k-way merge
+        — bit-identical by construction — and only returns at a true conflict
+        boundary (or a hit-streak / retirement cap).  Entry is gated by the
+        :class:`DirectoryArray` mirror: the pending parked accesses of all
+        slow-parked cores are classified with one vectorized
+        ``SLOW_SHAPE_TABLE[mode, kind]`` lookup (plus the op-match rule for
+        op-dependent shapes), and the merge is entered only when the best
+        event and at least one other parked event classify independent.  The
+        mirror is advisory — the engine re-derives every shape from the
+        object directory before mutating — so staleness can only cost a
+        wasted entry, never exactness.
+
+        Returns ``True`` when the merge retired at least one access (the
+        scheduler restarts from fresh classifications); ``False`` leaves
+        every core untouched for the exact scalar boundary path.
+        """
+        # Cheap count gate first: with fewer than two parked events the merge
+        # cannot beat the scalar path (checked before any numpy work).
+        parked = [core for core in runnable if core.end_reason == "slow"]
+        if len(parked) < FLEET_MIN_PARKED:
+            return False
+
+        # Vectorized entry gate over the parked accesses (advisory mirror).
+        darr = self._dir_array
+        directory = self.protocol.directory
+        if self._dir_stale:
+            darr.sync_lines(self._dir_stale, directory)
+            self._dir_stale.clear()
+        codes_col = self.codes_col
+        addrs_col = self.addrs_col
+        idxs = [
+            core.next_index + core.hot_len - core.applied for core in parked
+        ]
+        codes_g = np.array(
+            [codes_col[core.core_id][i] for core, i in zip(parked, idxs)]
+        )
+        lines_g = (
+            np.array(
+                [addrs_col[core.core_id][i] for core, i in zip(parked, idxs)],
+                dtype=np.uint64,
+            )
+            >> self._shift_u64
+        )
+        rows = darr.rows_for(lines_g, directory)
+        shapes = self._shape_table[darr.mode[rows], CODE_KIND[codes_g]]
+        ok = shapes != SHAPE_CONFLICT
+        opdep = shapes == SHAPE_OP_DEPENDENT
+        if opdep.any():
+            ok &= ~opdep | (darr.op[rows] == CODE_OP_INDEX[codes_g])
+        best_ok = False
+        n_ok = 0
+        for k, core in enumerate(parked):
+            if ok[k]:
+                n_ok += 1
+                if core is best:
+                    best_ok = True
+        if not best_ok or n_ok < FLEET_MIN_PARKED:
+            self._fleet_cooldown = FLEET_GATE_COOLDOWN
+            return False
+
+        slots = [core for core in runnable if core.next_index < core.limit]
+        if len(slots) < FLEET_MIN_PARKED:  # unreachable: parked cores qualify
+            return False
+
+        n_slots = len(slots)
+        cursors = [core.next_index for core in slots]
+        clocks = [core.clock for core in slots]
+        limits = [core.limit for core in slots]
+        dirty = [False] * n_slots
+        core_stats = self.core_stats
+        gaps_col = self.gaps_col
+        deltas_col = self.deltas_col
+        touched = self._touched
+        touched.clear()
+        # repro-lint: disable=D103(wall time only feeds the bail heuristic's kernel-vs-scalar dispatch; both paths are bit-identical)
+        fleet_start = time.perf_counter()
+        retired, n_slow, _n_parked = self._resolve_slow_batch(
+            [core.core_id for core in slots],
+            [codes_col[core.core_id] for core in slots],
+            [addrs_col[core.core_id] for core in slots],
+            [gaps_col[core.core_id] for core in slots],
+            [deltas_col[core.core_id] for core in slots],
+            cursors,
+            limits,
+            clocks,
+            [core_stats[core.core_id] for core in slots],
+            dirty,
+            max(FLEET_STREAK_BASE, 4 * n_slots),
+            FLEET_MAX_RETIRE,
+        )
+        if retired == 0:
+            # Every slot parked (or sat beyond the bound) before mutating
+            # anything: nothing moved, so fall back without any repair.
+            self._fleet_cooldown = self._fleet_backoff
+            self._fleet_backoff = min(self._fleet_backoff * 2, FLEET_COOLDOWN_MAX)
+            return False
+
+        # Write back the slot cursors.  Slots whose private-cache membership
+        # changed (fills, evictions, L2->L1 promotions) rebuild their tag
+        # mirror; slots that only retired L1 hits keep mirror and window
+        # (LRU refreshes don't change membership) and merely re-extract.
+        for k, core in enumerate(slots):
+            if cursors[k] == core.next_index and not dirty[k]:
+                continue
+            core.next_index = cursors[k]
+            core.clock = clocks[k]
+            core.class_valid = False
+            if dirty[k]:
+                core.stale = True
+                core.mask = None
+
+        # Mirror repair for everything else the merge's transactions moved:
+        # the touched feed reports every (core, line) a slow transaction or
+        # eviction changed — same coverage rules as _execute_one (dirty
+        # slots are already stale, so they fall through to the cheap arm).
+        dir_stale = self._dir_stale
+        if touched:
+            cores = self.cores
+            n_cores = self.n_cores
+            core_states = self._core_states
+            state_code_of = _STATE_CODE
+            protocol = self.protocol
+            for touched_id, touched_line in touched:
+                dir_stale.add(touched_line)
+                if touched_id >= n_cores:
+                    continue
+                other = cores[touched_id]
+                if not other.stale:
+                    new_code = state_code_of[
+                        core_states[touched_id].get(touched_line)
+                    ]
+                    uop = UOP_NONE
+                    if new_code == STATE_UPDATE and self._comm_local:
+                        uop = protocol.batch_uop_code(touched_id, touched_line)
+                    other.tags.update_line(touched_line, new_code, uop)
+                    self._repair_mask_line(other, touched_line)
+                else:
+                    other.class_valid = False
+                    other.mask = None
+            touched.clear()
+
+        self._slow_events += n_slow
+        self._hits_batched += retired - n_slow
+        if n_slow < FLEET_MIN_YIELD * n_slots:
+            self._fleet_cooldown = self._fleet_backoff
+            self._fleet_backoff = min(self._fleet_backoff * 2, FLEET_COOLDOWN_MAX)
+        else:
+            self._fleet_backoff = FLEET_COOLDOWN
+
+        # Bail fairness: the bail heuristic's per-interval scalar estimate
+        # was calibrated for the boundary path; a merge call can retire tens
+        # of thousands of accesses in one interval, so judge it directly.
+        # When the call measurably beat what the scalar loop would have
+        # spent on the same work, vindicate the interval marks so the bail
+        # comparison only ever judges the surrounding boundary work.
+        # repro-lint: disable=D103(wall time only feeds the bail heuristic's kernel-vs-scalar dispatch; both paths are bit-identical)
+        fleet_elapsed = time.perf_counter() - fleet_start
+        scalar_estimate = _interpreter_speed_factor() * (
+            (retired - n_slow) * BAIL_SCALAR_HIT_S + n_slow * BAIL_SCALAR_SLOW_S
+        )
+        if fleet_elapsed < scalar_estimate:
+            self._bail_hits_mark = self._hits_batched
+            self._bail_slow_mark = self._slow_events
+            # repro-lint: disable=D103(documented bail heuristic; wall time only decides kernel-vs-scalar dispatch, both paths are bit-identical)
+            self._bail_time_mark = time.perf_counter()
+            self._bail_next = self._slow_events + BAIL_INTERVAL
+        return True
 
     def _handoff(self) -> Tuple:
         """Package the current state so the scalar loop can resume exactly."""

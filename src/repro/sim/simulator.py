@@ -370,11 +370,13 @@ class MulticoreSimulator:
             return self._run_columnar_scalar(workload)
 
         # The two loops alternate on the same exact state: the kernel bails
-        # to the scalar loop when a stretch of the workload is too slow-heavy
-        # to batch, and the scalar loop hands back when it observes a long
-        # run of consecutive private hits (the kernel's regime).  Stints are
-        # capped so a workload oscillating near break-even settles in the
-        # scalar loop.
+        # to the scalar loop when a stretch of the workload defeats both of
+        # its batching tiers (hit-run windows and group retirement of
+        # independent slow accesses — conflict-dense stretches like cross-op
+        # reductions defeat the merge's entry gate), and the scalar loop
+        # hands back when it observes a long run of consecutive private hits
+        # (the kernel's regime).  Stints are capped so a workload
+        # oscillating near break-even settles in the scalar loop.
         force = mode == "batch"
         state = None
         scratch: dict = {}
@@ -416,9 +418,11 @@ class MulticoreSimulator:
         lazily, and only for the protocol calls whose signatures take one
         (``resolve_slow``/``access_hot`` and the functional-update helpers);
         every private hit resolves against raw ints and floats.  Any change
-        here must be mirrored in :meth:`run` and in the batched kernel's
-        boundary path (``BatchedKernel._execute_one``); the golden
-        equivalence suite pins all paths bit-identical.
+        here must be mirrored in :meth:`run`, in the batched kernel's
+        boundary path (``BatchedKernel._execute_one``), and in the engines'
+        group-retirement merge (``resolve_slow_batch``, which replays this
+        loop's probe + ``resolve_slow`` sequence inline per slot); the
+        golden equivalence suite pins all paths bit-identical.
 
         ``resume`` is a handoff from a bailed-out batched-kernel run:
         ``(per-core (clock, next_index, phase), core_stats, heap entries,

@@ -1,0 +1,192 @@
+"""Property-based cross-check of the :class:`DirectoryArray` mirror.
+
+The batched kernel's group-retirement gate classifies pending slow accesses
+against the flat NumPy mirror instead of the object :class:`Directory`.  The
+mirror is advisory — retirement revalidates every shape against the object
+directory — but a wrong mirror row still costs real performance (spurious
+group entries or declines), so the resync discipline is pinned here: random
+transaction sequences drive the object directory, the kernel's resync calls
+are replayed on the mirror, and after every resync boundary the mirror must
+agree with the object directory field-for-field
+(:meth:`DirectoryArray.check_invariants` compares mode, op, sharer count,
+sharer bits, and ``busy_until``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commutative import ALL_OPS
+from repro.core.directory import (
+    DIR_OP_NONE,
+    MODE_EXCLUSIVE,
+    MODE_READ_ONLY,
+    MODE_UNCACHED,
+    MODE_UPDATE_ONLY,
+    Directory,
+    DirectoryArray,
+)
+from repro.core.states import LineMode
+
+N_CACHES = 8
+N_LINES = 6
+
+#: One random transaction: (kind, line, cache, op-index, busy-delta).  The
+#: kind is interpreted against the directory's *current* state so that only
+#: legal protocol transitions are issued (the same guarantee the engines
+#: provide); illegal draws degrade to a legal fallback instead of raising.
+transactions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=N_LINES - 1),
+        st.integers(min_value=0, max_value=N_CACHES - 1),
+        st.integers(min_value=0, max_value=len(ALL_OPS) - 1),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _apply(directory: Directory, kind, line_addr, cache_id, op_index, busy):
+    """Issue one legal transaction; return the line it touched."""
+    entry = directory.entry(line_addr)
+    if kind == 0:  # demand write: take the line exclusively
+        directory.clear_all_sharers(line_addr)
+        directory.grant_exclusive(line_addr, cache_id)
+    elif kind == 1:  # demand read: join the reader set if the mode allows
+        if entry.mode not in (LineMode.UNCACHED, LineMode.READ_ONLY):
+            directory.clear_all_sharers(line_addr)
+        directory.grant_shared(line_addr, cache_id)
+    elif kind == 2:  # commutative update: join/open the updater set
+        op = ALL_OPS[op_index]
+        if entry.mode is LineMode.UPDATE_ONLY and entry.op is not op:
+            directory.clear_all_sharers(line_addr)  # cross-op reduction
+        elif entry.mode in (LineMode.EXCLUSIVE, LineMode.READ_ONLY):
+            if entry.sharers - {cache_id}:
+                directory.clear_all_sharers(line_addr)
+        directory.grant_update_only(line_addr, cache_id, op)
+    elif kind == 3:  # eviction of an actual sharer
+        if cache_id in entry.sharers:
+            directory.remove_sharer(line_addr, cache_id)
+            directory.drop_if_uncached(line_addr)
+    elif kind == 4:  # reduction / full invalidation
+        directory.clear_all_sharers(line_addr)
+        directory.drop_if_uncached(line_addr)
+    else:  # directory home goes busy serialising a transfer
+        entry.busy_until = busy
+    return line_addr
+
+
+class TestMirrorStaysCoherent:
+    @given(sequence=transactions)
+    @settings(max_examples=150, deadline=None)
+    def test_resynced_mirror_matches_directory(self, sequence):
+        """After every resync boundary the mirror equals the directory."""
+        directory = Directory()
+        mirror = DirectoryArray(N_CACHES, capacity=16)
+        stale: set = set()
+        for step, (kind, line, cache, op_index, busy) in enumerate(sequence):
+            line_addr = 0x40 * (line + 1)
+            # Pull the row first so the mirror holds a (possibly stale) copy,
+            # mimicking the kernel classifying the line before retiring it.
+            mirror.row_of(line_addr, directory)
+            stale.add(_apply(directory, kind, line_addr, cache, op_index, busy))
+            if step % 3 == 2:  # the kernel resyncs at slow-path boundaries
+                mirror.sync_lines(stale, directory)
+                stale.clear()
+                mirror.check_invariants(directory)
+                directory.check_invariants()
+        mirror.sync_lines(stale, directory)
+        mirror.check_invariants(directory)
+        directory.check_invariants()
+
+    @given(sequence=transactions)
+    @settings(max_examples=60, deadline=None)
+    def test_stale_rows_never_leak_into_fresh_lookups(self, sequence):
+        """``rows_for`` on lines never mirrored pulls current state."""
+        directory = Directory()
+        mirror = DirectoryArray(N_CACHES, capacity=16)
+        for kind, line, cache, op_index, busy in sequence:
+            _apply(directory, kind, 0x40 * (line + 1), cache, op_index, busy)
+        line_addrs = [0x40 * (line + 1) for line in range(N_LINES)]
+        rows = mirror.rows_for(np.array(line_addrs, dtype=np.int64), directory)
+        for line_addr, row in zip(line_addrs, rows):
+            entry = directory.peek(line_addr)
+            expected = (
+                MODE_UNCACHED
+                if entry is None
+                else {
+                    LineMode.UNCACHED: MODE_UNCACHED,
+                    LineMode.EXCLUSIVE: MODE_EXCLUSIVE,
+                    LineMode.READ_ONLY: MODE_READ_ONLY,
+                    LineMode.UPDATE_ONLY: MODE_UPDATE_ONLY,
+                }[entry.mode]
+            )
+            assert int(mirror.mode[row]) == expected
+        mirror.check_invariants(directory)
+
+
+class TestMirrorPrimitives:
+    def test_row_growth_preserves_rows(self):
+        directory = Directory()
+        mirror = DirectoryArray(4, capacity=16)
+        for i in range(64):  # force two capacity doublings
+            directory.grant_exclusive(0x40 * i, cache_id=i % 4)
+            mirror.row_of(0x40 * i, directory)
+        assert mirror.capacity >= 64
+        mirror.check_invariants(directory)
+
+    def test_is_sharer_tracks_bit_vector_words(self):
+        directory = Directory()
+        n_caches = 70  # spans two uint64 sharer words
+        mirror = DirectoryArray(n_caches)
+        directory.grant_shared(0x80, 3)
+        directory.grant_shared(0x80, 69)
+        row = mirror.row_of(0x80, directory)
+        assert mirror.is_sharer(row, 3)
+        assert mirror.is_sharer(row, 69)
+        assert not mirror.is_sharer(row, 64)
+
+    def test_sharer_sets_disjoint(self):
+        directory = Directory()
+        mirror = DirectoryArray(N_CACHES)
+        directory.grant_shared(0x40, 0)
+        directory.grant_shared(0x40, 1)
+        directory.grant_shared(0x80, 2)
+        directory.grant_exclusive(0xC0, 1)  # overlaps line 0x40's sharers
+        rows_disjoint = mirror.rows_for(np.array([0x40, 0x80]), directory)
+        rows_overlap = mirror.rows_for(np.array([0x40, 0xC0]), directory)
+        assert mirror.sharer_sets_disjoint(rows_disjoint)
+        assert not mirror.sharer_sets_disjoint(rows_overlap)
+
+    def test_uncached_rows_read_as_empty(self):
+        directory = Directory()
+        mirror = DirectoryArray(N_CACHES)
+        row = mirror.row_of(0x140, directory)  # never granted anywhere
+        assert int(mirror.mode[row]) == MODE_UNCACHED
+        assert int(mirror.op[row]) == DIR_OP_NONE
+        assert int(mirror.n_sharers[row]) == 0
+
+    def test_invalidate_line_refreshes_single_row(self):
+        directory = Directory()
+        mirror = DirectoryArray(N_CACHES)
+        directory.grant_exclusive(0x40, 1)
+        row = mirror.row_of(0x40, directory)
+        directory.clear_all_sharers(0x40)
+        assert int(mirror.mode[row]) == MODE_EXCLUSIVE  # stale until resync
+        mirror.invalidate_line(0x40, directory)
+        assert int(mirror.mode[row]) == MODE_UNCACHED
+        mirror.check_invariants(directory)
+
+    def test_check_invariants_catches_divergence(self):
+        directory = Directory()
+        mirror = DirectoryArray(N_CACHES)
+        directory.grant_exclusive(0x40, 1)
+        mirror.row_of(0x40, directory)
+        directory.clear_all_sharers(0x40)  # mirror now stale on purpose
+        with pytest.raises(AssertionError):
+            mirror.check_invariants(directory)

@@ -155,6 +155,10 @@ def test_kernel_bails_to_scalar_and_results_match(monkeypatch):
     monkeypatch.setenv("REPRO_SIM_KERNEL", "scalar")
     reference = simulate(trace, config, "MESI", track_values=True)
 
+    # Group retirement off: a productive merge call vindicates the bail
+    # interval (by design), which would defeat the hand-forced failure below;
+    # this test exercises the boundary path's handoff machinery.
+    monkeypatch.setenv("REPRO_SLOW_BATCH", "off")
     engine = make_protocol("MESI", config, track_values=True)
     simulator = MulticoreSimulator(config, engine, track_values=True)
     kernel = BatchedKernel(simulator, trace)
