@@ -19,7 +19,28 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.experiments import settings  # noqa: E402
+from repro.experiments import settings, sweep  # noqa: E402
+
+
+@pytest.fixture(autouse=True, scope="session")
+def shm_hygiene():
+    """Reclaim stale shared-memory segments and assert this session leaks none.
+
+    Benchmarks that exercise the campaign fabric publish traces as
+    ``repro_shm_<pid>_*`` segments; a killed run can strand them in
+    ``/dev/shm``.  Dead owners' segments are swept before the session, and
+    any segment still owned by *this* process at teardown is a leak.
+    """
+    if not os.path.isdir("/dev/shm"):
+        yield
+        return
+    reclaimed = sweep.reclaim_stale_segments()
+    if reclaimed:
+        print(f"reclaimed stale shm segments: {', '.join(reclaimed)}", file=sys.stderr)
+    yield
+    prefix = f"{sweep.SHM_NAME_PREFIX}{os.getpid()}_"
+    leaked = [name for name in os.listdir("/dev/shm") if name.startswith(prefix)]
+    assert not leaked, f"benchmark session leaked shm segments: {leaked}"
 
 #: Scale used by the benchmark suite unless the user overrides it via the
 #: environment.  Chosen so the full suite completes in a few minutes of

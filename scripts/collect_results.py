@@ -32,6 +32,12 @@ from repro.experiments import (  # noqa: E402
     table2_benchmarks,
     traffic_reduction,
 )
+from repro.experiments.journal import (  # noqa: E402
+    JournalCorruptError,
+    journal_dir,
+    latest_point_records,
+    replay_dir,
+)
 from repro.workloads import CountMode  # noqa: E402
 
 
@@ -137,6 +143,36 @@ def collect_point_records(results_dir: str, *, scale: float, max_cores: int) -> 
     return folded
 
 
+def collect_journal_records(results_dir: str) -> dict | None:
+    """Fold the campaign's crash-safe journal into a compact digest.
+
+    The runner appends one WAL record per completed sweep point under
+    ``<results_dir>/journal/`` (see :mod:`repro.experiments.journal`).  A
+    torn tail record — a campaign killed mid-write — is recovered and
+    reported; damage *beyond* the tail raises
+    :class:`~repro.experiments.journal.JournalCorruptError`, which
+    :func:`main` converts into a nonzero exit instead of silently folding
+    partial data.  Returns ``None`` when no journal exists.
+    """
+    replay = replay_dir(journal_dir(results_dir))
+    if not replay.segments:
+        return None
+    folded = latest_point_records(replay)
+    status_counts: dict = {}
+    for record in folded.values():
+        status = str(record.get("status"))
+        status_counts[status] = status_counts.get(status, 0) + 1
+    return {
+        "segments": len(replay.segments),
+        "records": len(replay.records),
+        "points": len(folded),
+        "status_counts": status_counts,
+        "truncated_segments": [
+            os.path.basename(path) for path in replay.truncated_segments
+        ],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -174,6 +210,25 @@ def main(argv=None) -> int:
     )
     if point_records:
         summary["sweep_points"] = point_records
+
+    try:
+        journal_records = collect_journal_records(args.runner_results_dir)
+    except JournalCorruptError as exc:
+        print(f"result journal corrupt beyond the recoverable tail: {exc}", file=sys.stderr)
+        print(
+            "refusing to fold partial campaign data; re-run the campaign or move "
+            "the journal directory aside",
+            file=sys.stderr,
+        )
+        return 3
+    if journal_records:
+        summary["journal"] = journal_records
+        if journal_records["truncated_segments"]:
+            torn = ", ".join(journal_records["truncated_segments"])
+            print(f"journal: recovered torn tail in {torn}", file=sys.stderr)
+        quarantined = journal_records["status_counts"].get("quarantined", 0)
+        if quarantined:
+            print(f"journal: {quarantined} point(s) quarantined", file=sys.stderr)
 
     def timed(name, fn, *args, **kwargs):
         start = time.perf_counter()

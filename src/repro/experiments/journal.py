@@ -1,0 +1,310 @@
+"""Crash-safe append-only result journal for campaign runs.
+
+The campaign runner writes one journal record per completed sweep point (ok,
+error, or quarantined) into an append-only write-ahead log under
+``<results-dir>/journal/``.  Every append is flushed and ``fsync``'d before
+the runner moves on, so a campaign killed at any instant — including mid-write
+— leaves a journal whose intact prefix exactly describes the completed work;
+``--resume`` replays that prefix and re-executes only what is missing.
+
+Wire format (one record)::
+
+    REPRO-WAL1 <payload-bytes> <crc32-hex8>\\n
+    <payload>\\n
+
+where ``payload`` is the record as canonical JSON (``sort_keys``, compact
+separators) and the CRC covers the payload bytes.  The payload is compact
+JSON, so it can never contain a newline: a header is always found at the
+start of the file or immediately after a record's trailing newline, which is
+what makes torn-tail detection unambiguous.
+
+Recovery semantics:
+
+* A **torn tail** — the final record truncated or corrupt, with no valid
+  record after it — is the expected signature of a crash mid-write.  Replay
+  returns every intact record and flags the segment as truncated.
+* **Corruption followed by more valid records** cannot be produced by an
+  append-only writer crashing; it means the file was damaged after the fact.
+  Replay raises :class:`JournalCorruptError` so callers fail loudly instead
+  of silently folding partial data.
+
+Each campaign process appends to its own fresh segment file (concurrent
+campaigns and resumed campaigns never share a segment), and folding reads
+every ``*.wal`` segment in sorted order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import IO, Dict, List, Mapping, Optional, Tuple
+
+from repro.experiments.faults import SimulatedCrash, TornHook
+
+#: Record-header magic; bump the suffix when the wire format changes.
+MAGIC = b"REPRO-WAL1"
+
+#: Name of the journal directory under a campaign's results directory.
+JOURNAL_DIRNAME = "journal"
+
+#: Point-record fields that legitimately differ between a fault-free run and
+#: a faulted-and-resumed run (timing, cache provenance, retry counts).  The
+#: deterministic projection used for bit-identity checks excludes them.
+NONDETERMINISTIC_FIELDS = frozenset(
+    {"elapsed_s", "cached", "attempts", "failures", "error"}
+)
+
+
+class JournalCorruptError(RuntimeError):
+    """Journal damage beyond the recoverable torn tail."""
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentReplay:
+    """The readable contents of one journal segment."""
+
+    path: str
+    records: Tuple[Mapping[str, object], ...]
+    #: True when the segment ends in a torn (truncated/corrupt) tail record.
+    truncated: bool
+    #: Byte offset of the torn tail (== file size for a clean segment).
+    intact_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class JournalReplay:
+    """Every record recovered from a journal directory."""
+
+    segments: Tuple[SegmentReplay, ...]
+
+    @property
+    def records(self) -> Tuple[Mapping[str, object], ...]:
+        """All records, in (segment name, in-file) order."""
+        return tuple(
+            record for segment in self.segments for record in segment.records
+        )
+
+    @property
+    def truncated_segments(self) -> Tuple[str, ...]:
+        return tuple(
+            segment.path for segment in self.segments if segment.truncated
+        )
+
+
+def journal_dir(results_dir: str) -> str:
+    """The journal directory for a campaign results directory."""
+    return os.path.join(results_dir, JOURNAL_DIRNAME)
+
+
+def encode_record(record: Mapping[str, object]) -> bytes:
+    """Encode one record in the WAL wire format (header + payload)."""
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+    header = b"%s %d %08x\n" % (MAGIC, len(payload), zlib.crc32(payload))
+    return header + payload + b"\n"
+
+
+def _parse_header(line: bytes) -> Optional[Tuple[int, int]]:
+    """``(payload length, crc32)`` of a header line, or None if malformed."""
+    parts = line.split(b" ")
+    if len(parts) != 3 or parts[0] != MAGIC:
+        return None
+    try:
+        length = int(parts[1])
+        crc = int(parts[2], 16)
+    except ValueError:
+        return None
+    if length < 0:
+        return None
+    return length, crc
+
+
+def replay_segment(path: str) -> SegmentReplay:
+    """Replay one segment, recovering the intact record prefix.
+
+    Raises :class:`JournalCorruptError` when damage is *not* confined to the
+    tail (a bad record is followed by further valid records).
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: List[Mapping[str, object]] = []
+    pos = 0
+    while pos < len(data):
+        start = pos
+        newline = data.find(b"\n", pos)
+        header = _parse_header(data[pos:newline]) if newline != -1 else None
+        if header is not None:
+            length, crc = header
+            payload_start = newline + 1
+            payload_end = payload_start + length
+            if payload_end + 1 <= len(data) and data[payload_end : payload_end + 1] == b"\n":
+                payload = data[payload_start:payload_end]
+                if zlib.crc32(payload) == crc:
+                    try:
+                        record = json.loads(payload)
+                    except json.JSONDecodeError:
+                        record = None
+                    if isinstance(record, dict):
+                        records.append(record)
+                        pos = payload_end + 1
+                        continue
+        # The record at `start` is torn or corrupt.  If any later bytes still
+        # hold a record header, the damage is mid-file — fail loudly.
+        if data.find(b"\n" + MAGIC + b" ", start) != -1:
+            raise JournalCorruptError(
+                f"{path}: corrupt record at byte {start} is followed by "
+                "further records — journal damaged beyond the recoverable tail"
+            )
+        return SegmentReplay(
+            path=path, records=tuple(records), truncated=True, intact_bytes=start
+        )
+    return SegmentReplay(
+        path=path, records=tuple(records), truncated=False, intact_bytes=len(data)
+    )
+
+
+def replay_dir(directory: str) -> JournalReplay:
+    """Replay every ``*.wal`` segment under ``directory`` (sorted by name)."""
+    if not os.path.isdir(directory):
+        return JournalReplay(segments=())
+    segments: List[SegmentReplay] = []
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".wal"):
+            segments.append(replay_segment(os.path.join(directory, name)))
+    return JournalReplay(segments=tuple(segments))
+
+
+def latest_point_records(
+    replay: JournalReplay,
+) -> Dict[Tuple[str, str], Mapping[str, object]]:
+    """Fold point records to one per (experiment id, point key).
+
+    An ``ok`` record always beats a non-ok one (a point that completed in any
+    segment stays completed); within the same status class the latest record
+    (by segment name, then in-file order) wins.
+    """
+    folded: Dict[Tuple[str, str], Mapping[str, object]] = {}
+    for record in replay.records:
+        if record.get("kind") != "point":
+            continue
+        experiment_id = record.get("experiment_id")
+        point = record.get("point")
+        if not isinstance(experiment_id, str) or not isinstance(point, str):
+            continue
+        key = (experiment_id, point)
+        existing = folded.get(key)
+        if (
+            existing is None
+            or record.get("status") == "ok"
+            or existing.get("status") != "ok"
+        ):
+            folded[key] = record
+    return folded
+
+
+def fresh_segment_path(directory: str, writer_id: object) -> str:
+    """A segment path no other writer has touched.
+
+    Appending to an existing segment whose tail was torn would turn the torn
+    tail into unrecoverable mid-file corruption, so every campaign process
+    writes a brand-new segment (``segment-<writer>-<k>.wal`` for the first
+    free ``k``; the pid-based writer id makes collisions rare, the suffix
+    makes them impossible).
+    """
+    suffix = 0
+    while True:
+        path = os.path.join(directory, f"segment-{writer_id}-{suffix:03d}.wal")
+        if not os.path.exists(path):
+            return path
+        suffix += 1
+
+
+class JournalWriter:
+    """Append-only, fsync'd writer for one journal segment."""
+
+    __slots__ = ("path", "appended", "_handle", "_torn_hook")
+
+    def __init__(self, path: str, *, torn_hook: Optional[TornHook] = None) -> None:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self.path = path
+        self.appended = 0
+        self._torn_hook = torn_hook
+        self._handle: Optional[IO[bytes]] = open(path, "ab")
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Durably append one record (write + flush + fsync).
+
+        With an installed torn-write hook that elects to fire, only a prefix
+        of the record reaches the file and :class:`SimulatedCrash` is raised
+        — the deterministic stand-in for a campaign killed mid-write.
+        """
+        if self._handle is None:
+            raise ValueError("journal writer is closed")
+        data = encode_record(record)
+        cut = self._torn_hook(record, len(data)) if self._torn_hook else None
+        if cut is not None:
+            self._handle.write(data[:cut])
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            raise SimulatedCrash(
+                f"torn journal write injected: {cut}/{len(data)} bytes of "
+                f"record for {record.get('experiment_id')}/{record.get('point')}"
+            )
+        self._handle.write(data)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def point_record_projection(record: Mapping[str, object]) -> Dict[str, object]:
+    """The deterministic projection of a point record.
+
+    Drops the fields that legitimately differ between a fault-free campaign
+    and a faulted-then-resumed one (wall-clock timings, cache provenance,
+    retry bookkeeping); everything that remains — status, seed, scale, and
+    the full result summary — must be bit-identical.
+    """
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in NONDETERMINISTIC_FIELDS
+    }
+
+
+def campaign_fingerprint(results_dir: str) -> str:
+    """Canonical digest text of a campaign's deterministic point outcomes.
+
+    Folds every per-point JSON record under ``<results_dir>/points/`` into
+    one canonical JSON document keyed by ``experiment/point``, using
+    :func:`point_record_projection`.  Two campaigns over the same grid must
+    produce byte-identical fingerprints regardless of injected faults,
+    retries, resumes, scheduling, or cache hits — this is what the chaos CI
+    lane and the resume-correctness tests diff.
+    """
+    import glob
+
+    projected: Dict[str, object] = {}
+    pattern = os.path.join(results_dir, "points", "*", "*.json")
+    for path in sorted(glob.glob(pattern)):
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        if not isinstance(record, dict):
+            continue
+        experiment_id = record.get("experiment_id")
+        point = record.get("point")
+        if not isinstance(experiment_id, str) or not isinstance(point, str):
+            continue
+        projected[f"{experiment_id}/{point}"] = point_record_projection(record)
+    return json.dumps(projected, sort_keys=True, indent=1)

@@ -32,6 +32,17 @@ structured JSON record (id, status, elapsed seconds, captured output), and
 point-granularity sweeps also write one record per sweep point under
 ``<results-dir>/points/`` so ``scripts/collect_results.py`` and CI can fold
 them.
+
+With ``--jobs N`` the points run under a supervised worker pool
+(:mod:`repro.experiments.supervisor`): every point gets a size-scaled
+wall-clock deadline, dead or hung workers are detected and their points
+retried with bounded deterministic backoff, and points that keep failing
+are quarantined instead of killing the campaign.  Each point outcome is
+also journalled to a crash-safe write-ahead log under
+``<results-dir>/journal/`` (:mod:`repro.experiments.journal`), which
+``--resume`` replays so a campaign killed at any instant — even mid-write —
+resumes exactly.  The recovery paths are exercised deterministically via
+the ``REPRO_FAULT`` knob (:mod:`repro.experiments.faults`).
 """
 
 from __future__ import annotations
@@ -49,22 +60,31 @@ import sys
 import time
 import traceback
 from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union, cast
 
 if TYPE_CHECKING:
     from multiprocessing.shared_memory import SharedMemory
 
-from repro.experiments import EXPERIMENT_MODULES, settings, sweep
+from repro.experiments import (
+    EXPERIMENT_MODULES,
+    faults,
+    journal,
+    settings,
+    supervisor,
+    sweep,
+)
 
 #: Default directory for per-experiment JSON records.
 DEFAULT_RESULTS_DIR = os.path.join("results", "experiments")
 
+#: Trace transport for one point: a shared-memory handle (zero-copy), the
+#: pickled columnar trace itself (fallback when shm publishing fails), or
+#: None (the worker regenerates the trace).
+_TraceTransport = Optional[Union["sweep.ShmTraceHandle", "sweep.ColumnarTrace"]]
 #: One point-granularity work item shipped to a worker: (experiment id,
-#: point key, base seed, scale, max cores, cache dir, resume flag, shm
-#: handle for the point's trace or None).
-_PointTask = Tuple[
-    str, str, int, float, int, Optional[str], bool, Optional["sweep.ShmTraceHandle"]
-]
+#: point key, base seed, scale, max cores, cache dir, resume flag, trace
+#: transport).
+_PointTask = Tuple[str, str, int, float, int, Optional[str], bool, _TraceTransport]
 #: A completed point: (experiment id, point key, status, elapsed seconds,
 #: replayed-from-cache flag, result payload or traceback text, stderr text).
 _PointDone = Tuple[str, str, str, float, bool, object, str]
@@ -204,14 +224,24 @@ def _trace_store_dir(cache_dir: Optional[str]) -> Optional[str]:
     return os.path.join(cache_dir, "traces") if cache_dir else None
 
 
-def _run_point_task(args: _PointTask) -> _PointDone:
+def _run_point_task(args: _PointTask, attempt: int = 0) -> _PointDone:
     """Worker entry point: execute one sweep point.
 
     Returns ``(experiment_id, point_key, status, elapsed_s, cached,
     payload, stderr_text)`` where ``payload`` is the point result on
-    success or the formatted traceback on error.
+    success or the formatted traceback on error.  ``attempt`` is the
+    supervisor's retry index for this point, which keys deterministic
+    fault injection (``REPRO_FAULT``): a ``times=1`` fault fires on the
+    first attempt and the retry runs clean.
     """
     experiment_id, point_key, base_seed, scale, max_cores, cache_dir, resume, handle = args
+    plan = faults.active_plan()
+    if plan:
+        if plan.should("kill", experiment_id, point_key, attempt) is not None:
+            faults.fire_kill()
+        hang = plan.should("hang", experiment_id, point_key, attempt)
+        if hang is not None:
+            faults.fire_hang(hang.secs)
     settings.set_scale(scale)
     settings.set_max_cores(max_cores)
     cache = sweep.ResultCache(cache_dir, read=resume) if cache_dir else None
@@ -234,20 +264,37 @@ def _run_point_task(args: _PointTask) -> _PointDone:
                 _worker_specs[experiment_id] = spec
             point = spec.point(point_key)
             if handle is not None:
-                # The parent published this point's trace in shared memory:
-                # map it (once per worker) and seed the trace cache so the
-                # point executes against the zero-copy view instead of
-                # regenerating.  Any failure falls back to regeneration.
+                # The parent shipped this point's trace: as a shared-memory
+                # handle (mapped zero-copy, once per worker) or — when shm
+                # publishing failed in the parent — as the pickled trace
+                # itself.  A transport failure degrades to regeneration;
+                # anything unexpected propagates as the point's error.
                 try:
-                    trace = _attached_traces.get(handle.shm_name)
-                    if trace is None:
-                        trace = sweep.attach_trace_shm(handle, in_worker=True)
-                        _attached_traces[handle.shm_name] = trace
+                    if isinstance(handle, sweep.ColumnarTrace):
+                        trace = handle
+                    else:
+                        shm_fault = (
+                            plan.should("shm", experiment_id, point_key, attempt)
+                            if plan
+                            else None
+                        )
+                        if shm_fault is not None:
+                            raise faults.FaultInjected(
+                                f"injected shm-attach failure ({shm_fault.describe()})"
+                            )
+                        trace = _attached_traces.get(handle.shm_name)
+                        if trace is None:
+                            trace = sweep.attach_trace_shm(handle, in_worker=True)
+                            _attached_traces[handle.shm_name] = trace
                     sweep.shared_trace_cache().put(
                         point.workload.key(point.n_cores), trace
                     )
-                except Exception:
-                    traceback.print_exc(file=err)
+                except (OSError, ValueError, faults.FaultInjected) as exc:
+                    print(
+                        f"[worker] {experiment_id}/{point_key}: trace "
+                        f"transport failed ({exc}); regenerating",
+                        file=err,
+                    )
             value, cached = sweep.run_point(point, result_cache=cache)
     except Exception:
         elapsed = time.perf_counter() - start
@@ -364,6 +411,26 @@ def _assemble_experiment(
     return _outcome("ok"), out.getvalue(), err.getvalue()
 
 
+def _task_timeout(point: sweep.SweepPoint, base: float, scale: float) -> float:
+    """Wall-clock budget for one attempt of a sweep point.
+
+    The base (``REPRO_POINT_TIMEOUT``) is scaled up for larger workloads
+    and wider machines; function points (verification sweeps) get a flat 4x
+    budget because their cost does not track core count.
+    """
+    if isinstance(point, sweep.SimPoint):
+        return base * max(1.0, scale) * max(1.0, point.n_cores / 32.0)
+    return base * 4.0
+
+
+def _supervised_task(payload: object, attempt: int) -> Tuple[str, object]:
+    """Supervisor task function: run one point or whole-experiment task."""
+    kind, task = cast(Tuple[str, object], payload)
+    if kind == "point":
+        return kind, _run_point_task(cast(_PointTask, task), attempt)
+    return kind, _run_captured(cast(_WholeTask, task))
+
+
 def run_parallel(
     experiment_ids: List[str],
     jobs: int,
@@ -377,22 +444,35 @@ def run_parallel(
     """Run experiments at sweep-point granularity in ``jobs`` workers.
 
     Each experiment's grid is expanded into individual sweep points, which
-    are load-balanced across the pool; per-experiment tables are rebuilt
-    from the point results and printed in submission order.  Experiments
-    without a sweep spec fall back to whole-experiment execution in a
-    worker.
+    are load-balanced across a supervised worker pool
+    (:class:`repro.experiments.supervisor.Supervisor`); per-experiment
+    tables are rebuilt from the point results and printed in submission
+    order.  Experiments without a sweep spec fall back to whole-experiment
+    execution in a worker.
+
+    Fault tolerance: every point carries a size-scaled wall-clock deadline;
+    a worker that dies (OOM kill, segfault) or hangs past its deadline is
+    detected, its point retried with deterministic backoff, and a point
+    that keeps failing is quarantined — recorded and reported, while the
+    rest of the campaign completes.  With ``results_dir``, every point
+    outcome is also appended to a crash-safe journal
+    (``<results_dir>/journal/``); a resumed campaign replays journalled
+    points whose cache entries verify, without re-dispatching them.
 
     With ``use_shm`` (the default), every distinct workload trace is
-    materialized once in the parent, published into a
+    materialized once in the parent, published into a named
     ``multiprocessing.shared_memory`` segment, and mapped zero-copy by the
-    workers — instead of each worker regenerating (or receiving a pickled
-    copy of) the traces its points need.  Any publish or attach failure
-    falls back to per-worker generation; results are identical either way.
+    workers.  A publish failure degrades to pickle transport (the trace
+    travels in the task payload); an attach failure degrades to per-worker
+    regeneration — results are identical on every path.
     """
     import multiprocessing
 
+    plan = faults.refresh_active_plan()
     scale = settings.scale()
     max_cores = settings.max_cores()
+    timeout_base = settings.point_timeout()
+    attempts_budget = settings.max_attempts()
 
     specs: Dict[str, Optional[sweep.SweepSpec]] = {}
     spec_errors: Dict[str, str] = {}
@@ -400,19 +480,48 @@ def run_parallel(
         try:
             specs[experiment_id] = _build_spec(experiment_id)
         except Exception:
+            # Reported as a failed experiment below; siblings keep running.
             specs[experiment_id] = None
             spec_errors[experiment_id] = traceback.format_exc()
 
-    trace_handles: Dict[Tuple[object, ...], Optional[sweep.ShmTraceHandle]] = {}
+    trace_handles: Dict[Tuple[object, ...], _TraceTransport] = {}
     shm_segments: List["SharedMemory"] = []
     if use_shm:
+        reclaimed = sweep.reclaim_stale_segments()
+        if reclaimed:
+            print(
+                f"[runner] reclaimed {len(reclaimed)} stale shared-memory "
+                "segment(s) left by crashed runs",
+                file=sys.stderr,
+            )
         parent_cache = sweep.shared_trace_cache()
         parent_cache.store_dir = _trace_store_dir(cache_dir)
     resume_cache = (
         sweep.ResultCache(cache_dir, read=True) if (resume and cache_dir) else None
     )
 
-    def _handle_for(point: sweep.SweepPoint) -> Optional[sweep.ShmTraceHandle]:
+    journal_writer: Optional[journal.JournalWriter] = None
+    journaled: Dict[Tuple[str, str], Mapping[str, object]] = {}
+    if results_dir:
+        journal_directory = journal.journal_dir(results_dir)
+        if resume:
+            # JournalCorruptError (damage beyond the recoverable tail)
+            # propagates: resuming over a silently mis-folded journal could
+            # skip work that never completed.
+            replay = journal.replay_dir(journal_directory)
+            journaled = journal.latest_point_records(replay)
+            for torn_path in replay.truncated_segments:
+                print(
+                    f"[runner] journal segment {torn_path} has a torn tail "
+                    "(crash mid-write); intact prefix recovered",
+                    file=sys.stderr,
+                )
+        journal_writer = journal.JournalWriter(
+            journal.fresh_segment_path(journal_directory, os.getpid()),
+            torn_hook=plan.torn_hook(),
+        )
+
+    def _handle_for(point: sweep.SweepPoint) -> _TraceTransport:
         if not use_shm or not isinstance(point, sweep.SimPoint):
             return None
         if resume_cache is not None and resume_cache.contains(point):
@@ -422,43 +531,43 @@ def run_parallel(
             return None
         try:
             key = point.workload.key(point.n_cores)
-        except Exception:
+        except (TypeError, ValueError) as exc:
+            print(
+                f"[runner] {point.key}: workload key failed ({exc}); "
+                "trace will regenerate in workers",
+                file=sys.stderr,
+            )
             return None
         if key not in trace_handles:
             try:
                 trace = parent_cache.get(point.workload, point.n_cores)
-                if isinstance(trace, sweep.ColumnarTrace):
-                    handle, segment = sweep.publish_trace_shm(trace, key)
-                    shm_segments.append(segment)
-                    trace_handles[key] = handle
-                else:  # codec fallback: workers regenerate the object form
-                    trace_handles[key] = None
-            except Exception:
-                trace_handles[key] = None  # publish failed: regenerate in workers
-        return trace_handles[key]
-
-    point_tasks: List[_PointTask] = []
-    whole_tasks: List[_WholeTask] = []
-    for experiment_id in experiment_ids:
-        if experiment_id in spec_errors:
-            continue
-        spec = specs[experiment_id]
-        if spec is None:
-            whole_tasks.append((experiment_id, base_seed, scale, max_cores))
-        else:
-            for point in spec.points:
-                point_tasks.append(
-                    (
-                        experiment_id,
-                        point.key,
-                        base_seed,
-                        scale,
-                        max_cores,
-                        cache_dir,
-                        resume,
-                        _handle_for(point),
-                    )
+            except Exception as exc:
+                # Materialization failed in the parent; defer to the
+                # workers, where the failure is reported per point.
+                print(
+                    f"[runner] {point.key}: trace materialization failed "
+                    f"in parent ({exc}); deferring to workers",
+                    file=sys.stderr,
                 )
+                trace_handles[key] = None
+                return None
+            if isinstance(trace, sweep.ColumnarTrace):
+                try:
+                    shm_handle, segment = sweep.publish_trace_shm(trace, key)
+                    shm_segments.append(segment)
+                    trace_handles[key] = shm_handle
+                except (OSError, MemoryError, ValueError) as exc:
+                    # Publish failure (e.g. /dev/shm exhausted): degrade to
+                    # pickle transport — the trace rides the task payload.
+                    print(
+                        f"[runner] {point.key}: shm publish failed ({exc}); "
+                        "falling back to pickle transport",
+                        file=sys.stderr,
+                    )
+                    trace_handles[key] = trace
+            else:  # codec fallback: workers regenerate the object form
+                trace_handles[key] = None
+        return trace_handles[key]
 
     point_results: Dict[str, Dict[str, object]] = {e: {} for e in experiment_ids}
     point_errors: Dict[str, Dict[str, str]] = {e: {} for e in experiment_ids}
@@ -466,17 +575,189 @@ def run_parallel(
     cached_counts: Dict[str, int] = {e: 0 for e in experiment_ids}
     whole_outcomes: Dict[str, Tuple[ExperimentOutcome, str, str]] = {}
 
+    def _point_digest(experiment_id: str, point_key: str) -> Optional[str]:
+        """Content digest binding a journal record to its cache entry."""
+        spec = specs.get(experiment_id)
+        if spec is None:
+            return None
+        fingerprint = spec.point(point_key).fingerprint()
+        if fingerprint is None:
+            return None
+        return sweep.ResultCache.digest(fingerprint)
+
+    def _journal_point(
+        experiment_id: str,
+        point_key: str,
+        *,
+        status: str,
+        cached: bool,
+        attempts: int,
+    ) -> None:
+        if journal_writer is None:
+            return
+        journal_writer.append(
+            {
+                "kind": "point",
+                "experiment_id": experiment_id,
+                "point": point_key,
+                "status": status,
+                "digest": _point_digest(experiment_id, point_key),
+                "seed": _point_seed(base_seed, experiment_id, point_key),
+                "cached": cached,
+                "attempts": attempts,
+                "scale": scale,
+                "max_cores": max_cores,
+            }
+        )
+
+    tasks: List[supervisor.TaskSpec] = []
+    for experiment_id in experiment_ids:
+        if experiment_id in spec_errors:
+            continue
+        spec = specs[experiment_id]
+        if spec is None:
+            tasks.append(
+                supervisor.TaskSpec(
+                    task_id=f"whole:{experiment_id}",
+                    payload=("whole", (experiment_id, base_seed, scale, max_cores)),
+                    timeout_s=timeout_base * 8.0,
+                )
+            )
+            continue
+        for point in spec.points:
+            # Journal replay pre-pass: a point the journal marks complete,
+            # whose content digest still matches and whose cache entry
+            # verifies, is folded in the parent without being dispatched.
+            record = journaled.get((experiment_id, point.key))
+            if (
+                record is not None
+                and record.get("status") == "ok"
+                and resume_cache is not None
+            ):
+                fingerprint = point.fingerprint()
+                digest = (
+                    sweep.ResultCache.digest(fingerprint)
+                    if fingerprint is not None
+                    else None
+                )
+                if digest is not None and record.get("digest") == digest:
+                    hit, value = resume_cache.load(point)
+                    if hit:
+                        point_results[experiment_id][point.key] = value
+                        cached_counts[experiment_id] += 1
+                        if results_dir:
+                            _write_point_record(
+                                results_dir,
+                                experiment_id,
+                                point.key,
+                                status="ok",
+                                elapsed_s=0.0,
+                                cached=True,
+                                seed=_point_seed(base_seed, experiment_id, point.key),
+                                value=value,
+                            )
+                        continue
+            tasks.append(
+                supervisor.TaskSpec(
+                    task_id=f"point:{experiment_id}/{point.key}",
+                    payload=(
+                        "point",
+                        (
+                            experiment_id,
+                            point.key,
+                            base_seed,
+                            scale,
+                            max_cores,
+                            cache_dir,
+                            resume,
+                            _handle_for(point),
+                        ),
+                    ),
+                    timeout_s=_task_timeout(point, timeout_base, scale),
+                )
+            )
+
+    def _synthesized_error(experiment_id: str, error: str) -> ExperimentOutcome:
+        return ExperimentOutcome(
+            experiment_id=experiment_id,
+            status="error",
+            elapsed_s=0.0,
+            seed=_experiment_seed(base_seed, experiment_id),
+            scale=scale,
+            max_cores=max_cores,
+            error=error,
+        )
+
     # fork (where available) keeps already-imported modules warm in workers.
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
+    boss = supervisor.Supervisor(
+        _supervised_task, jobs, max_attempts=attempts_budget, mp_context=context
+    )
     try:
-        with context.Pool(processes=jobs) as pool:
-            async_points = (
-                pool.imap_unordered(_run_point_task, point_tasks) if point_tasks else ()
-            )
-            async_whole = pool.imap(_run_captured, whole_tasks) if whole_tasks else ()
-            for experiment_id, key, status, elapsed, cached, payload, err_text in async_points:
+        for task_outcome in boss.run(tasks) if tasks else ():
+            kind, _, rest = task_outcome.task_id.partition(":")
+            if kind == "point":
+                experiment_id, _, key = rest.partition("/")
+                if task_outcome.status == "quarantined":
+                    message = (
+                        f"quarantined after {task_outcome.attempts} attempt(s):\n  "
+                        + "\n  ".join(task_outcome.failures)
+                    )
+                    point_errors[experiment_id][key] = message
+                    if results_dir:
+                        _write_point_record(
+                            results_dir,
+                            experiment_id,
+                            key,
+                            status="quarantined",
+                            elapsed_s=0.0,
+                            cached=False,
+                            seed=_point_seed(base_seed, experiment_id, key),
+                            error=message,
+                        )
+                    _journal_point(
+                        experiment_id,
+                        key,
+                        status="quarantined",
+                        cached=False,
+                        attempts=task_outcome.attempts,
+                    )
+                    continue
+                if task_outcome.status == "error":
+                    # The task function itself raised (outside the point's
+                    # own error capture) — deterministic, so never retried.
+                    point_errors[experiment_id][key] = str(task_outcome.value)
+                    if results_dir:
+                        _write_point_record(
+                            results_dir,
+                            experiment_id,
+                            key,
+                            status="error",
+                            elapsed_s=0.0,
+                            cached=False,
+                            seed=_point_seed(base_seed, experiment_id, key),
+                            error=str(task_outcome.value),
+                        )
+                    _journal_point(
+                        experiment_id,
+                        key,
+                        status="error",
+                        cached=False,
+                        attempts=task_outcome.attempts,
+                    )
+                    continue
+                _, done = cast(Tuple[str, object], task_outcome.value)
+                (
+                    experiment_id,
+                    key,
+                    status,
+                    elapsed,
+                    cached,
+                    payload,
+                    err_text,
+                ) = cast(_PointDone, done)
                 point_elapsed[experiment_id] += elapsed
                 cached_counts[experiment_id] += int(cached)
                 if status == "ok":
@@ -497,16 +778,41 @@ def run_parallel(
                         value=payload if status == "ok" else None,
                         error=str(payload) if status != "ok" else None,
                     )
-            for outcome, out, err in async_whole:
-                whole_outcomes[outcome.experiment_id] = (outcome, out, err)
+                _journal_point(
+                    experiment_id,
+                    key,
+                    status=status,
+                    cached=cached,
+                    attempts=task_outcome.attempts,
+                )
+            else:  # whole-experiment task
+                experiment_id = rest
+                if task_outcome.status in ("quarantined", "error"):
+                    message = (
+                        f"{task_outcome.status} after {task_outcome.attempts} "
+                        "attempt(s):\n  " + "\n  ".join(task_outcome.failures)
+                        if task_outcome.status == "quarantined"
+                        else str(task_outcome.value)
+                    )
+                    whole_outcomes[experiment_id] = (
+                        _synthesized_error(experiment_id, message),
+                        "",
+                        f"[{experiment_id}] FAILED\n{message}\n",
+                    )
+                    continue
+                _, done = cast(Tuple[str, object], task_outcome.value)
+                whole_outcome, out, err = cast(
+                    Tuple[ExperimentOutcome, str, str], done
+                )
+                whole_outcomes[whole_outcome.experiment_id] = (whole_outcome, out, err)
     finally:
+        boss.shutdown()
+        if journal_writer is not None:
+            journal_writer.close()
         # The parent owns every published segment: release them only after
-        # all workers have drained (the pool context has joined them).
+        # all workers have drained (shutdown above joins them).
         for segment in shm_segments:
-            with contextlib.suppress(OSError):
-                segment.close()
-            with contextlib.suppress(OSError):
-                segment.unlink()
+            sweep.release_trace_shm(segment)
 
     outcomes: List[ExperimentOutcome] = []
     for experiment_id in experiment_ids:
@@ -664,15 +970,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir = sweep.DEFAULT_CACHE_DIR
 
     if args.jobs > 1:
-        outcomes = run_parallel(
-            selected,
-            args.jobs,
-            base_seed=args.seed,
-            results_dir=results_dir,
-            cache_dir=cache_dir,
-            resume=args.resume,
-            use_shm=not args.no_shm,
-        )
+        try:
+            outcomes = run_parallel(
+                selected,
+                args.jobs,
+                base_seed=args.seed,
+                results_dir=results_dir,
+                cache_dir=cache_dir,
+                resume=args.resume,
+                use_shm=not args.no_shm,
+            )
+        except faults.FaultSpecError as exc:
+            print(f"invalid REPRO_FAULT specification: {exc}", file=sys.stderr)
+            return 2
+        except journal.JournalCorruptError as exc:
+            print(
+                f"result journal corrupt beyond the recoverable tail: {exc}\n"
+                "refusing to resume over damaged records; move the journal "
+                "directory aside to start fresh",
+                file=sys.stderr,
+            )
+            return 3
+        except faults.SimulatedCrash as exc:
+            print(f"campaign aborted by injected crash: {exc}", file=sys.stderr)
+            return 70
     else:
         outcomes = run_serial(
             selected,

@@ -83,6 +83,27 @@ ENV_KNOBS: Tuple[EnvKnob, ...] = (
         description="Group retirement of slow accesses: merged fleet or one-at-a-time.",
         consumer="repro.sim.kernel",
     ),
+    EnvKnob(
+        name="REPRO_FAULT",
+        default="",
+        domain="fault-injection spec (kind[:param=value,...] joined by ';')",
+        description="Deterministic fault injection for the campaign fabric (kill/hang/shm/torn).",
+        consumer="repro.experiments.faults",
+    ),
+    EnvKnob(
+        name="REPRO_POINT_TIMEOUT",
+        default="900",
+        domain="positive float seconds",
+        description="Base per-sweep-point wall-clock timeout; the supervisor scales it by point size.",
+        consumer="repro.experiments.settings",
+    ),
+    EnvKnob(
+        name="REPRO_MAX_ATTEMPTS",
+        default="3",
+        domain="positive int",
+        description="Attempts per sweep point before the supervisor quarantines it.",
+        consumer="repro.experiments.settings",
+    ),
 )
 
 
@@ -134,6 +155,27 @@ def set_max_cores(value: int) -> None:
     if value <= 0:
         raise ValueError("max_cores must be positive")
     _max_cores = value
+
+
+def point_timeout() -> float:
+    """Base per-point wall-clock timeout in seconds (``REPRO_POINT_TIMEOUT``).
+
+    Read at each call (not cached at import) so tests and the chaos CI lane
+    can tighten the deadline per campaign.  The supervisor scales this base
+    by point size; see :func:`repro.experiments.runner.run_parallel`.
+    """
+    value = float(os.environ.get("REPRO_POINT_TIMEOUT", "900"))
+    if value <= 0:
+        raise ValueError("REPRO_POINT_TIMEOUT must be positive")
+    return value
+
+
+def max_attempts() -> int:
+    """Attempts per sweep point before quarantine (``REPRO_MAX_ATTEMPTS``)."""
+    value = int(os.environ.get("REPRO_MAX_ATTEMPTS", "3"))
+    if value < 1:
+        raise ValueError("REPRO_MAX_ATTEMPTS must be >= 1")
+    return value
 
 
 def core_sweep(paper_points: Sequence[int] = (1, 32, 64, 96, 128)) -> List[int]:

@@ -37,6 +37,7 @@ named, scheduled, shared, and cached.
 
 from __future__ import annotations
 
+import atexit
 import contextlib
 import dataclasses
 import enum
@@ -310,18 +311,106 @@ class ShmTraceHandle:
     key_digest: str
 
 
+#: Name prefix of every shared-memory segment the runner publishes.  The
+#: owning pid is embedded right after it (``repro_shm_<pid>_<digest>``) so
+#: :func:`reclaim_stale_segments` can tell a live campaign's segments from
+#: those leaked by a crashed one.
+SHM_NAME_PREFIX = "repro_shm_"
+
+#: Every segment this process has published and not yet released, by name.
+#: An atexit hook drains it so segments cannot outlive a normal exit even
+#: when the publisher's ``finally`` never runs.
+_published_segments: Dict[str, "shared_memory.SharedMemory"] = {}
+_shm_cleanup_registered = False
+
+
+def _register_published_segment(segment: "shared_memory.SharedMemory") -> None:
+    global _shm_cleanup_registered
+    if not _shm_cleanup_registered:
+        atexit.register(_cleanup_published_segments)
+        _shm_cleanup_registered = True
+    _published_segments[segment.name] = segment
+
+
+def _cleanup_published_segments() -> None:
+    """atexit hook: unlink every still-published segment."""
+    for segment in list(_published_segments.values()):
+        with contextlib.suppress(OSError):
+            segment.close()
+        with contextlib.suppress(OSError):
+            segment.unlink()
+    _published_segments.clear()
+
+
+def release_trace_shm(segment: "shared_memory.SharedMemory") -> None:
+    """Close and unlink a published segment and drop it from the registry."""
+    _published_segments.pop(segment.name, None)
+    with contextlib.suppress(OSError):
+        segment.close()
+    with contextlib.suppress(OSError):
+        segment.unlink()
+
+
+def reclaim_stale_segments(shm_dir: str = "/dev/shm") -> List[str]:
+    """Unlink ``repro_shm_*`` segments whose owning process is dead.
+
+    A campaign killed with SIGKILL never runs its cleanup, leaving its
+    published trace segments pinned in ``/dev/shm`` until reboot.  The
+    runner calls this at startup: any segment whose name carries a pid that
+    no longer exists is leaked and reclaimed.  Segments owned by live pids
+    (or pids this user cannot signal) are left alone.  Returns the names
+    reclaimed; on platforms without a POSIX shm filesystem this is a no-op.
+    """
+    reclaimed: List[str] = []
+    if not os.path.isdir(shm_dir):
+        return reclaimed
+    for name in sorted(os.listdir(shm_dir)):
+        if not name.startswith(SHM_NAME_PREFIX):
+            continue
+        owner = name[len(SHM_NAME_PREFIX) :].partition("_")[0]
+        if not owner.isdigit():
+            continue
+        if int(owner) == os.getpid():
+            continue  # this process's own live segments
+        try:
+            os.kill(int(owner), 0)
+        except ProcessLookupError:
+            pass  # owner is gone: the segment is leaked
+        except PermissionError:
+            continue  # owner exists under another user
+        else:
+            continue  # owner still alive
+        with contextlib.suppress(OSError):
+            os.unlink(os.path.join(shm_dir, name))
+            reclaimed.append(name)
+    return reclaimed
+
+
 def publish_trace_shm(
     trace: ColumnarTrace, key: Tuple
 ) -> Tuple[ShmTraceHandle, "shared_memory.SharedMemory"]:
-    """Copy a columnar trace into a shared-memory segment.
+    """Copy a columnar trace into a named shared-memory segment.
 
     Returns ``(handle, segment)``; the caller owns the segment and must
-    ``close()`` and ``unlink()`` it once every consumer is done.
+    release it (:func:`release_trace_shm`) once every consumer is done.
+    Until then the segment is tracked in the published registry, whose
+    atexit hook unlinks anything still live at interpreter exit.
     """
     from multiprocessing import shared_memory
 
     total = sum(column.nbytes for column in trace.columns)
-    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    name = f"{SHM_NAME_PREFIX}{os.getpid()}_{trace_key_digest(key)[:10]}"
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=max(1, total), name=name)
+    except FileExistsError:
+        # A same-name leftover means an earlier campaign in this process (or
+        # a recycled pid) leaked it; it is unreachable now, so reclaim it.
+        with contextlib.suppress(OSError):
+            stale = shared_memory.SharedMemory(name=name)
+            stale.close()
+            stale.unlink()
+        segment = shared_memory.SharedMemory(create=True, size=max(1, total), name=name)
+    _register_published_segment(segment)
     offset = 0
     for column in trace.columns:
         view = np.ndarray(len(column), dtype=ACCESS_DTYPE, buffer=segment.buf, offset=offset)
@@ -366,8 +455,8 @@ def attach_trace_shm(handle: ShmTraceHandle, *, in_worker: bool = False) -> Colu
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(segment._name, "shared_memory")
-    except Exception:  # pragma: no cover - tracker layout differs by version
-        pass
+    except (ImportError, AttributeError, KeyError, ValueError):  # pragma: no cover
+        pass  # tracker layout differs by version; ownership fix is best-effort
     columns = []
     offset = 0
     for length in handle.lengths:

@@ -156,3 +156,60 @@ def test_wrong_scale_records_ignored(tmp_path, collect_results):
         collect_results.collect_point_records(results_dir, scale=0.35, max_cores=32)
         == {}
     )
+
+
+def _write_journal(results_dir, records, torn_tail=False):
+    from repro.experiments import journal
+
+    directory = journal.journal_dir(results_dir)
+    path = journal.fresh_segment_path(directory, "test")
+    with journal.JournalWriter(path) as writer:
+        for record in records:
+            writer.append(record)
+    if torn_tail:
+        with open(path, "ab") as handle:
+            handle.write(journal.encode_record({"kind": "point"})[:9])
+    return path
+
+
+def test_journal_digest_folds_statuses_and_torn_tails(tmp_path, collect_results):
+    results_dir = str(tmp_path)
+    _write_journal(
+        results_dir,
+        [
+            {"kind": "point", "experiment_id": "traffic", "point": "a", "status": "ok"},
+            {"kind": "point", "experiment_id": "traffic", "point": "b", "status": "quarantined"},
+            {"kind": "point", "experiment_id": "traffic", "point": "b", "status": "ok"},
+        ],
+        torn_tail=True,
+    )
+    digest = collect_results.collect_journal_records(results_dir)
+    assert digest["segments"] == 1
+    assert digest["records"] == 3
+    assert digest["points"] == 2
+    # the quarantined record for b was superseded by its ok record
+    assert digest["status_counts"] == {"ok": 2}
+    assert digest["truncated_segments"] == ["segment-test-000.wal"]
+
+
+def test_journal_absent_returns_none(tmp_path, collect_results):
+    assert collect_results.collect_journal_records(str(tmp_path)) is None
+
+
+def test_corrupt_journal_raises_for_nonzero_exit(tmp_path, collect_results):
+    from repro.experiments.journal import JournalCorruptError
+
+    results_dir = str(tmp_path)
+    path = _write_journal(
+        results_dir,
+        [
+            {"kind": "point", "experiment_id": "t", "point": "a", "status": "ok"},
+            {"kind": "point", "experiment_id": "t", "point": "b", "status": "ok"},
+        ],
+    )
+    data = bytearray(open(path, "rb").read())
+    data[15] ^= 0xFF  # damage the first record; a valid record follows
+    with open(path, "wb") as handle:
+        handle.write(bytes(data))
+    with pytest.raises(JournalCorruptError):
+        collect_results.collect_journal_records(results_dir)

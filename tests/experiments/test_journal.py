@@ -1,0 +1,182 @@
+"""Tests for the crash-safe result journal (WAL format and recovery)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import journal
+from repro.experiments.faults import SimulatedCrash
+
+
+def _record(point: str, status: str = "ok", **extra: object) -> dict:
+    base = {
+        "kind": "point",
+        "experiment_id": "traffic",
+        "point": point,
+        "status": status,
+    }
+    base.update(extra)
+    return base
+
+
+class TestWireFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "segment-1-000.wal"
+        records = [_record("a"), _record("b", seed=7), _record("c", status="error")]
+        with journal.JournalWriter(str(path)) as writer:
+            for record in records:
+                writer.append(record)
+        assert writer.appended == 3
+        replay = journal.replay_segment(str(path))
+        assert list(replay.records) == records
+        assert not replay.truncated
+        assert replay.intact_bytes == path.stat().st_size
+
+    def test_encode_is_canonical_json(self):
+        data = journal.encode_record({"b": 1, "a": 2})
+        header, payload, trailer = data.split(b"\n")
+        assert header.startswith(b"REPRO-WAL1 ")
+        assert payload == b'{"a":2,"b":1}'
+        assert trailer == b""
+
+    def test_closed_writer_rejects_appends(self, tmp_path):
+        writer = journal.JournalWriter(str(tmp_path / "s.wal"))
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append(_record("a"))
+
+
+class TestRecovery:
+    def test_torn_tail_recovers_prefix(self, tmp_path):
+        path = tmp_path / "segment-1-000.wal"
+        with journal.JournalWriter(str(path)) as writer:
+            writer.append(_record("a"))
+            writer.append(_record("b"))
+        intact = path.stat().st_size
+        # Simulate a crash mid-write: append only part of a third record.
+        with open(path, "ab") as handle:
+            handle.write(journal.encode_record(_record("c"))[:10])
+        replay = journal.replay_segment(str(path))
+        assert [r["point"] for r in replay.records] == ["a", "b"]
+        assert replay.truncated
+        assert replay.intact_bytes == intact
+
+    def test_corrupt_crc_tail_recovers_prefix(self, tmp_path):
+        path = tmp_path / "segment-1-000.wal"
+        with journal.JournalWriter(str(path)) as writer:
+            writer.append(_record("a"))
+            writer.append(_record("b"))
+        data = path.read_bytes()
+        # Flip a payload byte of the LAST record: CRC fails, but no record
+        # follows, so this is still a recoverable tail.
+        path.write_bytes(data[:-5] + b"X" + data[-4:])
+        replay = journal.replay_segment(str(path))
+        assert [r["point"] for r in replay.records] == ["a"]
+        assert replay.truncated
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = tmp_path / "segment-1-000.wal"
+        with journal.JournalWriter(str(path)) as writer:
+            writer.append(_record("a"))
+            writer.append(_record("b"))
+        data = path.read_bytes()
+        # Damage the FIRST record while a valid one follows: an append-only
+        # writer cannot produce this, so it must fail loudly.
+        damaged = bytearray(data)
+        damaged[len(journal.MAGIC) + 20] ^= 0xFF
+        path.write_bytes(bytes(damaged))
+        with pytest.raises(journal.JournalCorruptError):
+            journal.replay_segment(str(path))
+
+    def test_empty_segment_is_clean(self, tmp_path):
+        path = tmp_path / "segment-1-000.wal"
+        path.write_bytes(b"")
+        replay = journal.replay_segment(str(path))
+        assert replay.records == ()
+        assert not replay.truncated
+
+
+class TestDirectoryReplay:
+    def test_replays_segments_in_name_order(self, tmp_path):
+        for name, point in (("segment-2-000.wal", "b"), ("segment-1-000.wal", "a")):
+            with journal.JournalWriter(str(tmp_path / name)) as writer:
+                writer.append(_record(point))
+        (tmp_path / "notes.txt").write_text("ignored")
+        replay = journal.replay_dir(str(tmp_path))
+        assert [r["point"] for r in replay.records] == ["a", "b"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert journal.replay_dir(str(tmp_path / "absent")).records == ()
+
+    def test_latest_point_records_ok_beats_non_ok(self, tmp_path):
+        with journal.JournalWriter(str(tmp_path / "segment-1-000.wal")) as writer:
+            writer.append(_record("a", status="ok", attempt="first"))
+            writer.append(_record("a", status="quarantined"))
+            writer.append(_record("b", status="error"))
+            writer.append(_record("b", status="ok"))
+            writer.append({"kind": "meta", "note": "not a point"})
+        folded = journal.latest_point_records(journal.replay_dir(str(tmp_path)))
+        assert folded[("traffic", "a")]["status"] == "ok"
+        assert folded[("traffic", "b")]["status"] == "ok"
+        assert len(folded) == 2
+
+    def test_fresh_segment_path_never_reuses(self, tmp_path):
+        first = journal.fresh_segment_path(str(tmp_path), "w")
+        open(first, "wb").close()
+        second = journal.fresh_segment_path(str(tmp_path), "w")
+        assert first != second
+        assert os.path.basename(first) == "segment-w-000.wal"
+        assert os.path.basename(second) == "segment-w-001.wal"
+
+
+class TestTornWriteInjection:
+    def test_torn_hook_cuts_and_raises(self, tmp_path):
+        path = tmp_path / "segment-1-000.wal"
+        writer = journal.JournalWriter(
+            str(path), torn_hook=lambda record, nbytes: nbytes // 2
+        )
+        with pytest.raises(SimulatedCrash):
+            writer.append(_record("a"))
+        writer.close()
+        replay = journal.replay_segment(str(path))
+        assert replay.records == ()
+        assert replay.truncated
+
+    def test_none_from_hook_writes_cleanly(self, tmp_path):
+        path = tmp_path / "segment-1-000.wal"
+        with journal.JournalWriter(
+            str(path), torn_hook=lambda record, nbytes: None
+        ) as writer:
+            writer.append(_record("a"))
+        assert [r["point"] for r in journal.replay_segment(str(path)).records] == ["a"]
+
+
+class TestCampaignFingerprint:
+    def _write_point(self, results_dir, experiment, stem, record):
+        directory = os.path.join(results_dir, "points", experiment)
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, f"{stem}.json"), "w") as handle:
+            json.dump(record, handle, sort_keys=True)
+
+    def test_ignores_nondeterministic_fields(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        base = {
+            "experiment_id": "traffic",
+            "point": "hist/MESI",
+            "status": "ok",
+            "seed": 7,
+            "summary": {"run_cycles": 123},
+        }
+        self._write_point(a, "traffic", "p", dict(base, elapsed_s=1.0, cached=False))
+        self._write_point(b, "traffic", "p", dict(base, elapsed_s=9.9, cached=True))
+        assert journal.campaign_fingerprint(a) == journal.campaign_fingerprint(b)
+
+    def test_detects_result_differences(self, tmp_path):
+        a, b = str(tmp_path / "a"), str(tmp_path / "b")
+        base = {"experiment_id": "traffic", "point": "hist/MESI", "status": "ok"}
+        self._write_point(a, "traffic", "p", dict(base, summary={"run_cycles": 1}))
+        self._write_point(b, "traffic", "p", dict(base, summary={"run_cycles": 2}))
+        assert journal.campaign_fingerprint(a) != journal.campaign_fingerprint(b)

@@ -1,0 +1,186 @@
+"""Tests for the supervised worker pool (death, timeout, retry, quarantine)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.experiments.supervisor import Supervisor, TaskSpec, supervise
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="supervisor tests drive real worker processes via fork",
+)
+
+
+def _square(payload: object, attempt: int) -> object:
+    return payload * payload  # type: ignore[operator]
+
+
+def _echo_attempt(payload: object, attempt: int) -> object:
+    return (payload, attempt)
+
+
+def _raise_value_error(payload: object, attempt: int) -> object:
+    raise ValueError(f"bad payload {payload!r}")
+
+
+def _die_on_first_attempt(payload: object, attempt: int) -> object:
+    if payload == "poison" and attempt == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return (payload, attempt)
+
+
+def _always_die(payload: object, attempt: int) -> object:
+    os.kill(os.getpid(), signal.SIGKILL)
+    return None  # pragma: no cover
+
+
+def _hang_on_first_attempt(payload: object, attempt: int) -> object:
+    if attempt == 0:
+        time.sleep(60)
+    return (payload, attempt)
+
+
+def _run(tasks, worker_fn, jobs=2, **kwargs):
+    return {o.task_id: o for o in supervise(tasks, worker_fn, jobs, **kwargs)}
+
+
+class TestHappyPath:
+    def test_all_tasks_complete(self):
+        tasks = [TaskSpec(task_id=f"t{i}", payload=i, timeout_s=60) for i in range(5)]
+        outcomes = _run(tasks, _square)
+        assert len(outcomes) == 5
+        for i in range(5):
+            outcome = outcomes[f"t{i}"]
+            assert outcome.status == "ok"
+            assert outcome.value == i * i
+            assert outcome.attempts == 1
+            assert outcome.failures == ()
+
+    def test_single_worker(self):
+        tasks = [TaskSpec(task_id=f"t{i}", payload=i, timeout_s=60) for i in range(3)]
+        outcomes = _run(tasks, _square, jobs=1)
+        assert all(o.status == "ok" for o in outcomes.values())
+
+    def test_duplicate_task_ids_rejected(self):
+        tasks = [TaskSpec("dup", 1, 60), TaskSpec("dup", 2, 60)]
+        with pytest.raises(ValueError, match="duplicate"):
+            list(supervise(tasks, _square, 1))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            Supervisor(_square, 0)
+        with pytest.raises(ValueError):
+            Supervisor(_square, 1, max_attempts=0)
+        with pytest.raises(ValueError):
+            Supervisor(_square, 1, backoff_base=0)
+
+
+class TestInBandErrors:
+    def test_task_exception_reported_not_retried(self):
+        outcomes = _run([TaskSpec("t", "x", 60)], _raise_value_error)
+        outcome = outcomes["t"]
+        assert outcome.status == "error"
+        assert outcome.attempts == 1  # deterministic failures never retry
+        assert "bad payload 'x'" in outcome.value
+
+    def test_error_does_not_poison_siblings(self):
+        tasks = [TaskSpec("bad", "bad", 60), TaskSpec("good", "good", 60)]
+        outcomes = _run(tasks, _fail_only_bad)
+        assert outcomes["bad"].status == "error"
+        assert outcomes["good"].status == "ok"
+        assert outcomes["good"].value == "good"
+
+
+def _fail_only_bad(payload: object, attempt: int) -> object:
+    if payload == "bad":
+        raise RuntimeError("boom")
+    return payload
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_detected_and_task_retried(self):
+        tasks = [TaskSpec("poison", "poison", 60), TaskSpec("fine", "fine", 60)]
+        outcomes = _run(tasks, _die_on_first_attempt, on_event=lambda _: None)
+        poison = outcomes["poison"]
+        assert poison.status == "ok"
+        assert poison.value == ("poison", 1)  # the retry ran attempt 1
+        assert poison.attempts == 2
+        assert len(poison.failures) == 1
+        assert outcomes["fine"].status == "ok"
+        assert outcomes["fine"].attempts == 1
+
+    def test_persistent_death_quarantines(self):
+        events = []
+        outcomes = _run(
+            [TaskSpec("t", 1, 60)],
+            _always_die,
+            jobs=1,
+            max_attempts=2,
+            on_event=events.append,
+        )
+        outcome = outcomes["t"]
+        assert outcome.status == "quarantined"
+        assert outcome.attempts == 2
+        assert outcome.value is None
+        assert len(outcome.failures) == 2
+        assert any("quarantining" in event for event in events)
+
+
+class TestTimeouts:
+    def test_hung_worker_is_reaped_and_task_retried(self):
+        tasks = [TaskSpec("slow", "slow", timeout_s=1.5)]
+        start = time.monotonic()
+        outcomes = _run(tasks, _hang_on_first_attempt, jobs=1, on_event=lambda _: None)
+        elapsed = time.monotonic() - start
+        outcome = outcomes["slow"]
+        assert outcome.status == "ok"
+        assert outcome.value == ("slow", 1)
+        assert outcome.attempts == 2
+        assert "deadline" in outcome.failures[0]
+        assert elapsed < 30  # reaped at ~1.5s, not after the 60s sleep
+
+
+class TestDeterministicBackoff:
+    def test_retry_eligibility_counts_events_not_seconds(self):
+        supervisor = Supervisor(_square, 1, max_attempts=3, backoff_base=4)
+        # No wall-clock sleeps are involved in backoff bookkeeping: the
+        # eligibility horizon is derived purely from the event counter.
+        from repro.experiments.supervisor import _Pending
+
+        supervisor._events = 10
+        assert supervisor._pick_pending(
+            [_Pending(TaskSpec("t", 1, 60), 1, eligible_at=11)], True
+        ) is None
+        assert (
+            supervisor._pick_pending(
+                [_Pending(TaskSpec("t", 1, 60), 1, eligible_at=10)], True
+            )
+            == 0
+        )
+        # Starvation guard: with no busy workers the counter cannot advance,
+        # so the leftmost pending task runs regardless of its horizon.
+        assert (
+            supervisor._pick_pending(
+                [_Pending(TaskSpec("t", 1, 60), 1, eligible_at=99)], False
+            )
+            == 0
+        )
+
+    def test_attempt_index_travels_to_worker(self):
+        outcomes = _run([TaskSpec("t", "p", 60)], _echo_attempt, jobs=1)
+        assert outcomes["t"].value == ("p", 0)
+
+
+class TestShutdown:
+    def test_shutdown_is_idempotent_and_kills_workers(self):
+        supervisor = Supervisor(_square, 2)
+        outcomes = list(supervisor.run([TaskSpec("t", 2, 60)]))
+        assert outcomes[0].value == 4
+        supervisor.shutdown()  # run() already shut down; must be a no-op
+        assert supervisor._slots == []
