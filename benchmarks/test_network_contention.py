@@ -95,12 +95,12 @@ def test_network_contention_overhead(benchmark):
         "overhead_disabled_pct": round(overhead_disabled_pct, 2),
         "overhead_enabled_pct": round(overhead_enabled_pct, 2),
         "contention_surcharge_cycles": (
-            enabled_result.link_stats["surcharge_cycles"]
+            enabled_result.link_stats.surcharge_cycles
             if enabled_result.link_stats
             else 0.0
         ),
         "max_link_utilization": (
-            enabled_result.link_stats["max_link_utilization"]
+            enabled_result.link_stats.max_link_utilization
             if enabled_result.link_stats
             else 0.0
         ),

@@ -38,6 +38,7 @@ from repro.experiments.journal import (  # noqa: E402
     latest_point_records,
     replay_dir,
 )
+from repro.obs.events import fold_events, profile_summary  # noqa: E402
 from repro.workloads import CountMode  # noqa: E402
 
 
@@ -173,8 +174,40 @@ def collect_journal_records(results_dir: str) -> dict | None:
     }
 
 
+def collect_obs_profile(obs_dir: str) -> dict | None:
+    """Fold telemetry event segments into a compact profile digest.
+
+    A ``REPRO_OBS=full`` campaign leaves JSONL event segments under the obs
+    directory (``REPRO_OBS_DIR``, default ``results/obs``); this folds them
+    into the top boundary-phase costs plus bail-reason and merge-gate counter
+    groups.  Telemetry is strictly optional: a missing or empty directory
+    (every ``REPRO_OBS=off`` run) returns ``None`` and the summary simply
+    omits the section.
+    """
+    try:
+        fold = fold_events(obs_dir)
+    except OSError:
+        return None
+    if fold is None:
+        return None
+    profile = profile_summary(fold)
+    profile["counters"] = fold.get("counters", {})
+    profile["n_events"] = fold.get("n_events", 0)
+    profile["n_segments"] = fold.get("n_segments", 0)
+    return profile
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        help=(
+            "directory holding REPRO_OBS=full JSONL event segments "
+            "(default: REPRO_OBS_DIR or results/obs); folded into the "
+            "summary's `profile` section when present"
+        ),
+    )
     parser.add_argument(
         "--runner-results-dir",
         # cwd-relative, matching the runner's default, so running both tools
@@ -229,6 +262,18 @@ def main(argv=None) -> int:
         quarantined = journal_records["status_counts"].get("quarantined", 0)
         if quarantined:
             print(f"journal: {quarantined} point(s) quarantined", file=sys.stderr)
+
+    obs_dir = args.obs_dir
+    if obs_dir is None:
+        obs_dir = os.environ.get("REPRO_OBS_DIR") or os.path.join("results", "obs")
+    obs_profile = collect_obs_profile(obs_dir)
+    if obs_profile is not None:
+        summary["profile"] = obs_profile
+        print(
+            f"obs: folded {obs_profile['n_events']} event(s) from "
+            f"{obs_profile['n_segments']} segment(s)",
+            file=sys.stderr,
+        )
 
     def timed(name, fn, *args, **kwargs):
         start = time.perf_counter()

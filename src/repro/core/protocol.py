@@ -20,6 +20,7 @@ from typing import Dict, Optional, Set
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.core.commutative import CommutativeOp
 from repro.core.directory import Directory
 from repro.core.reduction import ReductionUnit
@@ -182,6 +183,13 @@ class CoherenceProtocol(abc.ABC):
         self.stat_downgrades = 0
         self.stat_full_reductions = 0
         self.stat_partial_reductions = 0
+        #: Telemetry hook (``repro.obs``): ``None`` when ``REPRO_OBS=off``.
+        #: Engines may ``self.obs.inc(...)`` on their own slow paths (guarded
+        #: on ``is not None``); the simulator folds the run's aggregate
+        #: protocol statistics through :meth:`obs_fold_stats` at finish.
+        #: Write-only from the simulation's point of view — nothing here is
+        #: ever read back into a SimulationResult.
+        self.obs = _obs.get_registry()
 
     # -- functional memory image ----------------------------------------------
 
@@ -204,6 +212,24 @@ class CoherenceProtocol(abc.ABC):
         if address not in self.memory_image:
             current = 0 if op.identity == 0 or isinstance(op.identity, float) else op.identity
         self.memory_image[address] = op.apply(current, value)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def obs_fold_stats(self) -> None:
+        """Fold the run's protocol-level aggregates into the obs registry.
+
+        Called once by the simulator when a run finishes (after the result
+        statistics are final), so telemetry reports carry protocol context
+        — invalidation/downgrade/reduction volume — next to the kernel's
+        phase timings.  One-way: the registry is never read back.
+        """
+        reg = self.obs
+        if reg is None:
+            return
+        reg.inc("protocol.invalidations", self.stat_invalidations)
+        reg.inc("protocol.downgrades", self.stat_downgrades)
+        reg.inc("protocol.full_reductions", self.stat_full_reductions)
+        reg.inc("protocol.partial_reductions", self.stat_partial_reductions)
 
     # -- protocol interface ----------------------------------------------------
 

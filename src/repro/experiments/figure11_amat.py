@@ -84,10 +84,12 @@ def sweep_spec(
                     }
                     row.update(result.amat_breakdown())
                     if contention:
-                        link_stats = result.link_stats or {}
+                        link_stats = result.link_stats
                         row["topology"] = (topology.name if topology else "dancehall")
-                        row["max_link_utilization"] = link_stats.get(
-                            "max_link_utilization", 0.0
+                        row["max_link_utilization"] = (
+                            link_stats.max_link_utilization
+                            if link_stats is not None
+                            else 0.0
                         )
                     rows.append(row)
                     if normalisation is None and protocol == "COUP":

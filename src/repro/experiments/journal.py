@@ -41,6 +41,7 @@ import zlib
 from dataclasses import dataclass
 from typing import IO, Dict, List, Mapping, Optional, Tuple
 
+from repro import obs as _obs
 from repro.experiments.faults import SimulatedCrash, TornHook
 
 #: Record-header magic; bump the suffix when the wire format changes.
@@ -223,7 +224,7 @@ def fresh_segment_path(directory: str, writer_id: object) -> str:
 class JournalWriter:
     """Append-only, fsync'd writer for one journal segment."""
 
-    __slots__ = ("path", "appended", "_handle", "_torn_hook")
+    __slots__ = ("path", "appended", "_handle", "_torn_hook", "_obs_timing")
 
     def __init__(self, path: str, *, torn_hook: Optional[TornHook] = None) -> None:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
@@ -231,6 +232,10 @@ class JournalWriter:
         self.appended = 0
         self._torn_hook = torn_hook
         self._handle: Optional[IO[bytes]] = open(path, "ab")
+        # Telemetry handle grabbed once at construction; None when REPRO_OBS
+        # is off or counters-only, so the append path stays a single `is None`
+        # test.  Journal contents are never derived from the clock.
+        self._obs_timing = _obs.timing_registry()
 
     def append(self, record: Mapping[str, object]) -> None:
         """Durably append one record (write + flush + fsync).
@@ -251,9 +256,15 @@ class JournalWriter:
                 f"torn journal write injected: {cut}/{len(data)} bytes of "
                 f"record for {record.get('experiment_id')}/{record.get('point')}"
             )
+        obs_timing = self._obs_timing
+        if obs_timing is not None:
+            _obs_t0 = obs_timing.clock()
         self._handle.write(data)
         self._handle.flush()
         os.fsync(self._handle.fileno())
+        if obs_timing is not None:
+            obs_timing.observe("journal_append", obs_timing.clock() - _obs_t0)
+            obs_timing.inc("journal.appends")
         self.appended += 1
 
     def close(self) -> None:

@@ -65,6 +65,7 @@ from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union, c
 if TYPE_CHECKING:
     from multiprocessing.shared_memory import SharedMemory
 
+from repro import obs as _obs
 from repro.experiments import (
     EXPERIMENT_MODULES,
     faults,
@@ -73,6 +74,7 @@ from repro.experiments import (
     supervisor,
     sweep,
 )
+from repro.obs import events as obs_events
 
 #: Default directory for per-experiment JSON records.
 DEFAULT_RESULTS_DIR = os.path.join("results", "experiments")
@@ -224,6 +226,34 @@ def _trace_store_dir(cache_dir: Optional[str]) -> Optional[str]:
     return os.path.join(cache_dir, "traces") if cache_dir else None
 
 
+def _emit_point_obs(
+    experiment_id: str,
+    point_key: str,
+    status: str,
+    elapsed_s: float,
+    delta: Mapping[str, object],
+) -> None:
+    """Append this point's telemetry delta to the worker's event segment.
+
+    Best-effort: a telemetry I/O failure must never fail the point.
+    """
+    try:
+        writer = obs_events.process_writer(_obs.events_dir())
+        writer.emit(
+            "point_obs",
+            {
+                "counters": delta.get("counters", {}),
+                "elapsed_s": round(elapsed_s, 6),
+                "experiment": experiment_id,
+                "phases": delta.get("phases", {}),
+                "point": point_key,
+                "status": status,
+            },
+        )
+    except OSError:
+        pass
+
+
 def _run_point_task(args: _PointTask, attempt: int = 0) -> _PointDone:
     """Worker entry point: execute one sweep point.
 
@@ -247,6 +277,12 @@ def _run_point_task(args: _PointTask, attempt: int = 0) -> _PointDone:
     cache = sweep.ResultCache(cache_dir, read=resume) if cache_dir else None
     sweep.shared_trace_cache().store_dir = _trace_store_dir(cache_dir)
     _seed_everything(_point_seed(base_seed, experiment_id, point_key))
+    obs_reg = _obs.get_registry()
+    obs_baseline = (
+        obs_reg.snapshot()
+        if obs_reg is not None and _obs.events_enabled()
+        else None
+    )
     err = io.StringIO()
     start = time.perf_counter()
     try:
@@ -298,6 +334,10 @@ def _run_point_task(args: _PointTask, attempt: int = 0) -> _PointDone:
             value, cached = sweep.run_point(point, result_cache=cache)
     except Exception:
         elapsed = time.perf_counter() - start
+        if obs_reg is not None and obs_baseline is not None:
+            _emit_point_obs(
+                experiment_id, point_key, "error", elapsed, obs_reg.delta(obs_baseline)
+            )
         return (
             experiment_id,
             point_key,
@@ -308,6 +348,10 @@ def _run_point_task(args: _PointTask, attempt: int = 0) -> _PointDone:
             err.getvalue(),
         )
     elapsed = time.perf_counter() - start
+    if obs_reg is not None and obs_baseline is not None:
+        _emit_point_obs(
+            experiment_id, point_key, "ok", elapsed, obs_reg.delta(obs_baseline)
+        )
     return experiment_id, point_key, "ok", elapsed, cached, value, err.getvalue()
 
 
@@ -521,6 +565,27 @@ def run_parallel(
             torn_hook=plan.torn_hook(),
         )
 
+    # Campaign-side telemetry: the parent's own event segment plus a
+    # supervisor lifecycle hook.  Everything here is observational —
+    # a failure to open the segment degrades to no events, never aborts.
+    obs_reg = _obs.get_registry()
+    obs_baseline = obs_reg.snapshot() if obs_reg is not None else None
+    campaign_events: Optional[obs_events.EventWriter] = None
+    if _obs.events_enabled():
+        try:
+            campaign_events = obs_events.EventWriter(_obs.events_dir(), "campaign")
+        except OSError as exc:
+            print(f"[runner] obs event segment unavailable ({exc})", file=sys.stderr)
+
+    def _lifecycle(event: str, fields: Dict[str, object]) -> None:
+        if obs_reg is not None:
+            obs_reg.inc(f"supervisor.{event}")
+        if campaign_events is not None:
+            record = dict(fields)
+            record["event"] = event
+            record["worker"] = fields.get("pid", "?")
+            campaign_events.emit("worker", record)
+
     def _handle_for(point: sweep.SweepPoint) -> _TraceTransport:
         if not use_shm or not isinstance(point, sweep.SimPoint):
             return None
@@ -677,6 +742,57 @@ def run_parallel(
                 )
             )
 
+    # Live status line: one update per completed task, rewritten in place on
+    # a tty, throttled to occasional plain lines otherwise (CI logs).
+    n_total = len(tasks)
+    progress = {"done": 0, "failed": 0, "cached": 0}
+    progress_start = time.monotonic()
+    progress_tty = sys.stderr.isatty()
+    progress_last = [0.0]
+
+    def _progress(status: str, cached: bool) -> None:
+        progress["done"] += 1
+        if status != "ok":
+            progress["failed"] += 1
+        if cached:
+            progress["cached"] += 1
+        elapsed = time.monotonic() - progress_start
+        rate = progress["done"] / elapsed if elapsed > 0 else 0.0
+        line = (
+            f"[runner] {progress['done']}/{n_total} tasks done"
+            f" ({progress['failed']} failed, {progress['cached']} cached,"
+            f" {rate:.2f}/s)"
+        )
+        if progress_tty:
+            end = "\n" if progress["done"] == n_total else ""
+            sys.stderr.write(f"\r\x1b[K{line}{end}")
+            sys.stderr.flush()
+        elif elapsed - progress_last[0] >= 5.0 or progress["done"] == n_total:
+            progress_last[0] = elapsed
+            print(line, file=sys.stderr)
+
+    def _point_done_event(
+        experiment_id: str,
+        point_key: str,
+        *,
+        status: str,
+        elapsed_s: float,
+        cached: bool,
+        attempts: int,
+    ) -> None:
+        if campaign_events is not None:
+            campaign_events.emit(
+                "point_done",
+                {
+                    "attempts": attempts,
+                    "cached": cached,
+                    "elapsed_s": round(elapsed_s, 6),
+                    "experiment": experiment_id,
+                    "point": point_key,
+                    "status": status,
+                },
+            )
+
     def _synthesized_error(experiment_id: str, error: str) -> ExperimentOutcome:
         return ExperimentOutcome(
             experiment_id=experiment_id,
@@ -693,7 +809,13 @@ def run_parallel(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
     boss = supervisor.Supervisor(
-        _supervised_task, jobs, max_attempts=attempts_budget, mp_context=context
+        _supervised_task,
+        jobs,
+        max_attempts=attempts_budget,
+        mp_context=context,
+        on_lifecycle=(
+            _lifecycle if (obs_reg is not None or campaign_events is not None) else None
+        ),
     )
     try:
         for task_outcome in boss.run(tasks) if tasks else ():
@@ -724,6 +846,15 @@ def run_parallel(
                         cached=False,
                         attempts=task_outcome.attempts,
                     )
+                    _point_done_event(
+                        experiment_id,
+                        key,
+                        status="quarantined",
+                        elapsed_s=0.0,
+                        cached=False,
+                        attempts=task_outcome.attempts,
+                    )
+                    _progress("quarantined", False)
                     continue
                 if task_outcome.status == "error":
                     # The task function itself raised (outside the point's
@@ -747,6 +878,15 @@ def run_parallel(
                         cached=False,
                         attempts=task_outcome.attempts,
                     )
+                    _point_done_event(
+                        experiment_id,
+                        key,
+                        status="error",
+                        elapsed_s=0.0,
+                        cached=False,
+                        attempts=task_outcome.attempts,
+                    )
+                    _progress("error", False)
                     continue
                 _, done = cast(Tuple[str, object], task_outcome.value)
                 (
@@ -785,6 +925,15 @@ def run_parallel(
                     cached=cached,
                     attempts=task_outcome.attempts,
                 )
+                _point_done_event(
+                    experiment_id,
+                    key,
+                    status=status,
+                    elapsed_s=elapsed,
+                    cached=cached,
+                    attempts=task_outcome.attempts,
+                )
+                _progress(status, cached)
             else:  # whole-experiment task
                 experiment_id = rest
                 if task_outcome.status in ("quarantined", "error"):
@@ -799,14 +948,24 @@ def run_parallel(
                         "",
                         f"[{experiment_id}] FAILED\n{message}\n",
                     )
+                    _progress("error", False)
                     continue
                 _, done = cast(Tuple[str, object], task_outcome.value)
                 whole_outcome, out, err = cast(
                     Tuple[ExperimentOutcome, str, str], done
                 )
                 whole_outcomes[whole_outcome.experiment_id] = (whole_outcome, out, err)
+                _progress("ok", False)
     finally:
         boss.shutdown()
+        if campaign_events is not None:
+            # One campaign_obs delta captures the parent's own counters
+            # (supervisor lifecycle, resume-cache hits) for the fold.
+            if obs_reg is not None and obs_baseline is not None:
+                campaign_events.emit(
+                    "campaign_obs", dict(obs_reg.delta(obs_baseline))
+                )
+            campaign_events.close()
         if journal_writer is not None:
             journal_writer.close()
         # The parent owns every published segment: release them only after

@@ -91,7 +91,7 @@ def sweep_spec(
                 baseline = results[f"{name}/{BASELINE}/{protocol}"]
                 for column, _config in columns:
                     result = results[f"{name}/{column}/{protocol}"]
-                    link_stats = result.link_stats or {}
+                    link_stats = result.link_stats
                     rows.append(
                         {
                             "benchmark": name,
@@ -106,10 +106,16 @@ def sweep_spec(
                                 if baseline.run_cycles
                                 else 0.0
                             ),
-                            "max_link_utilization": link_stats.get(
-                                "max_link_utilization", 0.0
+                            "max_link_utilization": (
+                                link_stats.max_link_utilization
+                                if link_stats is not None
+                                else 0.0
                             ),
-                            "surcharge_cycles": link_stats.get("surcharge_cycles", 0.0),
+                            "surcharge_cycles": (
+                                link_stats.surcharge_cycles
+                                if link_stats is not None
+                                else 0.0
+                            ),
                         }
                     )
             out[name] = rows

@@ -91,6 +91,20 @@ ENV_KNOBS: Tuple[EnvKnob, ...] = (
         consumer="repro.experiments.faults",
     ),
     EnvKnob(
+        name="REPRO_OBS",
+        default="off",
+        domain="off | counters | full",
+        description="Telemetry mode: disabled, counters only, or counters plus phase timing and JSONL event segments.",
+        consumer="repro.obs",
+    ),
+    EnvKnob(
+        name="REPRO_OBS_DIR",
+        default="results/obs",
+        domain="directory path",
+        description="Directory where REPRO_OBS=full writes its JSONL event segments.",
+        consumer="repro.obs",
+    ),
+    EnvKnob(
         name="REPRO_POINT_TIMEOUT",
         default="900",
         domain="positive float seconds",

@@ -58,6 +58,13 @@ WorkerFn = Callable[[Any, int], Any]
 #: Structured one-line event sink (worker deaths, reaps, retries, spawns).
 EventFn = Callable[[str], None]
 
+#: Structured lifecycle hook for telemetry: ``(event, fields)`` with events
+#: ``spawn`` / ``dispatch`` / ``complete`` / ``retry`` / ``quarantine``.
+#: ``None`` (the default) costs nothing; the runner wires this to the obs
+#: event stream when ``REPRO_OBS=full``.  Purely observational — the hook
+#: must never influence scheduling, and the supervisor ignores its return.
+LifecycleFn = Callable[[str, Dict[str, object]], None]
+
 #: Worker exit deadline during shutdown before escalating to SIGKILL.
 _SHUTDOWN_GRACE_S = 5.0
 
@@ -144,6 +151,7 @@ class Supervisor:
         backoff_base: int = 1,
         mp_context: Any = None,
         on_event: Optional[EventFn] = None,
+        on_lifecycle: Optional[LifecycleFn] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -165,6 +173,7 @@ class Supervisor:
         self.backoff_base = backoff_base
         self._context = mp_context
         self._event = on_event if on_event is not None else _default_event_sink
+        self._lifecycle = on_lifecycle
         self._slots: List[_Slot] = []
         #: Scheduling-event counter: dispatches + completions + failures.
         #: Retry eligibility is measured against this, never the clock.
@@ -187,6 +196,8 @@ class Supervisor:
         child_conn.close()  # the worker holds its own copy
         slot = _Slot(process=process, conn=parent_conn)
         self._slots.append(slot)
+        if self._lifecycle is not None:
+            self._lifecycle("spawn", {"pid": process.pid})
         return slot
 
     def _discard_slot(self, slot: _Slot, *, kill: bool) -> None:
@@ -256,6 +267,16 @@ class Supervisor:
             slot.busy = item
             slot.deadline = time.monotonic() + item.spec.timeout_s
             self._events += 1
+            if self._lifecycle is not None:
+                self._lifecycle(
+                    "dispatch",
+                    {
+                        "attempt": item.attempt,
+                        "pid": slot.process.pid,
+                        "task": item.spec.task_id,
+                        "timeout_s": item.spec.timeout_s,
+                    },
+                )
 
     # -- completion and failure --------------------------------------------
 
@@ -276,6 +297,16 @@ class Supervisor:
                 f"while assigned {item.spec.task_id!r}"
             )
         failures = self._failures.pop(item.spec.task_id, [])
+        if self._lifecycle is not None:
+            self._lifecycle(
+                "complete",
+                {
+                    "attempts": item.attempt + 1,
+                    "pid": slot.process.pid,
+                    "status": status,
+                    "task": item.spec.task_id,
+                },
+            )
         return TaskOutcome(
             task_id=item.spec.task_id,
             status=status,
@@ -309,6 +340,15 @@ class Supervisor:
                 f"attempt(s): {reason}"
             )
             del self._failures[item.spec.task_id]
+            if self._lifecycle is not None:
+                self._lifecycle(
+                    "quarantine",
+                    {
+                        "attempts": attempts_done,
+                        "reason": reason,
+                        "task": item.spec.task_id,
+                    },
+                )
             return TaskOutcome(
                 task_id=item.spec.task_id,
                 status="quarantined",
@@ -328,6 +368,16 @@ class Supervisor:
                 eligible_at=self._events + delay,
             )
         )
+        if self._lifecycle is not None:
+            self._lifecycle(
+                "retry",
+                {
+                    "attempt": attempts_done,
+                    "delay_events": delay,
+                    "reason": reason,
+                    "task": item.spec.task_id,
+                },
+            )
         return None
 
     # -- main loop ----------------------------------------------------------
@@ -401,6 +451,7 @@ def supervise(
     backoff_base: int = 1,
     mp_context: Any = None,
     on_event: Optional[EventFn] = None,
+    on_lifecycle: Optional[LifecycleFn] = None,
 ) -> Iterator[TaskOutcome]:
     """Convenience wrapper: build a :class:`Supervisor` and run the tasks."""
     supervisor = Supervisor(
@@ -410,5 +461,6 @@ def supervise(
         backoff_base=backoff_base,
         mp_context=mp_context,
         on_event=on_event,
+        on_lifecycle=on_lifecycle,
     )
     return supervisor.run(tasks)

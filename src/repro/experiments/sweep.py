@@ -55,6 +55,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, 
 if TYPE_CHECKING:
     from multiprocessing import shared_memory
 
+from repro import obs as _obs
 from repro.experiments import settings
 from repro.sim.access import WorkloadTrace
 from repro.sim.columnar import (
@@ -411,6 +412,9 @@ def publish_trace_shm(
             stale.unlink()
         segment = shared_memory.SharedMemory(create=True, size=max(1, total), name=name)
     _register_published_segment(segment)
+    obs_reg = _obs.get_registry()
+    if obs_reg is not None:
+        obs_reg.inc("sweep.shm_publish")
     offset = 0
     for column in trace.columns:
         view = np.ndarray(len(column), dtype=ACCESS_DTYPE, buffer=segment.buf, offset=offset)
@@ -457,6 +461,9 @@ def attach_trace_shm(handle: ShmTraceHandle, *, in_worker: bool = False) -> Colu
             resource_tracker.unregister(segment._name, "shared_memory")
     except (ImportError, AttributeError, KeyError, ValueError):  # pragma: no cover
         pass  # tracker layout differs by version; ownership fix is best-effort
+    obs_reg = _obs.get_registry()
+    if obs_reg is not None:
+        obs_reg.inc("sweep.shm_attach")
     columns = []
     offset = 0
     for length in handle.lengths:
@@ -672,20 +679,29 @@ class ResultCache:
         if fingerprint is None:
             return False, None
         path = self._path(fingerprint)
+        obs_reg = _obs.get_registry()
         try:
             with open(path) as handle:
                 record = json.load(handle)
         except (OSError, json.JSONDecodeError):
+            if obs_reg is not None:
+                obs_reg.inc("sweep.cache_miss")
             return False, None
         if record.get("fingerprint") != fingerprint:
+            if obs_reg is not None:
+                obs_reg.inc("sweep.cache_miss")
             return False, None  # hash collision or stale format: recompute
         value = record.get("value")
         if record.get("kind") == "sim":
             try:
                 value = SimulationResult.from_jsonable(value)
             except (KeyError, TypeError):
+                if obs_reg is not None:
+                    obs_reg.inc("sweep.cache_miss")
                 return False, None
         self.loads += 1
+        if obs_reg is not None:
+            obs_reg.inc("sweep.cache_hit")
         return True, value
 
     def store(self, point: SweepPoint, value: Any) -> bool:
@@ -714,6 +730,9 @@ class ResultCache:
                     os.unlink(tmp_path)
             return False
         self.stores += 1
+        obs_reg = _obs.get_registry()
+        if obs_reg is not None:
+            obs_reg.inc("sweep.cache_store")
         return True
 
 

@@ -33,6 +33,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.interconnect.topology import Link, Topology, directory_node, link_label
 from repro.sim.config import NetworkConfig, TopologyConfig
+from repro.sim.stats import LinkStats
 
 
 class ContentionModel:
@@ -237,8 +238,8 @@ class ContentionModel:
 
     # -- reporting -------------------------------------------------------------
 
-    def link_report(self, run_cycles: float) -> dict:
-        """Whole-run per-link utilization and surcharge summary (JSON-native)."""
+    def link_report(self, run_cycles: float) -> LinkStats:
+        """Whole-run per-link utilization and surcharge summary."""
         capacity = self.bandwidth * run_cycles if run_cycles > 0 else 0.0
         links = {
             link_label(link): {
@@ -253,19 +254,19 @@ class ContentionModel:
         }
         # repro-lint: disable=D102(links is built from sorted items above, so its view order is canonical)
         utilizations = [entry["utilization"] for entry in links.values()]
-        return {
-            "topology": self.topology.name,
-            "epoch_cycles": self.epoch_cycles,
-            "link_bandwidth_bytes_per_cycle": self.bandwidth,
-            "links": links,
-            "bank_requests": banks,
-            "max_link_utilization": max(utilizations, default=0.0),
-            "mean_link_utilization": (
+        return LinkStats(
+            topology=self.topology.name,
+            epoch_cycles=self.epoch_cycles,
+            link_bandwidth_bytes_per_cycle=self.bandwidth,
+            links=links,
+            bank_requests=banks,
+            max_link_utilization=max(utilizations, default=0.0),
+            mean_link_utilization=(
                 sum(utilizations) / len(utilizations) if utilizations else 0.0
             ),
-            "surcharge_cycles": self.surcharge_cycles,
-            "offchip_transfers": self.transfers,
-        }
+            surcharge_cycles=self.surcharge_cycles,
+            offchip_transfers=self.transfers,
+        )
 
     def reset(self) -> None:
         """Forget all epoch state and whole-run counters."""

@@ -31,6 +31,7 @@ from repro.interconnect.topology import (
     processor_node,
 )
 from repro.sim.config import NetworkConfig, SystemConfig
+from repro.sim.stats import LinkStats
 
 
 def _counter() -> Dict[str, int]:
@@ -186,7 +187,7 @@ class InterconnectModel:
         if self.contention is not None:
             self.contention.reset()
 
-    def link_report(self, run_cycles: float) -> Optional[dict]:
+    def link_report(self, run_cycles: float) -> Optional[LinkStats]:
         """Per-link utilization summary, or None when contention is disabled."""
         if self.contention is None:
             return None

@@ -35,6 +35,23 @@ RESULT_AFFECTING_PREFIXES: Tuple[str, ...] = (
     "src/repro/interconnect/",
 )
 
+#: The telemetry package.  Not result-affecting (the obs contract is that
+#: nothing here feeds a ``SimulationResult``), but rule D103 *does* scan it:
+#: the subsystem's design routes every host-clock read through the registry,
+#: and the rule is what keeps that true.
+OBS_PREFIX = "src/repro/obs/"
+
+#: The sanctioned wall-clock island (rule D103's allowlist).  Exactly the
+#: modules allowed to read the host clock without a per-line suppression —
+#: everything else (including the rest of ``repro/obs/``) must take
+#: timestamps through :func:`repro.obs.registry.clock`.  Like the waiver
+#: budget, this list is audited: an allowlisted module that stops reading
+#: the clock (or disappears) is flagged stale so the island can only shrink
+#: deliberately, never silently.
+OBS_WALLCLOCK_MODULES: Tuple[str, ...] = (
+    "src/repro/obs/registry.py",
+)
+
 #: Modules whose classes ride the per-access / per-line hot path and must
 #: declare ``__slots__`` (rule H301).
 HOT_SLOTS_MODULES: Tuple[str, ...] = (
@@ -84,6 +101,14 @@ HOT_COMMUTATIVE_VALUES: FrozenSet[str] = frozenset({"atomic", "local", "never"})
 
 def is_result_affecting(relpath: str) -> bool:
     return relpath.startswith(RESULT_AFFECTING_PREFIXES)
+
+
+def is_obs_module(relpath: str) -> bool:
+    return relpath.startswith(OBS_PREFIX)
+
+
+def is_obs_wallclock_module(relpath: str) -> bool:
+    return relpath in OBS_WALLCLOCK_MODULES
 
 
 class ProjectContext:

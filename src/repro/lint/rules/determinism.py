@@ -8,9 +8,16 @@ content hashes, and kernel/scalar bit-identity.
 from __future__ import annotations
 
 import ast
-from typing import List
+from typing import List, Sequence
 
-from repro.lint.context import ProjectContext, is_result_affecting
+from repro.lint.classdb import ClassDb
+from repro.lint.context import (
+    OBS_WALLCLOCK_MODULES,
+    ProjectContext,
+    is_obs_module,
+    is_obs_wallclock_module,
+    is_result_affecting,
+)
 from repro.lint.engine import Rule, SourceModule
 from repro.lint.rules.common import (
     build_import_map,
@@ -204,26 +211,42 @@ class UnorderedIterationRule(Rule):
 
 
 class WallClockRule(Rule):
-    """D103: no wall-clock reads in result-affecting modules.
+    """D103: no wall-clock reads outside the sanctioned island.
 
-    Simulated time is the only clock results may depend on.  The single
-    sanctioned exception is the batched kernel's bail heuristic, whose
-    measured-overhead check deliberately reads the host clock *and feeds it
-    only into kernel-vs-scalar dispatch whose two outcomes are bit-identical*
-    — those sites carry audited inline suppressions.
+    Simulated time is the only clock results may depend on, so
+    result-affecting modules must not read the host clock.  Two sanctioned
+    exceptions exist, each with its own audit trail:
+
+    * the batched kernel's bail heuristic, whose measured-overhead check
+      deliberately reads the host clock *and feeds it only into
+      kernel-vs-scalar dispatch whose two outcomes are bit-identical* —
+      those sites carry audited inline suppressions (the waiver budget);
+    * the telemetry registry, the wall-clock island every timing read in
+      the tree routes through — allowlisted module-by-module in
+      :data:`~repro.lint.context.OBS_WALLCLOCK_MODULES`.
+
+    The rule also scans the rest of ``repro/obs/`` (event writers, the
+    report) so telemetry code outside the island cannot quietly grow its
+    own clock reads, and :meth:`finalize` audits the allowlist the same
+    way the waiver budget is audited: an entry whose module no longer
+    exists or no longer reads the clock is flagged stale.
     """
 
     code = "D103"
     symbol = "wall-clock"
     description = (
-        "result-affecting modules must not read the host clock (only the "
-        "kernel's documented bail heuristic may, via audited suppressions)"
+        "no host-clock reads outside the obs registry island (result-"
+        "affecting modules: audited suppressions only; repro/obs: "
+        "OBS_WALLCLOCK_MODULES only)"
     )
 
     def applies(self, relpath: str) -> bool:
-        return is_result_affecting(relpath)
+        return is_result_affecting(relpath) or is_obs_module(relpath)
 
     def check(self, module: SourceModule, ctx: ProjectContext) -> List[Violation]:
+        if is_obs_wallclock_module(module.relpath):
+            return []  # the island itself; audited for staleness in finalize
+        in_obs = is_obs_module(module.relpath)
         imports = build_import_map(module.tree)
         findings: List[Violation] = []
         for node in ast.walk(module.tree):
@@ -231,12 +254,70 @@ class WallClockRule(Rule):
                 continue
             qualified = call_name(node, imports)
             if qualified in _WALL_CLOCK:
+                if in_obs:
+                    message = (
+                        f"wall-clock read ({qualified}) outside the obs "
+                        "registry island — route timing through "
+                        "repro.obs.registry.clock or add the module to "
+                        "OBS_WALLCLOCK_MODULES"
+                    )
+                else:
+                    message = (
+                        f"wall-clock read ({qualified}) in a result-affecting "
+                        "module — simulated time is the only sanctioned clock"
+                    )
+                findings.append(self.violation(module, node, message))
+        return findings
+
+    def finalize(
+        self,
+        modules: Sequence[SourceModule],
+        ctx: ProjectContext,
+        classdb: ClassDb,
+    ) -> List[Violation]:
+        # Allowlist audit: only when the obs package is actually part of
+        # the run (a real-tree lint, not a fixture suite), mirroring the
+        # H303 README check and the suppression-budget audit.
+        obs_modules = {
+            module.relpath: module
+            for module in modules
+            if is_obs_module(module.relpath)
+        }
+        if not obs_modules:
+            return []
+        findings: List[Violation] = []
+        for entry in OBS_WALLCLOCK_MODULES:
+            module = obs_modules.get(entry)
+            if module is None:
+                findings.append(
+                    Violation(
+                        path=entry,
+                        line=1,
+                        col=0,
+                        code=self.code,
+                        symbol=self.symbol,
+                        message=(
+                            "stale OBS_WALLCLOCK_MODULES entry: module is not "
+                            "part of the linted tree — shrink the allowlist"
+                        ),
+                    )
+                )
+                continue
+            if module.tree is None:
+                continue  # unparseable; the parse error is reported elsewhere
+            imports = build_import_map(module.tree)
+            reads_clock = any(
+                isinstance(node, ast.Call)
+                and call_name(node, imports) in _WALL_CLOCK
+                for node in ast.walk(module.tree)
+            )
+            if not reads_clock:
                 findings.append(
                     self.violation(
                         module,
-                        node,
-                        f"wall-clock read ({qualified}) in a result-affecting "
-                        "module — simulated time is the only sanctioned clock",
+                        module.tree,
+                        "stale OBS_WALLCLOCK_MODULES entry: module no longer "
+                        "reads the host clock — shrink the allowlist",
                     )
                 )
         return findings

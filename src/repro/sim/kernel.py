@@ -94,6 +94,7 @@ from repro.hierarchy.cache import (
     TagArray,
     UOP_NONE,
 )
+from repro import obs as _obs
 from repro.sim.access import MemoryAccess
 from repro.sim.columnar import (
     CODE_ACCESS_TYPE,
@@ -407,6 +408,8 @@ class BatchedKernel:
         "_bail_slow_mark",
         "_bail_time_mark",
         "_bail_strikes",
+        "_obs",
+        "_obs_timing",
     )
 
     def __init__(
@@ -545,6 +548,19 @@ class BatchedKernel:
         self._bail_time_mark = time.perf_counter()
         self._bail_strikes = 0
 
+        # Telemetry (repro.obs).  Both handles are None when REPRO_OBS=off;
+        # every instrumented site below guards on that and sits exclusively
+        # on slow paths (stint boundaries, slow-event resolution, merge
+        # gates) — never inside _apply's per-access hot loops.  Timing reads
+        # route through the registry's clock (the sanctioned wall-clock
+        # island); nothing recorded here ever feeds a SimulationResult.
+        self._obs = _obs.get_registry()
+        self._obs_timing = _obs.timing_registry()
+        if self._obs is not None:
+            self._obs.inc(
+                "kernel.stint.resume" if resume is not None else "kernel.stint.enter"
+            )
+
     # ------------------------------------------------------------ tag mirrors
 
     def _rebuild_tags(self, core: _BatchCore) -> None:
@@ -641,6 +657,9 @@ class BatchedKernel:
 
     def _eval_mask(self, core: _BatchCore, index: Optional[np.ndarray]) -> None:
         """(Re)evaluate the window's hot mask, fully or at given positions."""
+        obs_timing = self._obs_timing
+        if obs_timing is not None:
+            _obs_t0 = obs_timing.clock()
         tags = core.tags
         if index is None:
             lines = core.win_lines
@@ -676,6 +695,8 @@ class BatchedKernel:
             core.cold_idx += start
         else:
             core.cold_idx = np.flatnonzero(~core.mask)
+        if obs_timing is not None:
+            obs_timing.observe("eval_mask", obs_timing.clock() - _obs_t0)
 
     def _clean_prefix(self, core: _BatchCore, offset: int) -> int:
         """Re-evaluate stale entries lazily and return the next run's end.
@@ -777,7 +798,13 @@ class BatchedKernel:
                 core.class_valid = True
                 return
 
-        end = self._clean_prefix(core, offset)
+        obs_timing = self._obs_timing
+        if obs_timing is not None:
+            _obs_t0 = obs_timing.clock()
+            end = self._clean_prefix(core, offset)
+            obs_timing.observe("clean_prefix", obs_timing.clock() - _obs_t0)
+        else:
+            end = self._clean_prefix(core, offset)
         run = end - offset
         core.run_off = offset
         core.hot_len = run
@@ -1197,9 +1224,15 @@ class BatchedKernel:
             access = self._materialize(core_id, index, code, address, gap)
             touched = self._touched
             touched.clear()
+            obs_timing = self._obs_timing
+            if obs_timing is not None:
+                _obs_t0 = obs_timing.clock()
             result = self._resolve_slow(
                 core_id, access, line_addr, state, level, issue_time
             )
+            if obs_timing is not None:
+                obs_timing.observe("resolve_slow", obs_timing.clock() - _obs_t0)
+                _obs_t0 = obs_timing.clock()
             # Repair the mirrors the transaction may have moved lines in.
             # The executing core's L1 only changes in the accessed line's set
             # (fills and their silent same-set victims) and in the sets of
@@ -1241,6 +1274,8 @@ class BatchedKernel:
             if not core.stale:
                 self._repair_sets(core, self_sets)
                 self._suspect_mask(core)
+            if obs_timing is not None:
+                obs_timing.observe("mask_repair", obs_timing.clock() - _obs_t0)
         elif not core.stale:
             # Local resolution: keep the tag mirror coherent incrementally.
             if promoted:
@@ -1341,6 +1376,11 @@ class BatchedKernel:
                 waiters = [c for c in cores if c.at_barrier]
                 if not waiters:
                     self.protocol.touched_cores = None
+                    obs_reg = self._obs
+                    if obs_reg is not None:
+                        obs_reg.inc("kernel.stint.complete")
+                        obs_reg.inc("kernel.slow_events", self._slow_events)
+                        obs_reg.inc("kernel.hits_batched", self._hits_batched)
                     return None  # every core finished
                 self._release_barrier(waiters)
                 continue
@@ -1375,6 +1415,12 @@ class BatchedKernel:
                         self._bail_strikes >= BAIL_STRIKES
                         or elapsed > scalar_estimate * BAIL_HARD_MARGIN
                     ):
+                        if self._obs is not None:
+                            self._obs.inc(
+                                "kernel.bail.hard_margin"
+                                if elapsed > scalar_estimate * BAIL_HARD_MARGIN
+                                else "kernel.bail.strikes"
+                            )
                         return self._handoff()
                 else:
                     self._bail_strikes = 0
@@ -1426,6 +1472,8 @@ class BatchedKernel:
             if self._slow_batch:
                 if self._fleet_cooldown > 0:
                     self._fleet_cooldown -= 1
+                    if self._obs is not None:
+                        self._obs.inc("kernel.merge.decline.cooldown")
                 elif self._retire_fleet(runnable, best):
                     continue
 
@@ -1469,7 +1517,13 @@ class BatchedKernel:
                 continue
 
             self._apply(best, best.hot_len)
-            self._execute_one(best)
+            obs_timing = self._obs_timing
+            if obs_timing is not None:
+                _obs_t0 = obs_timing.clock()
+                self._execute_one(best)
+                obs_timing.observe("execute_one", obs_timing.clock() - _obs_t0)
+            else:
+                self._execute_one(best)
             self._slow_events += 1
 
     def _retire_fleet(self, runnable: List[_BatchCore], best: _BatchCore) -> bool:
@@ -1497,7 +1551,10 @@ class BatchedKernel:
         # Cheap count gate first: with fewer than two parked events the merge
         # cannot beat the scalar path (checked before any numpy work).
         parked = [core for core in runnable if core.end_reason == "slow"]
+        obs_reg = self._obs
         if len(parked) < FLEET_MIN_PARKED:
+            if obs_reg is not None:
+                obs_reg.inc("kernel.merge.decline.few_parked")
             return False
 
         # Vectorized entry gate over the parked accesses (advisory mirror).
@@ -1536,6 +1593,8 @@ class BatchedKernel:
                     best_ok = True
         if not best_ok or n_ok < FLEET_MIN_PARKED:
             self._fleet_cooldown = FLEET_GATE_COOLDOWN
+            if obs_reg is not None:
+                obs_reg.inc("kernel.merge.decline.gate_conflict")
             return False
 
         slots = [core for core in runnable if core.next_index < core.limit]
@@ -1568,11 +1627,18 @@ class BatchedKernel:
             max(FLEET_STREAK_BASE, 4 * n_slots),
             FLEET_MAX_RETIRE,
         )
+        obs_timing = self._obs_timing
+        if obs_timing is not None:
+            obs_timing.observe(
+                "resolve_slow_batch", obs_timing.clock() - fleet_start
+            )
         if retired == 0:
             # Every slot parked (or sat beyond the bound) before mutating
             # anything: nothing moved, so fall back without any repair.
             self._fleet_cooldown = self._fleet_backoff
             self._fleet_backoff = min(self._fleet_backoff * 2, FLEET_COOLDOWN_MAX)
+            if obs_reg is not None:
+                obs_reg.inc("kernel.merge.decline.merge_empty")
             return False
 
         # Write back the slot cursors.  Slots whose private-cache membership
@@ -1594,6 +1660,8 @@ class BatchedKernel:
         # eviction changed — same coverage rules as _execute_one (dirty
         # slots are already stale, so they fall through to the cheap arm).
         dir_stale = self._dir_stale
+        if obs_timing is not None:
+            _obs_t0 = obs_timing.clock()
         if touched:
             cores = self.cores
             n_cores = self.n_cores
@@ -1619,13 +1687,22 @@ class BatchedKernel:
                     other.mask = None
             touched.clear()
 
+        if obs_timing is not None:
+            obs_timing.observe("mask_repair", obs_timing.clock() - _obs_t0)
+
         self._slow_events += n_slow
         self._hits_batched += retired - n_slow
         if n_slow < FLEET_MIN_YIELD * n_slots:
             self._fleet_cooldown = self._fleet_backoff
             self._fleet_backoff = min(self._fleet_backoff * 2, FLEET_COOLDOWN_MAX)
+            if obs_reg is not None:
+                obs_reg.inc("kernel.merge.accept.unproductive")
+                obs_reg.inc("kernel.merge.retired", retired)
         else:
             self._fleet_backoff = FLEET_COOLDOWN
+            if obs_reg is not None:
+                obs_reg.inc("kernel.merge.accept.productive")
+                obs_reg.inc("kernel.merge.retired", retired)
 
         # Bail fairness: the bail heuristic's per-interval scalar estimate
         # was calibrated for the boundary path; a merge call can retire tens
@@ -1648,6 +1725,11 @@ class BatchedKernel:
 
     def _handoff(self) -> Tuple:
         """Package the current state so the scalar loop can resume exactly."""
+        obs_reg = self._obs
+        if obs_reg is not None:
+            obs_reg.inc("kernel.stint.bail")
+            obs_reg.inc("kernel.slow_events", self._slow_events)
+            obs_reg.inc("kernel.hits_batched", self._hits_batched)
         cursor_state = [
             (core.clock, core.next_index, core.phase) for core in self.cores
         ]

@@ -19,6 +19,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Type
 
+from repro import obs as _obs
 from repro.core.mesi import MesiProtocol
 from repro.core.meusi import MeusiProtocol
 from repro.core.protocol import CoherenceProtocol
@@ -396,6 +397,9 @@ class MulticoreSimulator:
                     for core in kernel.cores
                 ]
                 return self._finish(workload, cursors, kernel.core_stats)
+            obs_reg = _obs.get_registry()
+            if obs_reg is not None:
+                obs_reg.inc("sim.stint.scalar")
             outcome = self._run_columnar_scalar(
                 workload,
                 resume=state,
@@ -710,6 +714,9 @@ class MulticoreSimulator:
     ) -> SimulationResult:
         """Finalize the protocol and assemble the result structure."""
         self.protocol.finalize()
+        # Telemetry fold (no-op when REPRO_OBS=off): one-way, after the
+        # result statistics are final, so nothing here can feed the result.
+        self.protocol.obs_fold_stats()
 
         for cursor, stats in zip(cursors, core_stats):
             stats.finish_time = cursor.clock

@@ -121,6 +121,66 @@ class CoreStats:
 
 
 @dataclass(slots=True)
+class LinkStats:
+    """Per-link utilization report from the interconnect contention model.
+
+    Field order matches the key order the legacy dict report used, so the
+    serialized form (:meth:`to_jsonable`) is byte-identical to records
+    written before this became a dataclass.
+    """
+
+    #: Topology name (``single_switch``, ``ring``, ...).
+    topology: str
+    #: Contention-epoch length in cycles.
+    epoch_cycles: float
+    #: Per-link bandwidth used to compute utilizations.
+    link_bandwidth_bytes_per_cycle: float
+    #: Per-link ``{"bytes": ..., "utilization": ...}``, keyed by the
+    #: canonical link label, sorted.
+    links: Dict[str, Dict[str, float]]
+    #: Directory-bank request totals keyed by ``"<node>.b<bank>"``.
+    bank_requests: Dict[str, int]
+    max_link_utilization: float
+    mean_link_utilization: float
+    #: Total contention waiting time charged across the run.
+    surcharge_cycles: float
+    offchip_transfers: int
+
+    def to_jsonable(self) -> dict:
+        """JSON-native projection (the explicit inverse of :meth:`from_jsonable`)."""
+        return {
+            "topology": self.topology,
+            "epoch_cycles": self.epoch_cycles,
+            "link_bandwidth_bytes_per_cycle": self.link_bandwidth_bytes_per_cycle,
+            "links": {label: dict(entry) for label, entry in sorted(self.links.items())},
+            "bank_requests": dict(self.bank_requests),
+            "max_link_utilization": self.max_link_utilization,
+            "mean_link_utilization": self.mean_link_utilization,
+            "surcharge_cycles": self.surcharge_cycles,
+            "offchip_transfers": self.offchip_transfers,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "LinkStats":
+        """Rebuild from :meth:`to_jsonable` output.
+
+        No numeric coercion: values pass through exactly as JSON decoded
+        them, so a serialize/deserialize round trip is bit-identical.
+        """
+        return cls(
+            topology=data["topology"],
+            epoch_cycles=data["epoch_cycles"],
+            link_bandwidth_bytes_per_cycle=data["link_bandwidth_bytes_per_cycle"],
+            links={label: dict(entry) for label, entry in sorted(data["links"].items())},
+            bank_requests=dict(data["bank_requests"]),
+            max_link_utilization=data["max_link_utilization"],
+            mean_link_utilization=data["mean_link_utilization"],
+            surcharge_cycles=data["surcharge_cycles"],
+            offchip_transfers=data["offchip_transfers"],
+        )
+
+
+@dataclass(slots=True)
 class SimulationResult:
     """Outcome of one simulation run."""
 
@@ -141,7 +201,7 @@ class SimulationResult:
     bytes_by_type: Optional[Dict[str, int]] = None
     #: Per-link utilization report from the interconnect contention model
     #: (None unless the run had contention enabled).
-    link_stats: Optional[dict] = None
+    link_stats: Optional[LinkStats] = None
 
     @property
     def total_accesses(self) -> int:
@@ -185,6 +245,10 @@ class SimulationResult:
             data["final_values"] = [
                 [address, value] for address, value in sorted(self.final_values.items())
             ]
+        if self.link_stats is not None:
+            # Explicit projection (asdict's recursion happens to agree, but
+            # the serialized form is a contract, not an accident).
+            data["link_stats"] = self.link_stats.to_jsonable()
         return data
 
     @classmethod
@@ -201,6 +265,10 @@ class SimulationResult:
             data["final_values"] = {
                 address: value for address, value in data["final_values"]
             }
+        if data.get("link_stats") is not None and not isinstance(
+            data["link_stats"], LinkStats
+        ):
+            data["link_stats"] = LinkStats.from_jsonable(data["link_stats"])
         return cls(**data)
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
@@ -226,9 +294,9 @@ class SimulationResult:
         if self.bytes_by_type is not None:
             result["bytes_by_type"] = dict(self.bytes_by_type)
         if self.link_stats is not None:
-            result["max_link_utilization"] = self.link_stats.get("max_link_utilization")
-            result["mean_link_utilization"] = self.link_stats.get("mean_link_utilization")
-            result["contention_surcharge_cycles"] = self.link_stats.get("surcharge_cycles")
+            result["max_link_utilization"] = self.link_stats.max_link_utilization
+            result["mean_link_utilization"] = self.link_stats.mean_link_utilization
+            result["contention_surcharge_cycles"] = self.link_stats.surcharge_cycles
         return result
 
 

@@ -177,6 +177,52 @@ class TestDeterministicBackoff:
         assert outcomes["t"].value == ("p", 0)
 
 
+class TestLifecycleHook:
+    def test_happy_path_emits_spawn_dispatch_complete(self):
+        seen = []
+        tasks = [TaskSpec(task_id=f"t{i}", payload=i, timeout_s=60) for i in range(3)]
+        outcomes = _run(
+            tasks, _square, jobs=2, on_lifecycle=lambda e, f: seen.append((e, f))
+        )
+        assert all(o.status == "ok" for o in outcomes.values())
+        kinds = [event for event, _ in seen]
+        assert kinds.count("dispatch") == 3
+        assert kinds.count("complete") == 3
+        assert "spawn" in kinds
+        dispatches = {f["task"] for e, f in seen if e == "dispatch"}
+        assert dispatches == {"t0", "t1", "t2"}
+        completes = [f for e, f in seen if e == "complete"]
+        assert all(f["status"] == "ok" and f["attempts"] == 1 for f in completes)
+        spawns = [f for e, f in seen if e == "spawn"]
+        assert all(isinstance(f["pid"], int) for f in spawns)
+
+    def test_retry_and_quarantine_are_observed(self):
+        seen = []
+        outcomes = _run(
+            [TaskSpec("t", 1, 60)],
+            _always_die,
+            jobs=1,
+            max_attempts=2,
+            on_event=lambda _: None,
+            on_lifecycle=lambda e, f: seen.append((e, f)),
+        )
+        assert outcomes["t"].status == "quarantined"
+        retries = [f for e, f in seen if e == "retry"]
+        assert len(retries) == 1
+        assert retries[0]["task"] == "t"
+        assert retries[0]["attempt"] == 1
+        quarantines = [f for e, f in seen if e == "quarantine"]
+        assert len(quarantines) == 1
+        assert quarantines[0]["attempts"] == 2
+        assert "died" in quarantines[0]["reason"]
+
+    def test_hook_default_is_silent(self):
+        # No hook: nothing to call, nothing recorded — the guard keeps the
+        # fast path a single attribute test.
+        outcomes = _run([TaskSpec("t", 3, 60)], _square, jobs=1)
+        assert outcomes["t"].value == 9
+
+
 class TestShutdown:
     def test_shutdown_is_idempotent_and_kills_workers(self):
         supervisor = Supervisor(_square, 2)

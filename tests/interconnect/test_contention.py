@@ -93,16 +93,16 @@ class TestQueueingLimits:
         contention = contended_model(epoch_cycles=100)
         contention.l4_round_trip(0, 1, line_addr=3, now=0.0)
         report = contention.link_report(run_cycles=1000.0)
-        assert report["topology"] == "dancehall"
-        assert report["offchip_transfers"] == 1
-        total_bytes = sum(entry["bytes"] for entry in report["links"].values())
+        assert report.topology == "dancehall"
+        assert report.offchip_transfers == 1
+        total_bytes = sum(entry["bytes"] for entry in report.links.values())
         # One control request out, one data response back.
         assert total_bytes == 8 + 72
-        for entry in report["links"].values():
+        for entry in report.links.values():
             assert entry["utilization"] == pytest.approx(
                 entry["bytes"] / (contention.bandwidth * 1000.0)
             )
-        assert report["max_link_utilization"] > 0.0
+        assert report.max_link_utilization > 0.0
 
     def test_exchange_kinds_occupy_matching_bytes(self):
         """Each exchange kind charges the bytes its real messages carry."""
@@ -128,7 +128,7 @@ class TestQueueingLimits:
         contention.reset()
         assert contention.surcharge_cycles == 0.0
         assert not contention.link_bytes_total
-        assert contention.link_report(100.0)["offchip_transfers"] == 0
+        assert contention.link_report(100.0).offchip_transfers == 0
 
 
 class TestEndToEnd:
@@ -184,7 +184,7 @@ class TestEndToEnd:
         )
         assert loaded.run_cycles >= free.run_cycles
         assert loaded.amat >= free.amat
-        assert loaded.link_stats["surcharge_cycles"] > 0.0
+        assert loaded.link_stats.surcharge_cycles > 0.0
 
     def test_multi_chip_machine_exercises_multi_hop_routing(self):
         """An 8-chip machine drives real XY/wrap routes end-to-end.
@@ -233,11 +233,11 @@ class TestEndToEnd:
             config.with_topology(TopologyConfig(name="dancehall", contention=True)),
             "MESI",
         )
-        assert len(mesh_loaded.link_stats["links"]) > 0
-        assert mesh_loaded.link_stats["surcharge_cycles"] > 0.0
+        assert len(mesh_loaded.link_stats.links) > 0
+        assert mesh_loaded.link_stats.surcharge_cycles > 0.0
         assert (
-            mesh_loaded.link_stats["links"].keys()
-            != dance_loaded.link_stats["links"].keys()
+            mesh_loaded.link_stats.links.keys()
+            != dance_loaded.link_stats.links.keys()
         )
 
     def test_link_stats_surface_through_simulation_result(self):
@@ -246,11 +246,11 @@ class TestEndToEnd:
             trace, self._config(name="mesh", contention=True), "COUP"
         )
         stats = result.link_stats
-        assert stats is not None and stats["topology"] == "mesh"
-        assert stats["links"], "per-link counters missing"
-        assert 0.0 <= stats["max_link_utilization"] <= 1.0
+        assert stats is not None and stats.topology == "mesh"
+        assert stats.links, "per-link counters missing"
+        assert 0.0 <= stats.max_link_utilization <= 1.0
         summary = result.summary()
-        assert summary["max_link_utilization"] == stats["max_link_utilization"]
+        assert summary["max_link_utilization"] == stats.max_link_utilization
         assert summary["bytes_by_type"] == result.bytes_by_type
         # The breakdown must be present on ordinary runs too.
         plain = simulate(trace, small_test_config(self.N_CORES), "COUP")

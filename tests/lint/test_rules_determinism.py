@@ -13,6 +13,8 @@ from lint_helpers import codes, lines_of, lint_sources  # noqa: F401 (fixture)
 
 SIM = "src/repro/sim/fixture.py"
 PLOTS = "src/repro/plots.py"  # outside the result-affecting scope
+OBS_ISLAND = "src/repro/obs/registry.py"  # the one allowlisted wall-clock module
+OBS_OTHER = "src/repro/obs/events.py"  # obs scope, NOT allowlisted
 
 
 class TestD101UnseededRng:
@@ -110,6 +112,62 @@ class TestD103WallClock:
         # Experiment drivers legitimately time themselves for reporting.
         source = "import time\nelapsed = time.perf_counter()\n"
         report = lint_sources({PLOTS: source}, rules=[WallClockRule()])
+        assert report.ok
+
+
+class TestD103ObsWallClockAllowlist:
+    """The telemetry island: ``OBS_WALLCLOCK_MODULES`` scoping and audit."""
+
+    CLOCK = "import time\ndef clock():\n    return time.perf_counter()\n"
+
+    def test_allowlisted_module_may_read_the_clock(self, lint_sources):
+        report = lint_sources({OBS_ISLAND: self.CLOCK}, rules=[WallClockRule()])
+        assert report.ok
+
+    def test_non_allowlisted_obs_module_fires(self, lint_sources):
+        source = "import time\nstamp = time.time()\n"
+        report = lint_sources(
+            {OBS_ISLAND: self.CLOCK, OBS_OTHER: source}, rules=[WallClockRule()]
+        )
+        assert codes(report) == ["D103"]
+        assert lines_of(report, "D103") == [2]
+        [violation] = report.violations
+        assert "OBS_WALLCLOCK_MODULES" in violation.message
+
+    def test_result_affecting_module_still_fires_alongside_obs(self, lint_sources):
+        report = lint_sources(
+            {
+                OBS_ISLAND: self.CLOCK,
+                SIM: "import time\nt = time.perf_counter()\n",
+            },
+            rules=[WallClockRule()],
+        )
+        assert codes(report) == ["D103"]
+
+    def test_stale_entry_no_clock_read_is_flagged(self, lint_sources):
+        # The allowlisted module exists but no longer reads the clock: the
+        # audit demands the island shrink rather than stay silently stale.
+        report = lint_sources({OBS_ISLAND: "x = 1\n"}, rules=[WallClockRule()])
+        assert codes(report) == ["D103"]
+        [violation] = report.violations
+        assert "stale" in violation.message
+
+    def test_stale_entry_module_missing_is_flagged(self, lint_sources):
+        # Obs modules are being linted but the allowlisted one is gone.
+        report = lint_sources(
+            {OBS_OTHER: "y = 2\n"}, rules=[WallClockRule()]
+        )
+        assert codes(report) == ["D103"]
+        [violation] = report.violations
+        assert "not part of the linted tree" in violation.message
+        assert violation.path == OBS_ISLAND
+
+    def test_audit_skipped_without_obs_modules_in_scope(self, lint_sources):
+        # A partial lint (one sim file) must not demand the obs island be
+        # present — the audit only runs when obs modules are in the set.
+        report = lint_sources(
+            {SIM: "value = 3\n"}, rules=[WallClockRule()]
+        )
         assert report.ok
 
 

@@ -1,0 +1,28 @@
+"""Obs-suite fixtures: every test leaves telemetry exactly as it found it.
+
+The obs module caches its configuration process-wide and the event layer
+caches a per-process writer; both are torn down after each test so the rest
+of the suite keeps running with telemetry off (``REPRO_OBS`` unset).
+
+Not a ``conftest.py``: the benchmark suite imports its own helpers with
+``from conftest import ...``, which a second basename-colliding conftest in
+the tree would shadow.  Each obs test module imports the fixture instead
+(the ``lint_helpers`` idiom).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import events
+
+
+@pytest.fixture(autouse=True)
+def reset_obs_state(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    monkeypatch.delenv("REPRO_OBS_DIR", raising=False)
+    obs.reconfigure()
+    yield
+    events.reset_process_writer()
+    obs.reconfigure()

@@ -1,0 +1,176 @@
+"""Unit tests for the telemetry registry: modes, counters, phase timing."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from obs_helpers import reset_obs_state  # noqa: F401 (autouse fixture)
+from repro.obs.registry import (
+    N_BUCKETS,
+    ObsRegistry,
+    bucket_bound_us,
+    bucket_index,
+    merge_phase,
+    phase_percentile_us,
+)
+
+
+class TestModes:
+    def test_default_is_off_with_no_registry(self):
+        assert obs.mode() == "off"
+        assert obs.get_registry() is None
+        assert obs.timing_registry() is None
+        assert not obs.events_enabled()
+
+    def test_env_selects_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "counters")
+        obs.reconfigure()
+        assert obs.mode() == "counters"
+        registry = obs.get_registry()
+        assert registry is not None and not registry.timing
+        assert obs.timing_registry() is None
+
+    def test_full_mode_enables_timing_and_events(self):
+        registry = obs.reconfigure("full")
+        assert registry is not None and registry.timing
+        assert obs.timing_registry() is registry
+        assert obs.events_enabled()
+
+    def test_empty_env_value_means_off(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "")
+        obs.reconfigure()
+        assert obs.mode() == "off"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="REPRO_OBS"):
+            obs.reconfigure("verbose")
+
+    def test_events_dir_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_OBS_DIR", str(tmp_path))
+        obs.reconfigure()
+        assert obs.events_dir() == str(tmp_path)
+
+    def test_reconfigure_override_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_OBS", "off")
+        registry = obs.reconfigure("counters", str(tmp_path))
+        assert registry is not None
+        assert obs.events_dir() == str(tmp_path)
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        registry = ObsRegistry(timing=False)
+        registry.inc("kernel.stint.enter")
+        registry.inc("kernel.stint.enter")
+        registry.inc("kernel.slow_events", 41)
+        assert registry.counter("kernel.stint.enter") == 2
+        assert registry.counter("kernel.slow_events") == 41
+        assert registry.counter("never.touched") == 0
+
+    def test_snapshot_keys_are_sorted(self):
+        registry = ObsRegistry(timing=False)
+        for name in ("z.last", "a.first", "m.middle"):
+            registry.inc(name)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a.first", "m.middle", "z.last"]
+
+    def test_clear(self):
+        registry = ObsRegistry(timing=True)
+        registry.inc("x")
+        registry.observe("p", 0.001)
+        registry.clear()
+        assert registry.counter("x") == 0
+        assert registry.phase("p") is None
+
+
+class TestPhaseTiming:
+    def test_observe_accumulates(self):
+        registry = ObsRegistry(timing=True)
+        registry.observe("eval_mask", 0.002)
+        registry.observe("eval_mask", 0.004)
+        stats = registry.phase("eval_mask")
+        assert stats is not None
+        assert stats.count == 2
+        assert stats.total_s == pytest.approx(0.006)
+        assert stats.max_s == pytest.approx(0.004)
+        assert sum(stats.buckets) == 2
+
+    def test_bucket_index_geometry(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+        assert bucket_index(0.4e-6) == 0  # below the 1us floor
+        assert bucket_index(3e-6) == 2  # (2us, 4us]
+        assert bucket_index(1e-3) == 10  # 1000us -> bit_length 10
+        assert bucket_index(3600.0) == N_BUCKETS - 1  # tail absorbs
+
+    def test_bucket_bounds_double(self):
+        assert bucket_bound_us(0) == 1.0
+        assert bucket_bound_us(3) == 8.0
+
+    def test_clock_is_monotonic_nonnegative_delta(self):
+        registry = ObsRegistry(timing=True)
+        t0 = registry.clock()
+        t1 = registry.clock()
+        assert t1 >= t0
+
+
+class TestDelta:
+    def test_delta_reports_only_changes(self):
+        registry = ObsRegistry(timing=True)
+        registry.inc("stable", 5)
+        registry.observe("warm", 0.001)
+        baseline = registry.snapshot()
+        registry.inc("fresh", 2)
+        registry.observe("warm", 0.002)
+        delta = registry.delta(baseline)
+        assert delta["counters"] == {"fresh": 2}
+        assert list(delta["phases"]) == ["warm"]
+        warm = delta["phases"]["warm"]
+        assert warm["count"] == 1
+        assert warm["total_s"] == pytest.approx(0.002)
+        assert sum(warm["buckets"]) == 1
+
+    def test_delta_with_no_change_is_empty(self):
+        registry = ObsRegistry(timing=True)
+        registry.inc("x")
+        registry.observe("p", 0.001)
+        baseline = registry.snapshot()
+        delta = registry.delta(baseline)
+        assert delta == {"counters": {}, "phases": {}}
+
+    def test_delta_from_empty_baseline_is_snapshot_counters(self):
+        registry = ObsRegistry(timing=False)
+        registry.inc("a", 3)
+        delta = registry.delta({"counters": {}, "phases": {}})
+        assert delta["counters"] == {"a": 3}
+
+
+class TestFoldHelpers:
+    def test_merge_phase_sums_and_maxes(self):
+        into = {}
+        sample = {"buckets": [1, 2], "count": 3, "max_s": 0.5, "total_s": 0.9}
+        merge_phase(into, "p", sample)
+        merge_phase(into, "p", sample)
+        entry = into["p"]
+        assert entry["count"] == 6
+        assert entry["total_s"] == pytest.approx(1.8)
+        assert entry["max_s"] == 0.5
+        assert entry["buckets"][:2] == [2, 4]
+        assert len(entry["buckets"]) == N_BUCKETS
+
+    def test_merge_phase_ignores_malformed(self):
+        into = {}
+        merge_phase(into, "p", {"count": "three"})
+        merge_phase(into, "p", {"count": 0})
+        assert into == {}
+
+    def test_phase_percentile(self):
+        # 10 samples: 8 in bucket 2 (<=4us), 2 in bucket 5 (<=32us).
+        buckets = [0] * N_BUCKETS
+        buckets[2] = 8
+        buckets[5] = 2
+        phase = {"count": 10, "buckets": buckets}
+        assert phase_percentile_us(phase, 0.50) == 4.0
+        assert phase_percentile_us(phase, 0.95) == 32.0
+        assert phase_percentile_us({"count": 0, "buckets": buckets}, 0.5) is None

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
 from repro.sim.stats import (
     AMAT_COMPONENTS,
     CoreStats,
     LatencyBreakdown,
+    LinkStats,
     SimulationResult,
     speedup_curve,
 )
@@ -88,6 +91,100 @@ class TestSimulationResult:
         broken = make_result(0.0)
         with pytest.raises(ValueError):
             broken.speedup_over(make_result(10.0))
+
+
+def make_link_stats() -> LinkStats:
+    return LinkStats(
+        topology="ring",
+        epoch_cycles=1000.0,
+        link_bandwidth_bytes_per_cycle=16.0,
+        links={
+            "s0->s1": {"bytes": 4096.0, "utilization": 0.256},
+            "s1->s0": {"bytes": 1024.0, "utilization": 0.064},
+        },
+        bank_requests={"s0.b0": 17, "s1.b3": 4},
+        max_link_utilization=0.256,
+        mean_link_utilization=0.16,
+        surcharge_cycles=42.5,
+        offchip_transfers=80,
+    )
+
+
+class TestLinkStats:
+    def test_to_jsonable_key_order_matches_legacy_dict(self):
+        # The serialized form predates the dataclass; its key order is a
+        # contract (canonical JSON re-serialization depends on it only via
+        # sort_keys, but diffs of raw records depend on it directly).
+        jsonable = make_link_stats().to_jsonable()
+        assert list(jsonable) == [
+            "topology",
+            "epoch_cycles",
+            "link_bandwidth_bytes_per_cycle",
+            "links",
+            "bank_requests",
+            "max_link_utilization",
+            "mean_link_utilization",
+            "surcharge_cycles",
+            "offchip_transfers",
+        ]
+
+    def test_roundtrip_is_bit_identical(self):
+        stats = make_link_stats()
+        wire = json.dumps(stats.to_jsonable(), sort_keys=True)
+        rebuilt = LinkStats.from_jsonable(json.loads(wire))
+        assert rebuilt == stats
+        assert json.dumps(rebuilt.to_jsonable(), sort_keys=True) == wire
+
+    def test_projections_copy_mutable_fields(self):
+        stats = make_link_stats()
+        jsonable = stats.to_jsonable()
+        jsonable["links"]["s0->s1"]["bytes"] = 0.0
+        jsonable["bank_requests"]["s0.b0"] = 0
+        assert stats.links["s0->s1"]["bytes"] == 4096.0
+        assert stats.bank_requests["s0.b0"] == 17
+
+
+class TestResultRoundTrip:
+    def make_full_result(self) -> SimulationResult:
+        """A result with every optional field populated."""
+        result = make_result(512.0, "COUP", latency=LatencyBreakdown(l2=3.5, l4=1.25))
+        result.reductions = 9
+        result.partial_reductions = 2
+        result.invalidations = 31
+        result.downgrades = 7
+        result.final_values = {0x40: 123, 0x08: -5}
+        result.params = {"workload": "shared-counter", "updates_per_core": 200}
+        result.bytes_by_type = {"GETS": 640, "PUTX": 128}
+        result.link_stats = make_link_stats()
+        return result
+
+    def test_all_optional_fields_roundtrip(self):
+        result = self.make_full_result()
+        wire = json.dumps(result.to_jsonable(), sort_keys=True)
+        rebuilt = SimulationResult.from_jsonable(json.loads(wire))
+        assert rebuilt == result
+        assert isinstance(rebuilt.link_stats, LinkStats)
+        assert json.dumps(rebuilt.to_jsonable(), sort_keys=True) == wire
+
+    def test_final_values_serialized_sorted_by_address(self):
+        jsonable = self.make_full_result().to_jsonable()
+        assert jsonable["final_values"] == [[0x08, -5], [0x40, 123]]
+
+    def test_absent_optionals_stay_none(self):
+        result = make_result(100.0)
+        rebuilt = SimulationResult.from_jsonable(
+            json.loads(json.dumps(result.to_jsonable(), sort_keys=True))
+        )
+        assert rebuilt.link_stats is None
+        assert rebuilt.final_values is None
+        assert rebuilt.bytes_by_type is None
+        assert rebuilt == result
+
+    def test_summary_reads_link_stats_fields(self):
+        summary = self.make_full_result().summary()
+        assert summary["max_link_utilization"] == 0.256
+        assert summary["mean_link_utilization"] == 0.16
+        assert summary["contention_surcharge_cycles"] == 42.5
 
 
 class TestCoreModel:
