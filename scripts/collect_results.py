@@ -174,6 +174,51 @@ def collect_journal_records(results_dir: str) -> dict | None:
     }
 
 
+def collect_verification(*, jobs: int = 2) -> dict:
+    """Run the bounded verification lanes and fold their summaries.
+
+    One sharded exhaustive point, a short swarm, and one differential
+    stream — the same trio the CI ``verify-smoke`` lane runs.  The
+    exhaustive result travels through ``ExplorationResult.to_jsonable`` /
+    ``from_jsonable`` so the summary carries the canonical serialized form
+    and the round trip stays exercised in the pipeline.  An active
+    ``REPRO_VERIFY_MUTATE`` knob flows into every lane, so a mutated run is
+    visibly unverified in summary.json rather than silently green.
+    """
+    from repro.verification.checker import ExplorationResult
+    from repro.verification.differential import StreamConfig, run_differential
+    from repro.verification.model import ModelConfig, mutation_from_env
+    from repro.verification.parallel import check_sharded
+    from repro.verification.walker import run_swarm
+
+    mutation = mutation_from_env()
+    exploration = check_sharded(
+        ModelConfig(n_cores=2, n_ops=1, protocol="MEUSI", value_base=2),
+        jobs=jobs,
+        mutation=mutation,
+        max_states=200_000,
+    )
+    exhaustive = ExplorationResult.from_jsonable(exploration.result.to_jsonable())
+    swarm = run_swarm(
+        ModelConfig(n_cores=2, n_ops=2, protocol="MEUSI", value_base=2),
+        n_walkers=4,
+        max_steps=400,
+        seed=0,
+        mutation=mutation,
+    )
+    differential = run_differential(
+        StreamConfig(protocol="MEUSI", seed=0), mutation=mutation
+    )
+    return {
+        "mutation": mutation,
+        "exhaustive": exhaustive.summary(),
+        "exhaustive_jobs": exploration.jobs,
+        "swarm": swarm.summary(),
+        "differential": differential.summary(),
+        "verified": exhaustive.verified and swarm.verified and differential.verified,
+    }
+
+
 def collect_obs_profile(obs_dir: str) -> dict | None:
     """Fold telemetry event segments into a compact profile digest.
 
@@ -283,6 +328,13 @@ def main(argv=None) -> int:
         return result
 
     core_counts = [c for c in (1, 8, 32, 64, 128) if c <= max_cores]
+
+    summary["verification"] = timed("verification", collect_verification)
+    if not summary["verification"]["verified"]:
+        print(
+            "verification lanes report a violation (see summary.json `verification`)",
+            file=sys.stderr,
+        )
 
     summary["figure10"] = timed("figure10", figure10_speedups.run, core_counts=core_counts)
     summary["figure11"] = timed(

@@ -118,6 +118,20 @@ ENV_KNOBS: Tuple[EnvKnob, ...] = (
         description="Attempts per sweep point before the supervisor quarantines it.",
         consumer="repro.experiments.settings",
     ),
+    EnvKnob(
+        name="REPRO_VERIFY_MUTATE",
+        default="",
+        domain="mutation rule id (see repro.verification.model.MUTATIONS) or empty",
+        description="Inject one deliberate protocol-model breakage so every verification lane can prove it catches and minimizes it.",
+        consumer="repro.verification.model",
+    ),
+    EnvKnob(
+        name="REPRO_VERIFY_SWARM_SECONDS",
+        default="30",
+        domain="positive float seconds",
+        description="Wall-clock budget for the swarm lane in the verification CLI; bounds how many walks run, never what a walk does.",
+        consumer="repro.verification.__main__",
+    ),
 )
 
 

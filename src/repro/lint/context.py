@@ -35,6 +35,15 @@ RESULT_AFFECTING_PREFIXES: Tuple[str, ...] = (
     "src/repro/interconnect/",
 )
 
+#: The verification harness.  Not result-affecting (nothing here feeds a
+#: ``SimulationResult``), but its whole value rests on determinism — sharded
+#: BFS folds must be jobs-independent, walks and shrinks seed-reproducible —
+#: so the unordered-iteration rule (D102) scans it.  The wall-clock rule
+#: (D103) deliberately does *not*: the checker's progress reporting and the
+#: CLI's swarm budget legitimately read the host clock, and no clock value
+#: reaches a verification verdict.
+VERIFICATION_PREFIX = "src/repro/verification/"
+
 #: The telemetry package.  Not result-affecting (the obs contract is that
 #: nothing here feeds a ``SimulationResult``), but rule D103 *does* scan it:
 #: the subsystem's design routes every host-clock read through the registry,
@@ -101,6 +110,10 @@ HOT_COMMUTATIVE_VALUES: FrozenSet[str] = frozenset({"atomic", "local", "never"})
 
 def is_result_affecting(relpath: str) -> bool:
     return relpath.startswith(RESULT_AFFECTING_PREFIXES)
+
+
+def is_verification_module(relpath: str) -> bool:
+    return relpath.startswith(VERIFICATION_PREFIX)
 
 
 def is_obs_module(relpath: str) -> bool:

@@ -17,6 +17,7 @@ from repro.lint.context import (
     is_obs_module,
     is_obs_wallclock_module,
     is_result_affecting,
+    is_verification_module,
 )
 from repro.lint.engine import Rule, SourceModule
 from repro.lint.rules.common import (
@@ -133,13 +134,18 @@ class UnorderedIterationRule(Rule):
     incidental construction order leak into results.  Wrap the iterable in
     ``sorted(...)``, or — where the order provably cannot reach a result —
     suppress with the proof as the reason.
+
+    The verification harness (``repro/verification/``) is scanned too: its
+    guarantees — sharded BFS counts bit-identical to the serial checker,
+    seed-reproducible walks and shrinks — are exactly the kind that an
+    incidental hash-order iteration silently breaks.
     """
 
     code = "D102"
     symbol = "unordered-iteration"
     description = (
-        "result-affecting modules must iterate sets and dict views in a "
-        "canonical (sorted) order"
+        "result-affecting and verification modules must iterate sets and "
+        "dict views in a canonical (sorted) order"
     )
 
     #: Wrappers that preserve the underlying (non-canonical) order, so the
@@ -152,7 +158,7 @@ class UnorderedIterationRule(Rule):
     )
 
     def applies(self, relpath: str) -> bool:
-        return is_result_affecting(relpath)
+        return is_result_affecting(relpath) or is_verification_module(relpath)
 
     def check(self, module: SourceModule, ctx: ProjectContext) -> List[Violation]:
         exempt = self._reducer_generators(module.tree)

@@ -1,6 +1,29 @@
-"""Protocol verification substrate: transient-state models and a model checker."""
+"""Protocol verification substrate: transient-state models and a model checker.
+
+Beyond the serial checker, the package hosts the verification-at-scale
+lanes (all reachable through ``python -m repro.verification``):
+
+* :mod:`repro.verification.parallel` — sharded exhaustive BFS on the
+  campaign supervisor fabric, with journalled crash-safe checkpoints;
+* :mod:`repro.verification.walker` — seeded randomized interleaving swarms;
+* :mod:`repro.verification.differential` — differential cross-checks that
+  drive the live protocol engines and the abstract model with one stream;
+* :mod:`repro.verification.shrink` — delta-debugging trace minimization;
+* :mod:`repro.verification.encode` — canonical repro-file codec.
+"""
 
 from repro.verification.checker import ExplorationResult, ModelChecker, verify_protocol
+from repro.verification.differential import (
+    DifferentialFailure,
+    DifferentialResult,
+    StreamConfig,
+    generate_stream,
+    run_differential,
+)
+from repro.verification.encode import ReproFileError, load_repro, make_repro, write_repro
+from repro.verification.parallel import ShardedExploration, check_sharded
+from repro.verification.shrink import ddmin, shrink_model_trace
+from repro.verification.walker import SwarmResult, WalkResult, run_swarm
 from repro.verification.inventory import (
     INVENTORIES,
     THREE_LEVEL_MESI,
@@ -26,6 +49,8 @@ __all__ = [
     "CacheState",
     "CoherenceModel",
     "ControllerInventory",
+    "DifferentialFailure",
+    "DifferentialResult",
     "DirState",
     "ExplorationResult",
     "GlobalState",
@@ -35,12 +60,26 @@ __all__ = [
     "ModelConfig",
     "MsgType",
     "ProtocolInventory",
+    "ReproFileError",
+    "ShardedExploration",
+    "StreamConfig",
+    "SwarmResult",
     "THREE_LEVEL_MESI",
     "THREE_LEVEL_MEUSI",
     "TWO_LEVEL_MESI",
     "TWO_LEVEL_MEUSI",
+    "WalkResult",
     "check_invariants",
+    "check_sharded",
+    "ddmin",
     "directory_type_field_bits",
     "extra_states_over_mesi",
+    "generate_stream",
+    "load_repro",
+    "make_repro",
+    "run_differential",
+    "run_swarm",
+    "shrink_model_trace",
     "verify_protocol",
+    "write_repro",
 ]

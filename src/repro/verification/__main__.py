@@ -1,0 +1,519 @@
+"""Verification-at-scale CLI: ``python -m repro.verification <lane> ...``.
+
+Subcommands map one-to-one onto the harness lanes:
+
+* ``exhaustive`` — sharded breadth-first model checking
+  (:mod:`repro.verification.parallel`) over a grid of configurations;
+  ``--jobs`` shards each state space, ``--shard i/N`` slices the *grid*
+  across CI machines, ``--journal``/``--resume`` checkpoint and recover.
+* ``swarm`` — randomized interleaving walks (:mod:`repro.verification.walker`)
+  under a wall-clock budget (``REPRO_VERIFY_SWARM_SECONDS`` or
+  ``--seconds``); the budget bounds how many walks run, never what any
+  single walk does, so every reported walk is re-runnable from its seed.
+* ``differential`` — live-engine vs abstract-model cross-checks
+  (:mod:`repro.verification.differential`) over seeded transaction streams.
+* ``replay`` — re-execute a minimized counterexample repro file.  Exit
+  status is the contract: 0 = the violation reproduces, 1 = it does not,
+  2 = the file is corrupt/truncated/alien.
+* ``smoke`` — the bounded CI lane: one exhaustive point, a short swarm, one
+  differential point, and a mutation-is-caught self-test that injects
+  ``dir.GetX.keep_sharers`` and asserts every lane reports a minimized,
+  replayable counterexample.
+
+Any violation found by any lane is delta-debugged to a 1-minimal trace and
+written as a canonical-JSON repro file under ``--repro-dir``; the printed
+path feeds straight into ``replay``.
+
+``REPRO_VERIFY_MUTATE=<rule-id>`` (see
+:data:`repro.verification.model.MUTATIONS`) injects a deliberate model
+breakage into every lane — the harness's own fault-injection self-test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.verification import encode
+from repro.verification.model import MUTATIONS, ModelConfig, mutation_from_env
+
+DEFAULT_REPRO_DIR = "results/verify-repros"
+
+
+def _swarm_seconds_default() -> float:
+    """The swarm lane's wall-clock budget from ``REPRO_VERIFY_SWARM_SECONDS``."""
+    raw = os.environ.get("REPRO_VERIFY_SWARM_SECONDS", "30").strip()
+    try:
+        seconds = float(raw)
+    except ValueError:
+        return 30.0
+    return seconds if seconds > 0 else 30.0
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``i/N`` grid slicing (0-based shard index)."""
+    try:
+        index_text, _, total_text = text.partition("/")
+        index, total = int(index_text), int(total_text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--shard wants i/N (e.g. 0/4), got {text!r}"
+        ) from exc
+    if total < 1 or not 0 <= index < total:
+        raise argparse.ArgumentTypeError(
+            f"--shard {text!r}: need 0 <= i < N with N >= 1"
+        )
+    return index, total
+
+
+def _int_list(text: str) -> List[int]:
+    return [int(item) for item in text.split(",") if item.strip()]
+
+
+def _str_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _grid(
+    protocols: Sequence[str], cores: Sequence[int], ops: Sequence[int]
+) -> List[Tuple[str, int, int]]:
+    return [
+        (protocol, n_cores, n_ops)
+        for protocol in protocols
+        for n_cores in cores
+        for n_ops in ops
+    ]
+
+
+def _slice_grid(grid: List[Any], shard: Optional[Tuple[int, int]]) -> List[Any]:
+    if shard is None:
+        return grid
+    index, total = shard
+    return grid[index::total]
+
+
+def _repro_path(repro_dir: str, lane: str, tag: str) -> str:
+    return os.path.join(repro_dir, f"repro-{lane}-{tag}.json")
+
+
+def _write_model_repro(
+    repro_dir: str,
+    lane: str,
+    tag: str,
+    config: ModelConfig,
+    trace: Sequence[str],
+    mutation: Optional[str],
+) -> str:
+    """Shrink a violating model trace and write its repro file."""
+    from repro.verification.model import CoherenceModel
+    from repro.verification.shrink import shrink_model_trace
+
+    model = CoherenceModel(config, mutation=mutation)
+    minimal, violation = shrink_model_trace(model, trace)
+    repro = encode.make_repro(
+        lane=lane,
+        kind="model-trace",
+        config=encode.config_to_jsonable(config),
+        trace=minimal,
+        violation=encode.violation_to_jsonable(violation),
+        mutation=mutation,
+    )
+    path = _repro_path(repro_dir, lane, tag)
+    encode.write_repro(path, repro)
+    return path
+
+
+def _print(line: str) -> None:
+    sys.stdout.write(line + "\n")
+
+
+# -- exhaustive ----------------------------------------------------------------
+
+
+def cmd_exhaustive(args: argparse.Namespace) -> int:
+    from repro.experiments import faults
+    from repro.verification.parallel import check_sharded
+
+    mutation = args.mutate if args.mutate is not None else mutation_from_env()
+    plan = faults.refresh_active_plan()
+    grid = _slice_grid(
+        _grid(args.protocol, args.cores, args.ops), args.shard
+    )
+    failed = 0
+    for protocol, n_cores, n_ops in grid:
+        config = ModelConfig(
+            n_cores=n_cores,
+            n_ops=n_ops,
+            protocol=protocol,
+            value_base=args.value_base,
+        )
+        journal_dir = None
+        if args.journal is not None:
+            journal_dir = os.path.join(
+                args.journal, f"{protocol}-{n_cores}c-{n_ops}o"
+            )
+        exploration = check_sharded(
+            config,
+            jobs=args.jobs,
+            mutation=mutation,
+            max_states=args.max_states,
+            journal_dir=journal_dir,
+            resume=args.resume,
+            torn_hook=plan.torn_hook() if plan else None,
+        )
+        result = exploration.result
+        _print(
+            f"exhaustive {protocol} cores={n_cores} ops={n_ops} "
+            f"jobs={args.jobs}: states={result.n_states} "
+            f"transitions={result.n_transitions} deadlocks={result.deadlocks} "
+            f"levels={exploration.n_levels} verified={result.verified}"
+        )
+        if not result.verified:
+            failed += 1
+            for violation, trace in zip(
+                result.violations, exploration.violation_traces
+            ):
+                _print(f"  violation: {violation.invariant}: {violation.detail}")
+                path = _write_model_repro(
+                    args.repro_dir,
+                    "exhaustive",
+                    f"{protocol}-{n_cores}c-{n_ops}o",
+                    config,
+                    trace,
+                    mutation,
+                )
+                _print(f"  minimized repro: {path}")
+                break  # one repro per configuration is plenty
+    return 1 if failed else 0
+
+
+# -- swarm ---------------------------------------------------------------------
+
+
+def cmd_swarm(args: argparse.Namespace) -> int:
+    from repro.verification.walker import run_swarm
+
+    mutation = args.mutate if args.mutate is not None else mutation_from_env()
+    seconds = args.seconds if args.seconds is not None else _swarm_seconds_default()
+    deadline = time.monotonic() + seconds
+    grid = _slice_grid(
+        _grid(args.protocol, args.cores, args.ops), args.shard
+    )
+    failed = 0
+    for protocol, n_cores, n_ops in grid:
+        config = ModelConfig(
+            n_cores=n_cores,
+            n_ops=n_ops,
+            protocol=protocol,
+            value_base=args.value_base,
+        )
+        swarm = run_swarm(
+            config,
+            n_walkers=args.walkers,
+            max_steps=args.max_steps,
+            seed=args.seed,
+            mutation=mutation,
+            should_continue=lambda: time.monotonic() < deadline,
+        )
+        _print(
+            f"swarm {protocol} cores={n_cores} ops={n_ops} seed={args.seed}: "
+            f"walks={len(swarm.walks)} steps={swarm.total_steps} "
+            f"verified={swarm.verified}"
+        )
+        failure = swarm.first_failure
+        if failure is not None and failure.violation is not None:
+            failed += 1
+            _print(
+                f"  walker {failure.walker_index} hit "
+                f"{failure.violation.invariant} at step {failure.steps}"
+            )
+            path = _write_model_repro(
+                args.repro_dir,
+                "swarm",
+                f"{protocol}-{n_cores}c-{n_ops}o-seed{args.seed}"
+                f"-w{failure.walker_index}",
+                config,
+                failure.trace,
+                mutation,
+            )
+            _print(f"  minimized repro: {path}")
+        elif failure is not None and failure.deadlock:
+            failed += 1
+            _print(f"  walker {failure.walker_index} deadlocked")
+    return 1 if failed else 0
+
+
+# -- differential --------------------------------------------------------------
+
+
+def cmd_differential(args: argparse.Namespace) -> int:
+    from repro.verification.differential import (
+        StreamConfig,
+        run_differential,
+        shrink_stream,
+    )
+
+    mutation = args.mutate if args.mutate is not None else mutation_from_env()
+    points = _slice_grid(
+        [
+            (protocol, seed)
+            for protocol in args.protocol
+            for seed in range(args.seed, args.seed + args.points)
+        ],
+        args.shard,
+    )
+    failed = 0
+    for protocol, seed in points:
+        config = StreamConfig(
+            protocol=protocol,
+            n_cores=args.cores,
+            n_addresses=args.addresses,
+            length=args.length,
+            seed=seed,
+        )
+        result = run_differential(config, mutation=mutation, live=not args.no_live)
+        _print(
+            f"differential {protocol} seed={seed} length={args.length}: "
+            f"checks={','.join(result.checks)} verified={result.verified}"
+        )
+        if result.failure is None:
+            continue
+        failed += 1
+        _print(f"  failure: {result.failure.reason}: {result.failure.detail}")
+        if result.failure.reason.startswith("model-"):
+            minimal, min_failure = shrink_stream(
+                config, result.stream, mutation=mutation
+            )
+            repro = encode.make_repro(
+                lane="differential",
+                kind="stream",
+                config=config.to_jsonable(),
+                trace=minimal,
+                violation=min_failure.to_jsonable(),
+                mutation=mutation,
+            )
+            path = _repro_path(
+                args.repro_dir, "differential", f"{protocol}-seed{seed}"
+            )
+            encode.write_repro(path, repro)
+            _print(f"  minimized repro: {path}")
+    return 1 if failed else 0
+
+
+# -- replay --------------------------------------------------------------------
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from repro.verification.differential import StreamConfig, replay_stream_model
+    from repro.verification.model import CoherenceModel
+    from repro.verification.shrink import replay_model_trace
+
+    try:
+        repro = encode.load_repro(args.file)
+    except encode.ReproFileError as exc:
+        _print(f"replay: corrupt repro file: {exc}")
+        return 2
+    mutation = repro["mutation"]
+    if repro["kind"] == "model-trace":
+        config = encode.config_from_jsonable(repro["config"])
+        model = CoherenceModel(config, mutation=mutation)
+        violation = replay_model_trace(model, repro["trace"])
+        if violation is not None:
+            _print(
+                f"replay: reproduces {violation.invariant} in "
+                f"{len(repro['trace'])} step(s): {violation.detail}"
+            )
+            return 0
+    else:  # kind == "stream" (load_repro validated the kind)
+        stream_config = StreamConfig.from_jsonable(repro["config"])
+        failure = replay_stream_model(
+            stream_config, repro["trace"], mutation=mutation
+        )
+        if failure is not None:
+            _print(
+                f"replay: reproduces {failure.reason} in "
+                f"{len(repro['trace'])} transaction(s): {failure.detail}"
+            )
+            return 0
+    _print("replay: trace did NOT reproduce the recorded violation")
+    return 1
+
+
+# -- smoke ---------------------------------------------------------------------
+
+
+def cmd_smoke(args: argparse.Namespace) -> int:
+    """Bounded CI lane; every failure is fatal (exit 1)."""
+    from repro.verification.differential import StreamConfig, run_differential
+    from repro.verification.model import CoherenceModel
+    from repro.verification.parallel import check_sharded
+    from repro.verification.shrink import replay_model_trace
+    from repro.verification.walker import run_swarm
+
+    ok = True
+    config = ModelConfig(n_cores=2, n_ops=1, protocol="MEUSI", value_base=2)
+
+    exploration = check_sharded(config, jobs=args.jobs, max_states=200_000)
+    _print(
+        f"smoke exhaustive: states={exploration.result.n_states} "
+        f"verified={exploration.result.verified}"
+    )
+    ok = ok and exploration.result.verified
+
+    deadline = time.monotonic() + _swarm_seconds_default()
+    swarm = run_swarm(
+        ModelConfig(n_cores=2, n_ops=2, protocol="MEUSI", value_base=2),
+        n_walkers=8,
+        max_steps=600,
+        seed=0,
+        should_continue=lambda: time.monotonic() < deadline,
+    )
+    _print(
+        f"smoke swarm: walks={len(swarm.walks)} steps={swarm.total_steps} "
+        f"verified={swarm.verified}"
+    )
+    ok = ok and swarm.verified
+
+    differential = run_differential(StreamConfig(protocol="MEUSI", seed=0))
+    _print(
+        f"smoke differential: checks={','.join(differential.checks)} "
+        f"verified={differential.verified}"
+    )
+    ok = ok and differential.verified
+
+    # Mutation self-test: the harness must CATCH a broken model, and the
+    # minimized counterexample must replay.
+    mutation = "dir.GetX.keep_sharers"
+    mutated = check_sharded(config, jobs=1, mutation=mutation)
+    caught = not mutated.result.verified and bool(mutated.violation_traces)
+    replays = False
+    if caught:
+        path = _write_model_repro(
+            args.repro_dir, "smoke", "mutation-self-test", config,
+            mutated.violation_traces[0], mutation,
+        )
+        repro = encode.load_repro(path)
+        model = CoherenceModel(config, mutation=mutation)
+        replays = replay_model_trace(model, repro["trace"]) is not None
+        _print(
+            f"smoke mutation self-test: caught={caught} "
+            f"minimal_steps={len(repro['trace'])} replays={replays} ({path})"
+        )
+    else:
+        _print("smoke mutation self-test: NOT caught — harness is broken")
+    ok = ok and caught and replays
+    return 0 if ok else 1
+
+
+# -- argument plumbing ---------------------------------------------------------
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--repro-dir",
+        default=DEFAULT_REPRO_DIR,
+        help="directory for minimized counterexample repro files",
+    )
+    parser.add_argument(
+        "--mutate",
+        default=None,
+        choices=sorted(MUTATIONS),
+        help="inject a model mutation (overrides REPRO_VERIFY_MUTATE)",
+    )
+    parser.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="i/N",
+        help="run only slice i of N of the configuration grid",
+    )
+
+
+def _add_model_grid(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", type=_str_list, default=["MEUSI"])
+    parser.add_argument("--cores", type=_int_list, default=[2])
+    parser.add_argument("--ops", type=_int_list, default=[1])
+    parser.add_argument("--value-base", type=int, default=2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verification",
+        description="Verification at scale: sharded exhaustive checking, "
+        "interleaving swarms, differential cross-checks, and counterexample "
+        "replay.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exhaustive = sub.add_parser("exhaustive", help="sharded BFS model checking")
+    _add_model_grid(exhaustive)
+    _add_common(exhaustive)
+    exhaustive.add_argument("--jobs", type=int, default=1)
+    exhaustive.add_argument("--max-states", type=int, default=2_000_000)
+    exhaustive.add_argument(
+        "--journal", default=None, help="checkpoint journal root directory"
+    )
+    exhaustive.add_argument(
+        "--resume", action="store_true", help="fold an existing journal first"
+    )
+    exhaustive.set_defaults(fn=cmd_exhaustive)
+
+    swarm = sub.add_parser("swarm", help="randomized interleaving swarm")
+    _add_model_grid(swarm)
+    _add_common(swarm)
+    swarm.add_argument("--walkers", type=int, default=8)
+    swarm.add_argument("--max-steps", type=int, default=2_000)
+    swarm.add_argument("--seed", type=int, default=0)
+    swarm.add_argument(
+        "--seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget (default: REPRO_VERIFY_SWARM_SECONDS)",
+    )
+    swarm.set_defaults(fn=cmd_swarm)
+
+    differential = sub.add_parser(
+        "differential", help="live engines vs abstract model"
+    )
+    _add_common(differential)
+    differential.add_argument(
+        "--protocol", type=_str_list, default=["MESI", "MEUSI", "RMO"]
+    )
+    differential.add_argument("--cores", type=int, default=2)
+    differential.add_argument("--addresses", type=int, default=2)
+    differential.add_argument("--length", type=int, default=48)
+    differential.add_argument("--seed", type=int, default=0)
+    differential.add_argument(
+        "--points", type=int, default=1, help="seeds per protocol"
+    )
+    differential.add_argument(
+        "--no-live",
+        action="store_true",
+        help="model side only (skip engine runs)",
+    )
+    differential.set_defaults(fn=cmd_differential)
+
+    replay = sub.add_parser("replay", help="re-execute a repro file")
+    replay.add_argument("file")
+    replay.set_defaults(fn=cmd_replay)
+
+    smoke = sub.add_parser("smoke", help="bounded CI verification lane")
+    smoke.add_argument("--jobs", type=int, default=2)
+    smoke.add_argument("--repro-dir", default=DEFAULT_REPRO_DIR)
+    smoke.set_defaults(fn=cmd_smoke)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    fn: Any = args.fn
+    result: int = fn(args)
+    return result
+
+
+if __name__ == "__main__":
+    sys.exit(main())

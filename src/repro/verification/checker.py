@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.verification.invariants import InvariantViolation, check_invariants
 from repro.verification.model import CoherenceModel, GlobalState, ModelConfig
@@ -50,6 +50,51 @@ class ExplorationResult:
             "completed": self.completed,
         }
 
+    def to_jsonable(self) -> dict:
+        """Canonical-JSON-safe form, the unit shard results merge in.
+
+        Serialize with ``sort_keys=True`` (every writer in this package uses
+        :func:`repro.verification.encode.canonical_dumps`); the inverse is
+        :meth:`from_jsonable`.
+        """
+        from repro.verification import encode
+
+        return {
+            "config": encode.config_to_jsonable(self.config),
+            "n_states": self.n_states,
+            "n_transitions": self.n_transitions,
+            "elapsed_seconds": self.elapsed_seconds,
+            "violations": [
+                encode.violation_to_jsonable(violation)
+                for violation in self.violations
+            ],
+            "deadlocks": self.deadlocks,
+            "completed": self.completed,
+            "max_frontier": self.max_frontier,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: Mapping[str, object]) -> "ExplorationResult":
+        """Rebuild a result from :meth:`to_jsonable` output."""
+        from typing import Any, cast
+
+        from repro.verification import encode
+
+        raw = cast(Dict[str, Any], dict(data))
+        return cls(
+            config=encode.config_from_jsonable(raw["config"]),
+            n_states=int(raw["n_states"]),
+            n_transitions=int(raw["n_transitions"]),
+            elapsed_seconds=float(raw["elapsed_seconds"]),
+            violations=[
+                encode.violation_from_jsonable(violation)
+                for violation in raw["violations"]
+            ],
+            deadlocks=int(raw["deadlocks"]),
+            completed=bool(raw["completed"]),
+            max_frontier=int(raw["max_frontier"]),
+        )
+
 
 class ModelChecker:
     """Breadth-first explicit-state enumeration with invariant checking."""
@@ -61,9 +106,10 @@ class ModelChecker:
         max_states: int = 2_000_000,
         check_deadlock: bool = True,
         stop_on_violation: bool = True,
+        mutation: Optional[str] = None,
     ) -> None:
         self.config = config
-        self.model = CoherenceModel(config)
+        self.model = CoherenceModel(config, mutation=mutation)
         self.max_states = max_states
         self.check_deadlock = check_deadlock
         self.stop_on_violation = stop_on_violation
@@ -133,10 +179,11 @@ def verify_protocol(
     *,
     max_states: int = 2_000_000,
     value_base: int = 2,
+    mutation: Optional[str] = None,
 ) -> ExplorationResult:
     """Convenience wrapper used by experiments, examples, and tests."""
     config = ModelConfig(
         n_cores=n_cores, n_ops=n_ops, protocol=protocol, value_base=value_base
     )
-    checker = ModelChecker(config, max_states=max_states)
+    checker = ModelChecker(config, max_states=max_states, mutation=mutation)
     return checker.run()

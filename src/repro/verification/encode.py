@@ -1,0 +1,257 @@
+"""Canonical serialization for verification states, violations, and repro files.
+
+Everything the parallel harness ships across process boundaries — frontier
+chunks to shard workers, journal checkpoints, counterexample repro files —
+goes through this module, for one reason: the in-memory representations are
+*not* canonical across processes.  Built-in ``hash`` is salted per process,
+enum hashing is id-based, and dataclass reprs are an implementation detail.
+The JSON forms here are pure lists/ints/strings serialized with
+``sort_keys=True`` and compact separators, so two processes (or two runs)
+encoding the same state produce byte-identical text, and a content digest of
+that text is a legal cross-process partition key.
+
+The repro-file format (``repro.verification/1``) carries one minimized
+counterexample: the lane that found it, the model or stream configuration,
+the mutation in force (if any), the minimized trace, and the violation it
+reproduces.  A self-checksum makes tampering and truncation loud:
+:func:`load_repro` raises :class:`ReproFileError` with a precise message
+instead of replaying garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.verification.invariants import InvariantViolation
+from repro.verification.model import (
+    CacheLine,
+    CacheState,
+    DirectoryLine,
+    DirState,
+    GlobalState,
+    Message,
+    ModelConfig,
+    MsgType,
+)
+
+#: Schema tag written into every repro file; bump on wire-format changes.
+REPRO_SCHEMA = "repro.verification/1"
+
+#: Fields every repro file must carry (beyond the checksum added on write).
+_REPRO_REQUIRED = ("schema", "lane", "kind", "config", "mutation", "trace", "violation")
+
+#: Trace kinds a repro file may carry: a model rule-name trace replayed
+#: against :class:`~repro.verification.model.CoherenceModel`, or a
+#: differential transaction stream replayed against the live engines.
+REPRO_KINDS = ("model-trace", "stream")
+
+
+class ReproFileError(ValueError):
+    """A repro file that cannot be trusted: truncated, corrupt, or alien."""
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Canonical compact JSON: the only serialization this package uses."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+# -- model configuration ------------------------------------------------------
+
+
+def config_to_jsonable(config: ModelConfig) -> Dict[str, Any]:
+    return {
+        "n_cores": config.n_cores,
+        "n_ops": config.n_ops,
+        "protocol": config.protocol,
+        "value_base": config.value_base,
+    }
+
+
+def config_from_jsonable(data: Mapping[str, Any]) -> ModelConfig:
+    return ModelConfig(
+        n_cores=int(data["n_cores"]),
+        n_ops=int(data["n_ops"]),
+        protocol=str(data["protocol"]),
+        value_base=int(data["value_base"]),
+    )
+
+
+# -- global states ------------------------------------------------------------
+
+
+def state_to_jsonable(state: GlobalState) -> Dict[str, Any]:
+    """A pure-JSON snapshot of one global model state (see roundtrip below)."""
+    directory = state.directory
+    return {
+        "caches": [
+            [line.state.value, line.value, line.op, line.pending_op]
+            for line in state.caches
+        ],
+        "directory": [
+            directory.state.value,
+            directory.value,
+            sorted(directory.sharers),
+            directory.owner,
+            directory.op,
+            list(directory.pending) if directory.pending is not None else None,
+            directory.acks_needed,
+            directory.unblocks_pending,
+        ],
+        "ghost": state.ghost_value,
+        "network": [
+            [msg_type.value, src, dst, list(payload)]
+            for msg_type, src, dst, payload in state.network
+        ],
+    }
+
+
+def state_from_jsonable(data: Mapping[str, Any]) -> GlobalState:
+    """Rebuild a :class:`GlobalState` from :func:`state_to_jsonable` output."""
+    caches = tuple(
+        CacheLine(
+            state=CacheState(entry[0]),
+            value=entry[1],
+            op=entry[2],
+            pending_op=entry[3],
+        )
+        for entry in data["caches"]
+    )
+    raw_dir = data["directory"]
+    directory = DirectoryLine(
+        state=DirState(raw_dir[0]),
+        value=raw_dir[1],
+        sharers=frozenset(raw_dir[2]),
+        owner=raw_dir[3],
+        op=raw_dir[4],
+        pending=tuple(raw_dir[5]) if raw_dir[5] is not None else None,
+        acks_needed=raw_dir[6],
+        unblocks_pending=raw_dir[7],
+    )
+    messages: List[Message] = [
+        (MsgType(entry[0]), entry[1], entry[2], tuple(entry[3]))
+        for entry in data["network"]
+    ]
+    # `_send` keeps the network tuple sorted by repr; restore that invariant
+    # so a roundtripped state compares equal to the original.
+    network = tuple(sorted(messages, key=repr))
+    return GlobalState(
+        caches=caches,
+        directory=directory,
+        network=network,
+        ghost_value=data["ghost"],
+    )
+
+
+def state_digest(state: GlobalState) -> int:
+    """32-bit content digest of a state's canonical encoding.
+
+    This — never built-in ``hash`` — is the frontier partition key: every
+    process computes the same digest for the same state, so ``digest % jobs``
+    is a stable shard assignment.
+    """
+    return zlib.crc32(canonical_dumps(state_to_jsonable(state)).encode("utf-8"))
+
+
+# -- invariant violations -----------------------------------------------------
+
+
+def violation_to_jsonable(violation: InvariantViolation) -> Dict[str, Any]:
+    return {
+        "invariant": violation.invariant,
+        "detail": violation.detail,
+        "state": state_to_jsonable(violation.state),
+    }
+
+
+def violation_from_jsonable(data: Mapping[str, Any]) -> InvariantViolation:
+    return InvariantViolation(
+        invariant=str(data["invariant"]),
+        detail=str(data["detail"]),
+        state=state_from_jsonable(data["state"]),
+    )
+
+
+# -- repro files --------------------------------------------------------------
+
+
+def make_repro(
+    *,
+    lane: str,
+    kind: str,
+    config: Mapping[str, Any],
+    trace: Sequence[Any],
+    violation: Mapping[str, Any],
+    mutation: Optional[str],
+) -> Dict[str, Any]:
+    """Assemble a repro document (checksum is added by :func:`write_repro`)."""
+    if kind not in REPRO_KINDS:
+        raise ValueError(f"unknown repro kind {kind!r}; expected one of {REPRO_KINDS}")
+    return {
+        "schema": REPRO_SCHEMA,
+        "lane": lane,
+        "kind": kind,
+        "config": dict(config),
+        "mutation": mutation,
+        "trace": list(trace),
+        "violation": dict(violation),
+    }
+
+
+def _body_checksum(body: Mapping[str, Any]) -> str:
+    payload = canonical_dumps({k: v for k, v in sorted(body.items()) if k != "crc32"})
+    return f"{zlib.crc32(payload.encode('utf-8')):08x}"
+
+
+def write_repro(path: str, repro: Mapping[str, Any]) -> None:
+    """Write one repro file: canonical JSON with a self-checksum."""
+    missing = [field for field in _REPRO_REQUIRED if field not in repro]
+    if missing:
+        raise ValueError(f"repro document missing field(s): {', '.join(missing)}")
+    document = dict(repro)
+    document["crc32"] = _body_checksum(document)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(canonical_dumps(document))
+        handle.write("\n")
+
+
+def load_repro(path: str) -> Dict[str, Any]:
+    """Load and validate a repro file; :class:`ReproFileError` on any damage."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReproFileError(f"{path}: cannot read repro file: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproFileError(
+            f"{path}: not valid JSON (truncated or corrupt repro file): {exc}"
+        ) from exc
+    if not isinstance(document, dict):
+        raise ReproFileError(f"{path}: repro file must hold a JSON object")
+    if document.get("schema") != REPRO_SCHEMA:
+        raise ReproFileError(
+            f"{path}: schema {document.get('schema')!r} is not {REPRO_SCHEMA!r}"
+        )
+    missing = [field for field in _REPRO_REQUIRED if field not in document]
+    if missing:
+        raise ReproFileError(
+            f"{path}: repro file missing field(s): {', '.join(missing)}"
+        )
+    if document.get("kind") not in REPRO_KINDS:
+        raise ReproFileError(
+            f"{path}: unknown trace kind {document.get('kind')!r}; "
+            f"expected one of {REPRO_KINDS}"
+        )
+    recorded = document.get("crc32")
+    expected = _body_checksum(document)
+    if recorded != expected:
+        raise ReproFileError(
+            f"{path}: checksum mismatch (recorded {recorded!r}, content "
+            f"{expected!r}) — the repro file was damaged after it was written"
+        )
+    return document

@@ -35,8 +35,9 @@ model and checks the coherence invariants from Sec. 3.3 on every one of them.
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass
-from typing import FrozenSet, Iterator, Optional, Tuple
+from typing import FrozenSet, Iterator, List, Mapping, Optional, Tuple
 
 
 class CacheState(enum.Enum):
@@ -220,11 +221,61 @@ class ModelConfig:
         return self.protocol.upper() in ("MEUSI", "MUSI")
 
 
-class CoherenceModel:
-    """Parametric MESI/MEUSI transition system over a single cache line."""
+#: Deliberate single-transition model breakages, keyed by rule id.  These are
+#: the verification harness's self-test (the analogue of ``REPRO_FAULT`` for
+#: the campaign fabric): ``REPRO_VERIFY_MUTATE=<rule-id>`` switches exactly one
+#: directory/cache transition to a subtly wrong variant, and the lane tests
+#: prove every lane (exhaustive, swarm, differential) catches it and shrinks
+#: it to a minimal counterexample.
+MUTATIONS: Mapping[str, str] = {
+    "dir.GetX.keep_sharers": (
+        "GetX against a SHARED line grants exclusive data immediately without "
+        "invalidating the remaining sharers (breaks single-writer)."
+    ),
+    "dir.PutU.drop_delta": (
+        "PutU absorption discards the evicting cache's buffered delta instead "
+        "of folding it into the directory value (loses commutative updates)."
+    ),
+    "core.local_update_in_u.drop_ghost": (
+        "a local update in U advances the buffered delta but not the ghost "
+        "value (the reduction will later apply an update that architecturally "
+        "never happened)."
+    ),
+}
 
-    def __init__(self, config: ModelConfig) -> None:
+
+def mutation_from_env() -> Optional[str]:
+    """The mutation requested via ``REPRO_VERIFY_MUTATE``, if any.
+
+    Raises ``ValueError`` for an unknown rule id so a typo in a CI lane fails
+    the run loudly instead of silently verifying an unmutated model.
+    """
+    value = os.environ.get("REPRO_VERIFY_MUTATE", "").strip()
+    if not value:
+        return None
+    if value not in MUTATIONS:
+        known = ", ".join(sorted(MUTATIONS))
+        raise ValueError(
+            f"REPRO_VERIFY_MUTATE={value!r} names no known mutation; "
+            f"expected one of: {known}"
+        )
+    return value
+
+
+class CoherenceModel:
+    """Parametric MESI/MEUSI transition system over a single cache line.
+
+    ``mutation`` (a :data:`MUTATIONS` rule id) deliberately breaks one
+    transition; ``None`` is the faithful model.  Callers that want the
+    environment knob pass ``mutation_from_env()`` explicitly.
+    """
+
+    def __init__(self, config: ModelConfig, *, mutation: Optional[str] = None) -> None:
+        if mutation is not None and mutation not in MUTATIONS:
+            known = ", ".join(sorted(MUTATIONS))
+            raise ValueError(f"unknown mutation {mutation!r}; expected one of: {known}")
         self.config = config
+        self.mutation = mutation
 
     # -- construction helpers --------------------------------------------------
 
@@ -273,6 +324,18 @@ class CoherenceModel:
         yield from self._core_local_op_rules(state)
         yield from self._eviction_rules(state)
         yield from self._message_delivery_rules(state)
+
+    def ordered_successors(self, state: GlobalState) -> List[Tuple[str, GlobalState]]:
+        """Successors in a canonical order, stable across processes and runs.
+
+        Built-in ``hash`` is salted per process and enum hashing is id-based,
+        so anything that must agree across shard workers — random walks,
+        trace replay, frontier partitioning — draws successors through this
+        sorted view instead of the raw generator.
+        """
+        return sorted(
+            self.successors(state), key=lambda item: (item[0], repr(item[1].key()))
+        )
 
     # Core-initiated requests ---------------------------------------------------
 
@@ -343,7 +406,10 @@ class CoherenceModel:
                 next_state = self._with_cache(
                     state, core, CacheLine(CacheState.U, new_delta, line.op)
                 )
-                next_state = self._with_ghost(next_state, self._mod(state.ghost_value + 1))
+                if self.mutation != "core.local_update_in_u.drop_ghost":
+                    next_state = self._with_ghost(
+                        next_state, self._mod(state.ghost_value + 1)
+                    )
                 yield f"core{core}.local_update_in_u", next_state
 
     # Self-evictions ----------------------------------------------------------------
@@ -369,7 +435,10 @@ class CoherenceModel:
     # Message deliveries ---------------------------------------------------------------
 
     def _message_delivery_rules(self, state: GlobalState) -> Iterator[Tuple[str, GlobalState]]:
-        for message in set(state.network):
+        # The network tuple is kept sorted by `_send`; dict.fromkeys dedups the
+        # multiset while preserving that canonical order (a set would iterate
+        # in salted hash order).
+        for message in dict.fromkeys(state.network):
             if message[2] == DIR:
                 yield from self._deliver_to_directory(state, message)
             else:
@@ -466,7 +535,10 @@ class CoherenceModel:
     def _dir_handle_put_u(
         self, state: GlobalState, directory: DirectoryLine, src: int, delta: int
     ) -> GlobalState:
-        value = self._mod(directory.value + delta)
+        if self.mutation == "dir.PutU.drop_delta":
+            value = directory.value
+        else:
+            value = self._mod(directory.value + delta)
         if directory.state is DirState.UPDATE:
             sharers = directory.sharers - {src}
             new_dir = DirectoryLine(
@@ -532,6 +604,18 @@ class CoherenceModel:
             if not others:
                 new_dir = DirectoryLine(
                     state=DirState.EXCLUSIVE, value=directory.value, owner=src, unblocks_pending=1
+                )
+                next_state = self._with_dir(state, new_dir)
+                return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, True)))
+            if self.mutation == "dir.GetX.keep_sharers":
+                # Broken on purpose: grant exclusive data while readers still
+                # hold the line (the SWMR violation the lanes must catch).
+                new_dir = DirectoryLine(
+                    state=DirState.EXCLUSIVE,
+                    value=directory.value,
+                    sharers=others,
+                    owner=src,
+                    unblocks_pending=1,
                 )
                 next_state = self._with_dir(state, new_dir)
                 return self._send(next_state, (MsgType.DATA, DIR, src, (directory.value, True)))

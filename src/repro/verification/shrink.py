@@ -1,0 +1,142 @@
+"""Delta-debugging minimization of violation traces.
+
+Every lane of the verification harness reports counterexamples through this
+module: a raw violating trace (hundreds of random-walk steps, a BFS path, a
+generated transaction stream) is shrunk to a 1-minimal reproduction before it
+is written to a repro file.  The algorithm is Zeller's ``ddmin``: test ever
+finer chunkings of the trace and their complements, keeping any candidate
+that still reproduces the failure, until no single element can be removed.
+
+Two properties matter more than speed and are pinned by tests:
+
+* **Determinism** — given a deterministic predicate, the sequence of
+  candidates tested (and therefore the result) is a pure function of the
+  input trace.  No randomness, no wall-clock, no hash iteration.
+* **Idempotence** — shrinking an already-minimal trace returns it unchanged:
+  the final granularity pass tests exactly the single-element removals that
+  1-minimality guarantees are non-failing.
+
+For model traces the predicate is *replayability*: a candidate subsequence
+fails iff replaying its rule names from the initial state — skipping any rule
+that is not currently enabled — reaches an invariant violation.  Skip
+semantics is what makes ``ddmin`` effective here (under strict replay nearly
+every subsequence of a protocol trace is infeasible), and 1-minimality
+guarantees every rule of a *minimal* trace actually fires.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.verification.invariants import InvariantViolation, check_invariants
+from repro.verification.model import CoherenceModel, GlobalState
+
+T = TypeVar("T")
+
+#: Predicate over a candidate trace: True when the candidate still fails
+#: (reproduces the violation).  Must be deterministic.
+FailsFn = Callable[[Sequence[T]], bool]
+
+
+def _chunks(items: List[T], n: int) -> List[List[T]]:
+    """Split ``items`` into ``n`` contiguous chunks of near-equal length."""
+    chunks: List[List[T]] = []
+    length = len(items)
+    start = 0
+    for index in range(n):
+        end = start + (length - start + (n - index) - 1) // (n - index)
+        if end > start:
+            chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def ddmin(trace: Sequence[T], fails: FailsFn[T]) -> List[T]:
+    """Minimize ``trace`` to a 1-minimal failing subsequence.
+
+    Raises ``ValueError`` when the input trace does not fail — a shrinker
+    that silently "minimizes" a passing trace would mask a broken predicate.
+    """
+    current = list(trace)
+    if not fails(current):
+        raise ValueError("cannot shrink: the input trace does not reproduce the failure")
+    granularity = 2
+    while len(current) >= 2:
+        chunks = _chunks(current, granularity)
+        reduced = False
+        for chunk in chunks:
+            if fails(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for index in range(len(chunks)):
+                complement = [
+                    item
+                    for chunk_index, chunk in enumerate(chunks)
+                    if chunk_index != index
+                    for item in chunk
+                ]
+                if complement and fails(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def replay_model_trace(
+    model: CoherenceModel, trace: Sequence[str]
+) -> Optional[InvariantViolation]:
+    """Replay rule names from the initial state; the violation reached, if any.
+
+    A rule that is not enabled in the state the prefix reaches is *skipped*
+    (not an error).  Skip semantics is what makes delta debugging effective
+    on protocol traces: under strict replay, removing almost any early step
+    derails every later rule name and the candidate becomes trivially
+    infeasible, so nothing can be removed.  Under skip semantics a candidate
+    stays meaningful, and 1-minimality guarantees the final trace contains no
+    skipped (i.e. removable) step — every rule of a minimized trace fires.
+
+    A violation reached mid-trace is returned immediately — a failing prefix
+    still fails, which is what lets ``ddmin`` drop trailing steps.  When a
+    rule name matches several enabled transitions, the first match in
+    canonical successor order is taken, so replay is deterministic across
+    processes.
+    """
+    state = model.initial_state()
+    found = check_invariants(state, model.config)
+    if found:
+        return found[0]
+    for rule in trace:
+        next_state: Optional[GlobalState] = None
+        for name, successor in model.ordered_successors(state):
+            if name == rule:
+                next_state = successor
+                break
+        if next_state is None:
+            continue
+        state = next_state
+        found = check_invariants(state, model.config)
+        if found:
+            return found[0]
+    return None
+
+
+def shrink_model_trace(
+    model: CoherenceModel, trace: Sequence[str]
+) -> Tuple[List[str], InvariantViolation]:
+    """Minimize a violating model trace; returns (minimal trace, violation)."""
+
+    def fails(candidate: Sequence[str]) -> bool:
+        return replay_model_trace(model, candidate) is not None
+
+    minimal = ddmin(list(trace), fails)
+    violation = replay_model_trace(model, minimal)
+    assert violation is not None  # ddmin only returns failing candidates
+    return minimal, violation

@@ -1,0 +1,213 @@
+"""Randomized interleaving swarm over the protocol model.
+
+Exhaustive BFS proves small configurations; the swarm lane trades proof for
+reach.  Each walker performs a seeded random walk through the model's
+transition system — picking uniformly among enabled transitions — and checks
+the Sec. 3.3 invariants (single-writer, U-state commutativity via update
+conservation, reduction linearizability via the read-value check, ghost-value
+agreement) after *every* step.  A walk is deterministic per
+``(config, seed, walker index)``: the only randomness is the walker's own
+``random.Random`` stream, so any violation it finds is re-walkable and the
+shrinker can minimize its trace offline.
+
+Swarm diversity comes from per-walker enabled-rule subsets: walker 0 explores
+the full rule alphabet, every other walker deterministically disables a
+subset of the *optional* rule classes (evictions, upgrades, type switches).
+Disabling, say, evictions concentrates a walker's steps on request/reduction
+races that an unbiased walk reaches rarely; disabling writes pushes walks
+deep into U-mode interleavings.  Message deliveries and at least one request
+class are never all suppressed: when the filter would leave a state with no
+enabled transition, the walker falls back to the full successor list so the
+only terminal condition is a genuine model deadlock.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, List, Optional, Tuple
+
+from repro.verification.invariants import InvariantViolation, check_invariants
+from repro.verification.model import CoherenceModel, ModelConfig
+
+#: Rule classes a walker may disable for diversity.  Deliveries (``recv``,
+#: ``dir.*``) and the plain read/write/update misses stay always-on so a
+#: filtered walk cannot wedge itself short of a genuine deadlock.
+DISABLEABLE_CLASSES: Tuple[str, ...] = (
+    "evict_s",
+    "evict_m",
+    "evict_u",
+    "local_write",
+    "local_update_in_u",
+    "type_switch",
+    "update_from_s",
+    "upgrade",
+)
+
+_OP_SUFFIX = re.compile(r"_op\d+$")
+
+
+def rule_class(rule_name: str) -> str:
+    """The diversity class of a rule: core-id and op-id stripped.
+
+    ``core3.update_miss_op1`` -> ``update_miss``; ``dir.GetS.from2`` ->
+    ``dir.GetS``; ``core0.recv_Data`` -> ``recv``.
+    """
+    if rule_name.startswith("dir."):
+        return "dir." + rule_name.split(".")[1]
+    _, _, action = rule_name.partition(".")
+    if action.startswith("recv_"):
+        return "recv"
+    return _OP_SUFFIX.sub("", action)
+
+
+def walker_disabled_classes(seed: int, walker_index: int) -> FrozenSet[str]:
+    """The rule classes walker ``walker_index`` of swarm ``seed`` disables.
+
+    Walker 0 always explores the full alphabet; the rest flip an independent
+    deterministic coin per disableable class.  Pure function of its inputs —
+    the swarm composition is part of the reproducibility contract.
+    """
+    if walker_index == 0:
+        return frozenset()
+    rng = random.Random(seed * 1_000_003 + walker_index)
+    return frozenset(
+        name for name in DISABLEABLE_CLASSES if rng.random() < 0.5
+    )
+
+
+@dataclass
+class WalkResult:
+    """Outcome of one random walk."""
+
+    config: ModelConfig
+    seed: int
+    walker_index: int
+    steps: int
+    trace: List[str] = field(default_factory=list)
+    violation: Optional[InvariantViolation] = None
+    deadlock: bool = False
+    disabled_classes: Tuple[str, ...] = ()
+
+    @property
+    def failed(self) -> bool:
+        return self.violation is not None or self.deadlock
+
+
+@dataclass
+class SwarmResult:
+    """Outcome of a swarm of walks over one configuration."""
+
+    config: ModelConfig
+    seed: int
+    walks: List[WalkResult] = field(default_factory=list)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(walk.steps for walk in self.walks)
+
+    @property
+    def first_failure(self) -> Optional[WalkResult]:
+        for walk in self.walks:
+            if walk.failed:
+                return walk
+        return None
+
+    @property
+    def verified(self) -> bool:
+        """No walk failed.  (A pass is evidence, not proof — see module doc.)"""
+        return self.first_failure is None
+
+    def summary(self) -> dict:
+        failure = self.first_failure
+        return {
+            "protocol": self.config.protocol,
+            "n_cores": self.config.n_cores,
+            "n_ops": self.config.n_ops,
+            "seed": self.seed,
+            "walkers": len(self.walks),
+            "total_steps": self.total_steps,
+            "verified": self.verified,
+            "failed_walker": failure.walker_index if failure is not None else None,
+        }
+
+
+def random_walk(
+    config: ModelConfig,
+    seed: int,
+    *,
+    max_steps: int = 2_000,
+    walker_index: int = 0,
+    disabled_classes: Optional[FrozenSet[str]] = None,
+    mutation: Optional[str] = None,
+) -> WalkResult:
+    """One seeded random walk; deterministic per ``(config, seed, index)``."""
+    if disabled_classes is None:
+        disabled_classes = walker_disabled_classes(seed, walker_index)
+    model = CoherenceModel(config, mutation=mutation)
+    rng = random.Random(seed * 1_000_003 + walker_index)
+    state = model.initial_state()
+    result = WalkResult(
+        config=config,
+        seed=seed,
+        walker_index=walker_index,
+        steps=0,
+        disabled_classes=tuple(sorted(disabled_classes)),
+    )
+    violations = check_invariants(state, config)
+    if violations:
+        result.violation = violations[0]
+        return result
+    for step in range(max_steps):
+        successors = model.ordered_successors(state)
+        if not successors:
+            result.deadlock = True
+            return result
+        eligible = [
+            item for item in successors if rule_class(item[0]) not in disabled_classes
+        ]
+        if not eligible:
+            eligible = successors
+        rule, state = eligible[rng.randrange(len(eligible))]
+        result.trace.append(rule)
+        result.steps = step + 1
+        violations = check_invariants(state, config)
+        if violations:
+            result.violation = violations[0]
+            return result
+    return result
+
+
+def run_swarm(
+    config: ModelConfig,
+    *,
+    n_walkers: int = 8,
+    max_steps: int = 2_000,
+    seed: int = 0,
+    mutation: Optional[str] = None,
+    stop_on_failure: bool = True,
+    should_continue: Optional[Callable[[], bool]] = None,
+) -> SwarmResult:
+    """Run ``n_walkers`` diverse walks over ``config``.
+
+    ``should_continue`` — an optional zero-argument callable polled before
+    each walk — lets the CLI enforce a wall-clock budget without making the
+    per-walk outcomes time-dependent: the budget only decides *how many*
+    walks run, never what any individual walk does.
+    """
+    result = SwarmResult(config=config, seed=seed)
+    for walker_index in range(n_walkers):
+        if should_continue is not None and not should_continue():
+            break
+        walk = random_walk(
+            config,
+            seed,
+            max_steps=max_steps,
+            walker_index=walker_index,
+            mutation=mutation,
+        )
+        result.walks.append(walk)
+        if walk.failed and stop_on_failure:
+            break
+    return result

@@ -213,3 +213,24 @@ def test_corrupt_journal_raises_for_nonzero_exit(tmp_path, collect_results):
         handle.write(bytes(data))
     with pytest.raises(JournalCorruptError):
         collect_results.collect_journal_records(results_dir)
+
+
+def test_verification_section_folds_all_three_lanes(collect_results, monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY_MUTATE", raising=False)
+    section = collect_results.collect_verification(jobs=1)
+    assert section["verified"] is True
+    assert section["mutation"] is None
+    assert section["exhaustive"]["states"] > 1000
+    assert section["exhaustive"]["verified"] is True
+    assert section["swarm"]["verified"] is True
+    assert section["differential"]["verified"] is True
+    assert section["differential"]["checks"]  # live checks actually ran
+
+
+def test_verification_section_surfaces_an_injected_mutation(
+    collect_results, monkeypatch
+):
+    monkeypatch.setenv("REPRO_VERIFY_MUTATE", "dir.GetX.keep_sharers")
+    section = collect_results.collect_verification(jobs=1)
+    assert section["mutation"] == "dir.GetX.keep_sharers"
+    assert section["verified"] is False

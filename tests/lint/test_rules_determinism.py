@@ -15,6 +15,7 @@ SIM = "src/repro/sim/fixture.py"
 PLOTS = "src/repro/plots.py"  # outside the result-affecting scope
 OBS_ISLAND = "src/repro/obs/registry.py"  # the one allowlisted wall-clock module
 OBS_OTHER = "src/repro/obs/events.py"  # obs scope, NOT allowlisted
+VERIFY = "src/repro/verification/fixture.py"  # verification scope (D101/D102)
 
 
 class TestD101UnseededRng:
@@ -93,6 +94,37 @@ class TestD102UnorderedIteration:
     def test_out_of_scope_module_passes(self, lint_sources):
         source = "def f(d):\n    for v in d.values():\n        print(v)\n"
         report = lint_sources({PLOTS: source}, rules=[UnorderedIterationRule()])
+        assert report.ok
+
+    def test_verification_module_fires(self, lint_sources):
+        # The verification harness is in D102's scope: a hash-order
+        # iteration in the sharded fold would break the jobs-independence
+        # guarantee silently.
+        source = "def f(d):\n    for v in d.values():\n        print(v)\n"
+        report = lint_sources({VERIFY: source}, rules=[UnorderedIterationRule()])
+        assert codes(report) == ["D102"]
+        assert lines_of(report, "D102") == [2]
+
+    def test_verification_sorted_wrap_passes(self, lint_sources):
+        source = "def f(d):\n    for v in sorted(d.values()):\n        print(v)\n"
+        report = lint_sources({VERIFY: source}, rules=[UnorderedIterationRule()])
+        assert report.ok
+
+    def test_verification_d101_fires_too(self, lint_sources):
+        # D101 has no scope: unseeded draws in verification code break
+        # seed-reproducibility of walks and streams just the same.
+        report = lint_sources(
+            {VERIFY: "import random\nx = random.random()\n"},
+            rules=[UnseededRngRule()],
+        )
+        assert codes(report) == ["D101"]
+
+    def test_verification_wall_clock_exempt(self, lint_sources):
+        # D103 deliberately does NOT scan the verification harness: the
+        # checker's progress reporting and the CLI's swarm budget read the
+        # host clock, and no clock value reaches a verification verdict.
+        source = "import time\ndef f():\n    return time.perf_counter()\n"
+        report = lint_sources({VERIFY: source}, rules=[WallClockRule()])
         assert report.ok
 
 

@@ -1,0 +1,152 @@
+"""The ``python -m repro.verification`` CLI: exit codes and repro artifacts.
+
+Exit contract: 0 = verified / repro reproduces, 1 = violation found / repro
+does not reproduce, 2 = unreadable or damaged repro file.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.verification.__main__ import main
+from repro.verification import encode
+
+
+MUTATION = "dir.GetX.keep_sharers"
+
+
+def _exhaustive_args(tmp_path, *extra):
+    return [
+        "exhaustive",
+        "--protocol",
+        "MEUSI",
+        "--cores",
+        "2",
+        "--ops",
+        "1",
+        "--repro-dir",
+        str(tmp_path / "repros"),
+        *extra,
+    ]
+
+
+class TestExhaustiveCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        assert main(_exhaustive_args(tmp_path, "--jobs", "2")) == 0
+        assert "verified=True" in capsys.readouterr().out
+
+    def test_mutated_run_writes_minimized_repro(self, tmp_path, capsys):
+        code = main(_exhaustive_args(tmp_path, "--mutate", MUTATION))
+        assert code == 1
+        paths = glob.glob(str(tmp_path / "repros" / "repro-*.json"))
+        assert paths
+        repro = encode.load_repro(paths[0])
+        assert repro["mutation"] == MUTATION
+        assert repro["kind"] == "model-trace"
+        assert 0 < len(repro["trace"]) < 30  # minimized, not the raw BFS path
+
+
+class TestSwarmCommand:
+    def test_clean_swarm_exits_zero(self, tmp_path):
+        code = main(
+            [
+                "swarm",
+                "--protocol",
+                "MEUSI",
+                "--cores",
+                "2",
+                "--ops",
+                "2",
+                "--walkers",
+                "2",
+                "--max-steps",
+                "200",
+                "--seed",
+                "0",
+                "--seconds",
+                "60",
+                "--repro-dir",
+                str(tmp_path / "repros"),
+            ]
+        )
+        assert code == 0
+
+
+class TestDifferentialCommand:
+    def test_mutated_stream_repro_round_trips_through_replay(self, tmp_path):
+        repro_dir = str(tmp_path / "repros")
+        code = main(
+            [
+                "differential",
+                "--protocol",
+                "MEUSI",
+                "--seed",
+                "1",
+                "--points",
+                "1",
+                "--mutate",
+                MUTATION,
+                "--repro-dir",
+                repro_dir,
+            ]
+        )
+        assert code == 1
+        paths = glob.glob(os.path.join(repro_dir, "repro-*.json"))
+        assert len(paths) == 1
+        repro = encode.load_repro(paths[0])
+        assert repro["kind"] == "stream"
+        assert len(repro["trace"]) <= 4
+        # The written repro replays: exit 0.
+        assert main(["replay", paths[0]]) == 0
+
+
+class TestReplayCommand:
+    @pytest.fixture()
+    def stream_repro(self, tmp_path):
+        repro_dir = str(tmp_path / "repros")
+        main(
+            [
+                "differential",
+                "--protocol",
+                "MEUSI",
+                "--seed",
+                "1",
+                "--points",
+                "1",
+                "--mutate",
+                MUTATION,
+                "--repro-dir",
+                repro_dir,
+            ]
+        )
+        (path,) = glob.glob(os.path.join(repro_dir, "repro-*.json"))
+        return path
+
+    def test_damaged_repro_exits_two(self, stream_repro):
+        text = open(stream_repro).read()
+        with open(stream_repro, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        assert main(["replay", stream_repro]) == 2
+
+    def test_benign_repro_exits_one(self, stream_repro, tmp_path):
+        # A well-formed repro whose trace does NOT reproduce any violation:
+        # replay must report that honestly with exit 1, not crash.
+        document = json.loads(open(stream_repro).read())
+        document["trace"] = [[0, 0, "load"]]
+        document.pop("crc32")
+        benign = str(tmp_path / "benign.json")
+        encode.write_repro(benign, document)
+        assert main(["replay", benign]) == 1
+
+    def test_model_trace_repro_from_smoke_self_test_replays(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_VERIFY_SWARM_SECONDS", "5")
+        monkeypatch.chdir(tmp_path)
+        assert main(["smoke", "--jobs", "2"]) == 0
+        (path,) = glob.glob(
+            str(tmp_path / "results" / "verify-repros" / "repro-smoke-*.json")
+        )
+        assert main(["replay", path]) == 0

@@ -1,0 +1,130 @@
+"""Repro-file codec: canonical round trips, loud failure on any damage."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verification import encode
+from repro.verification.invariants import check_invariants
+from repro.verification.model import CoherenceModel, ModelConfig
+
+
+CONFIG = ModelConfig(n_cores=2, n_ops=1, protocol="MEUSI", value_base=2)
+
+
+def _sample_repro() -> dict:
+    """A small, real repro document: one mutated-model violation."""
+    model = CoherenceModel(CONFIG, mutation="dir.GetX.keep_sharers")
+    # Walk breadth-first until the mutation produces a violation.
+    frontier = [(model.initial_state(), [])]
+    seen = {model.initial_state().key()}
+    while frontier:
+        state, trace = frontier.pop(0)
+        violations = check_invariants(state, CONFIG)
+        if violations:
+            return encode.make_repro(
+                lane="test",
+                kind="model-trace",
+                config=encode.config_to_jsonable(CONFIG),
+                trace=trace,
+                violation=encode.violation_to_jsonable(violations[0]),
+                mutation="dir.GetX.keep_sharers",
+            )
+        for rule, successor in model.ordered_successors(state):
+            if successor.key() not in seen:
+                seen.add(successor.key())
+                frontier.append((successor, trace + [rule]))
+    raise AssertionError("mutated model produced no violation")
+
+
+class TestRoundTrips:
+    def test_config_round_trip(self):
+        data = encode.config_to_jsonable(CONFIG)
+        assert encode.config_from_jsonable(data) == CONFIG
+
+    def test_state_round_trip_preserves_key(self):
+        model = CoherenceModel(CONFIG)
+        state = model.initial_state()
+        for _ in range(4):
+            successors = model.ordered_successors(state)
+            assert successors
+            state = successors[0][1]
+        restored = encode.state_from_jsonable(encode.state_to_jsonable(state))
+        assert restored.key() == state.key()
+
+    def test_state_digest_is_stable_across_encodes(self):
+        state = CoherenceModel(CONFIG).initial_state()
+        assert encode.state_digest(state) == encode.state_digest(state)
+
+    def test_canonical_dumps_is_key_order_independent(self):
+        assert encode.canonical_dumps({"b": 1, "a": 2}) == encode.canonical_dumps(
+            {"a": 2, "b": 1}
+        )
+
+    def test_write_then_load_round_trips(self, tmp_path):
+        repro = _sample_repro()
+        path = str(tmp_path / "repro.json")
+        encode.write_repro(path, repro)
+        loaded = encode.load_repro(path)
+        for field in ("schema", "lane", "kind", "config", "mutation", "trace", "violation"):
+            assert loaded[field] == repro[field]
+        assert "crc32" in loaded
+
+
+class TestDamageFailsLoudly:
+    def test_truncated_file(self, tmp_path):
+        path = str(tmp_path / "repro.json")
+        encode.write_repro(path, _sample_repro())
+        text = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) // 2])
+        with pytest.raises(encode.ReproFileError, match="truncated or corrupt"):
+            encode.load_repro(path)
+
+    def test_flipped_content_fails_checksum(self, tmp_path):
+        path = str(tmp_path / "repro.json")
+        encode.write_repro(path, _sample_repro())
+        document = json.loads(open(path).read())
+        document["trace"] = document["trace"][:-1]  # drop one step, keep crc32
+        with open(path, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+        with pytest.raises(encode.ReproFileError, match="checksum mismatch"):
+            encode.load_repro(path)
+
+    def test_missing_field(self, tmp_path):
+        path = str(tmp_path / "repro.json")
+        encode.write_repro(path, _sample_repro())
+        document = json.loads(open(path).read())
+        del document["violation"]
+        with open(path, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+        with pytest.raises(encode.ReproFileError, match="missing field"):
+            encode.load_repro(path)
+
+    def test_wrong_schema(self, tmp_path):
+        path = str(tmp_path / "repro.json")
+        encode.write_repro(path, _sample_repro())
+        document = json.loads(open(path).read())
+        document["schema"] = "something-else/9"
+        with open(path, "w") as handle:
+            json.dump(document, handle, sort_keys=True)
+        with pytest.raises(encode.ReproFileError, match="schema"):
+            encode.load_repro(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(encode.ReproFileError, match="cannot read"):
+            encode.load_repro(str(tmp_path / "absent.json"))
+
+    def test_unknown_kind_rejected_at_assembly(self):
+        repro = _sample_repro()
+        with pytest.raises(ValueError, match="unknown repro kind"):
+            encode.make_repro(
+                lane="test",
+                kind="not-a-kind",
+                config=repro["config"],
+                trace=repro["trace"],
+                violation=repro["violation"],
+                mutation=None,
+            )

@@ -1,0 +1,126 @@
+"""Sharded exhaustive exploration: bit-identity, fault recovery, resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import faults
+from repro.verification import encode
+from repro.verification.checker import ModelChecker
+from repro.verification.model import CoherenceModel, ModelConfig
+from repro.verification.parallel import (
+    check_sharded,
+    counterexample_trace,
+    experiment_id,
+    shard_of,
+)
+from repro.verification.shrink import replay_model_trace
+
+
+CONFIG = ModelConfig(n_cores=2, n_ops=1, protocol="MEUSI", value_base=2)
+MUTATION = "dir.GetX.keep_sharers"
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return ModelChecker(CONFIG).run()
+
+
+@pytest.fixture()
+def fault_env(monkeypatch):
+    """Activate a REPRO_FAULT spec for the test, restoring the idle plan."""
+
+    def activate(spec: str):
+        monkeypatch.setenv("REPRO_FAULT", spec)
+        return faults.refresh_active_plan()
+
+    yield activate
+    monkeypatch.delenv("REPRO_FAULT", raising=False)
+    faults.refresh_active_plan()
+
+
+def _counts(result):
+    return (result.n_states, result.n_transitions, result.deadlocks)
+
+
+class TestBitIdentity:
+    def test_inline_jobs1_matches_serial(self, serial_result):
+        sharded = check_sharded(CONFIG, jobs=1)
+        assert _counts(sharded.result) == _counts(serial_result)
+        assert sharded.result.verified
+
+    def test_jobs4_matches_serial(self, serial_result):
+        sharded = check_sharded(CONFIG, jobs=4)
+        assert _counts(sharded.result) == _counts(serial_result)
+        assert sharded.jobs == 4
+
+    def test_shard_partition_is_total_and_stable(self):
+        state = encode.state_to_jsonable(CoherenceModel(CONFIG).initial_state())
+        shard = shard_of(state, 4)
+        assert 0 <= shard < 4
+        assert shard == shard_of(state, 4)
+
+    def test_experiment_id_carries_mutation(self):
+        assert experiment_id(CONFIG, None) == "verify-MEUSI-2c-1o"
+        assert experiment_id(CONFIG, MUTATION) == f"verify-MEUSI-2c-1o-mut.{MUTATION}"
+
+
+class TestMutationCatch:
+    def test_mutation_yields_replayable_bfs_traces(self):
+        sharded = check_sharded(CONFIG, jobs=2, mutation=MUTATION)
+        assert not sharded.result.verified
+        assert sharded.result.violations
+        assert len(sharded.violation_traces) == len(sharded.result.violations)
+        model = CoherenceModel(CONFIG, mutation=MUTATION)
+        for trace in sharded.violation_traces:
+            assert replay_model_trace(model, trace) is not None
+
+
+class TestJournalResume:
+    def test_checkpoint_then_resume_of_complete_run(self, tmp_path, serial_result):
+        journal = str(tmp_path / "journal")
+        first = check_sharded(CONFIG, jobs=2, journal_dir=journal)
+        assert _counts(first.result) == _counts(serial_result)
+        assert not first.resumed_complete
+        second = check_sharded(CONFIG, jobs=2, journal_dir=journal, resume=True)
+        assert second.resumed_complete
+        assert _counts(second.result) == _counts(serial_result)
+
+    def test_fresh_run_refuses_populated_journal(self, tmp_path):
+        journal = str(tmp_path / "journal")
+        check_sharded(CONFIG, jobs=1, journal_dir=journal)
+        with pytest.raises(ValueError, match="already holds segments"):
+            check_sharded(CONFIG, jobs=1, journal_dir=journal)
+
+    def test_torn_write_crashes_then_resumes_bit_identical(
+        self, tmp_path, serial_result, fault_env
+    ):
+        journal = str(tmp_path / "journal")
+        exp = experiment_id(CONFIG, None)
+        plan = fault_env(f"torn:exp={exp},point=level-0005,times=1")
+        with pytest.raises(faults.SimulatedCrash):
+            check_sharded(
+                CONFIG, jobs=2, journal_dir=journal, torn_hook=plan.torn_hook()
+            )
+        # The crash left a torn tail; a resume folds the intact levels and
+        # finishes the exploration with identical counts.
+        resumed = check_sharded(CONFIG, jobs=2, journal_dir=journal, resume=True)
+        assert not resumed.resumed_complete
+        assert _counts(resumed.result) == _counts(serial_result)
+
+    def test_killed_shard_workers_are_retried(self, serial_result, fault_env):
+        exp = experiment_id(CONFIG, None)
+        fault_env(f"kill:exp={exp},point=level-0003,times=1")
+        sharded = check_sharded(CONFIG, jobs=2)
+        assert _counts(sharded.result) == _counts(serial_result)
+
+
+class TestCounterexampleTrace:
+    def test_trace_reconstruction_walks_parent_pointers(self):
+        # levels[level] = list of (state_jsonable, parent_index_in_prev, rule)
+        levels = [
+            [({"id": "root"}, -1, None)],
+            [({"id": "a"}, 0, "r1"), ({"id": "b"}, 0, "r2")],
+            [({"id": "c"}, 1, "r3")],
+        ]
+        assert counterexample_trace(levels, 2, 0) == ["r2", "r3"]

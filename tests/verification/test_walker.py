@@ -1,0 +1,82 @@
+"""Randomized interleaving swarm: determinism, diversity, budget semantics."""
+
+from __future__ import annotations
+
+from repro.verification.model import ModelConfig
+from repro.verification.walker import (
+    random_walk,
+    rule_class,
+    run_swarm,
+    walker_disabled_classes,
+)
+
+
+CONFIG = ModelConfig(n_cores=2, n_ops=2, protocol="MEUSI", value_base=2)
+
+
+class TestDeterminism:
+    def test_walk_is_a_pure_function_of_seed_and_index(self):
+        first = random_walk(CONFIG, 7, max_steps=300, walker_index=2)
+        second = random_walk(CONFIG, 7, max_steps=300, walker_index=2)
+        assert first.trace == second.trace
+        assert first.steps == second.steps
+
+    def test_different_indices_diverge(self):
+        a = random_walk(CONFIG, 7, max_steps=300, walker_index=0)
+        b = random_walk(CONFIG, 7, max_steps=300, walker_index=1)
+        assert a.trace != b.trace
+
+    def test_swarm_runs_are_identical(self):
+        first = run_swarm(CONFIG, n_walkers=4, max_steps=200, seed=3)
+        second = run_swarm(CONFIG, n_walkers=4, max_steps=200, seed=3)
+        assert first.summary() == second.summary()
+        assert [w.trace for w in first.walks] == [w.trace for w in second.walks]
+
+
+class TestDiversity:
+    def test_walkers_disable_different_rule_classes(self):
+        subsets = {walker_disabled_classes(0, index) for index in range(8)}
+        assert len(subsets) > 1
+
+    def test_rule_class_buckets_rules(self):
+        assert rule_class("core0.read_miss") == rule_class("core1.read_miss")
+        assert rule_class("core0.read_miss") != rule_class("dir.GetX")
+
+
+class TestSwarm:
+    def test_clean_model_verifies(self):
+        swarm = run_swarm(CONFIG, n_walkers=4, max_steps=300, seed=0)
+        assert swarm.verified
+        assert swarm.total_steps > 0
+        assert swarm.summary()["failed_walker"] is None
+
+    def test_mutation_is_caught_with_a_trace(self):
+        swarm = run_swarm(
+            CONFIG,
+            n_walkers=8,
+            max_steps=800,
+            seed=1,
+            mutation="dir.GetX.keep_sharers",
+        )
+        assert not swarm.verified
+        failure = swarm.first_failure
+        assert failure is not None
+        assert failure.violation is not None
+        assert failure.trace  # the raw counterexample the shrinker consumes
+
+    def test_budget_bounds_walk_count_not_walk_content(self):
+        # A budget that admits only two walks must reproduce exactly the
+        # first two walks of an unbudgeted swarm.
+        calls = iter([True, True, False])
+        budgeted = run_swarm(
+            CONFIG,
+            n_walkers=8,
+            max_steps=200,
+            seed=5,
+            should_continue=lambda: next(calls),
+        )
+        full = run_swarm(CONFIG, n_walkers=8, max_steps=200, seed=5)
+        assert len(budgeted.walks) == 2
+        assert [w.trace for w in budgeted.walks] == [
+            w.trace for w in full.walks[:2]
+        ]
